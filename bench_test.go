@@ -1,0 +1,439 @@
+// Benchmarks regenerating every table and figure of the paper (one bench
+// per artefact, as DESIGN.md's experiment index maps), plus substrate
+// micro-benchmarks. Reproduction benches rebuild their campaign from
+// scratch each iteration, so ns/op is the full cost of regenerating the
+// artefact from nothing.
+package encdns_test
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/netip"
+	"testing"
+	"time"
+
+	"encdns/internal/authdns"
+	"encdns/internal/core"
+	"encdns/internal/dataset"
+	"encdns/internal/distribute"
+	"encdns/internal/dnswire"
+	"encdns/internal/doh"
+	"encdns/internal/experiment"
+	"encdns/internal/netsim"
+	"encdns/internal/odoh"
+	"encdns/internal/pageload"
+	"encdns/internal/resolver"
+	"encdns/internal/stats"
+)
+
+// benchRounds keeps reproduction benches fast while still producing
+// hundreds of samples per (vantage, resolver) pair.
+const benchRounds = 20
+
+// BenchmarkTable1BrowserMatrix regenerates Table 1.
+func BenchmarkTable1BrowserMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl := experiment.Table1()
+		if err := tbl.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchFigures regenerates a set of figure panels from a fresh campaign.
+func benchFigures(b *testing.B, ids ...experiment.FigureID) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r := experiment.New(uint64(i+1), benchRounds)
+		for _, id := range ids {
+			chart, err := r.Figure(id)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := chart.Render(io.Discard); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFigure1 regenerates Figure 1 (NA resolvers from Ohio).
+func BenchmarkFigure1(b *testing.B) { benchFigures(b, experiment.Fig1) }
+
+// BenchmarkFigure2 regenerates Figure 2's four panels (NA resolvers from
+// all vantage points).
+func BenchmarkFigure2(b *testing.B) {
+	benchFigures(b, experiment.Fig2a, experiment.Fig2b, experiment.Fig2c, experiment.Fig2d)
+}
+
+// BenchmarkFigure3 regenerates Figure 3's four panels (Europe).
+func BenchmarkFigure3(b *testing.B) {
+	benchFigures(b, experiment.Fig3a, experiment.Fig3b, experiment.Fig3c, experiment.Fig3d)
+}
+
+// BenchmarkFigure4 regenerates Figure 4's four panels (Asia).
+func BenchmarkFigure4(b *testing.B) {
+	benchFigures(b, experiment.Fig4a, experiment.Fig4b, experiment.Fig4c, experiment.Fig4d)
+}
+
+// BenchmarkTable2 regenerates Table 2 (Asia medians, Seoul vs Frankfurt).
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiment.New(uint64(i+1), benchRounds)
+		tbl, err := r.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := tbl.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3 regenerates Table 3 (Europe medians, Frankfurt vs Seoul).
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiment.New(uint64(i+1), benchRounds)
+		tbl, err := r.Table3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := tbl.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAvailabilityCampaign regenerates the §4 availability tally
+// from a fresh full campaign (7 vantages × 75 resolvers × 3 domains).
+func BenchmarkAvailabilityCampaign(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiment.New(uint64(i+1), benchRounds)
+		av, err := r.Availability()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := av.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkShapeChecks evaluates every §4 claim from a fresh campaign.
+func BenchmarkShapeChecks(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiment.New(uint64(i+1), benchRounds)
+		checks, err := r.ShapeChecks()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range checks {
+			if !c.Pass {
+				b.Fatalf("claim failed under bench seed: %s (%s)", c.Name, c.Detail)
+			}
+		}
+	}
+}
+
+// BenchmarkProtocolAblation regenerates the protocol × connection-mode
+// ablation table (the design-choice study behind §2.2's related work).
+func BenchmarkProtocolAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiment.ProtocolAblation(uint64(i+1), dataset.VantageOhio, "doh.la.ahadns.net", 60)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := experiment.RenderAblation(io.Discard, dataset.VantageOhio, "doh.la.ahadns.net", rows); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDriftCheck runs the §3.2 stability check (main span + three
+// follow-up spans) from Ohio.
+func BenchmarkDriftCheck(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := experiment.DriftCheck(uint64(i+1), dataset.VantageOhio, benchRounds, 0.5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := rep.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- substrate micro-benchmarks ---
+
+// BenchmarkMessagePack measures DNS wire encoding of a realistic response.
+func BenchmarkMessagePack(b *testing.B) {
+	m := dnswire.NewQuery(1, "www.example.com", dnswire.TypeA).Reply()
+	for i := 0; i < 4; i++ {
+		m.Answers = append(m.Answers, dnswire.Record{
+			Name: "www.example.com", Type: dnswire.TypeA, Class: dnswire.ClassIN, TTL: 300,
+			Data: &dnswire.A{Addr: netip.AddrFrom4([4]byte{192, 0, 2, byte(i)})},
+		})
+	}
+	m.SetEDNS(dnswire.MaxEDNSSize, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Pack(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMessageUnpack measures DNS wire decoding.
+func BenchmarkMessageUnpack(b *testing.B) {
+	m := dnswire.NewQuery(1, "www.example.com", dnswire.TypeA).Reply()
+	for i := 0; i < 4; i++ {
+		m.Answers = append(m.Answers, dnswire.Record{
+			Name: "www.example.com", Type: dnswire.TypeA, Class: dnswire.ClassIN, TTL: 300,
+			Data: &dnswire.A{Addr: netip.AddrFrom4([4]byte{192, 0, 2, byte(i)})},
+		})
+	}
+	wire, err := m.Pack()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dnswire.Unpack(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimQuery measures one modelled DoH transaction.
+func BenchmarkSimQuery(b *testing.B) {
+	net := netsim.New(netsim.Config{Seed: 1})
+	r, _ := dataset.ResolverByHost("dns.google")
+	v, _ := dataset.VantageByName(dataset.VantageOhio)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := net.Query(v, &r.Net, netsim.ProtoDoH, false, i, "google.com")
+		if res.Duration <= 0 && res.Err == netsim.OK {
+			b.Fatal("bad sample")
+		}
+	}
+}
+
+// BenchmarkCacheLookup measures a resolver cache hit.
+func BenchmarkCacheLookup(b *testing.B) {
+	c := resolver.NewCache(4096, nil)
+	rr := dnswire.Record{
+		Name: "google.com.", Type: dnswire.TypeA, Class: dnswire.ClassIN, TTL: 300,
+		Data: &dnswire.A{Addr: netip.MustParseAddr("142.250.64.78")},
+	}
+	c.PutRRset("google.com.", dnswire.TypeA, []dnswire.Record{rr})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := c.Lookup("google.com.", dnswire.TypeA); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+// BenchmarkRecursiveResolveCached measures a full stub query against the
+// recursive resolver once its cache is warm — the §3.2 common case
+// ("most people query sites that are already in cache").
+func BenchmarkRecursiveResolveCached(b *testing.B) {
+	h := authdns.BuildHierarchy(authdns.MeasurementLeaves())
+	rec := &resolver.Recursive{
+		Exchange: h.Registry, Roots: h.RootServers,
+		Cache: resolver.NewCache(4096, nil), RNGSeed: 1,
+	}
+	ctx := context.Background()
+	if _, err := rec.ServeDNS(ctx, dnswire.NewQuery(1, "google.com", dnswire.TypeA)); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := rec.ServeDNS(ctx, dnswire.NewQuery(uint16(i), "google.com", dnswire.TypeA))
+		if err != nil || len(resp.Answers) == 0 {
+			b.Fatal("resolve failed")
+		}
+	}
+}
+
+// BenchmarkRecursiveResolveCold measures a full root-to-leaf walk.
+func BenchmarkRecursiveResolveCold(b *testing.B) {
+	h := authdns.BuildHierarchy(authdns.MeasurementLeaves())
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := &resolver.Recursive{Exchange: h.Registry, Roots: h.RootServers,
+			Cache: resolver.NewCache(4096, nil), RNGSeed: 1}
+		resp, err := rec.ServeDNS(ctx, dnswire.NewQuery(uint16(i), "google.com", dnswire.TypeA))
+		if err != nil || len(resp.Answers) == 0 {
+			b.Fatal("resolve failed")
+		}
+	}
+}
+
+// BenchmarkLiveDoHQuery measures a real RFC 8484 exchange over a loopback
+// TLS connection with connection reuse.
+func BenchmarkLiveDoHQuery(b *testing.B) {
+	h := authdns.BuildHierarchy(authdns.MeasurementLeaves())
+	rec := &resolver.Recursive{Exchange: h.Registry, Roots: h.RootServers,
+		Cache: resolver.NewCache(4096, nil), RNGSeed: 1}
+	mux := http.NewServeMux()
+	mux.Handle(doh.DefaultPath, &doh.Handler{DNS: rec})
+	ts := httptest.NewTLSServer(mux)
+	defer ts.Close()
+	client := &doh.Client{HTTP: ts.Client()}
+	ctx := context.Background()
+	endpoint := ts.URL + doh.DefaultPath
+	if _, err := client.Query(ctx, endpoint, "google.com", dnswire.TypeA); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.Query(ctx, endpoint, "google.com", dnswire.TypeA); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCampaignThroughput measures raw simulated-campaign speed in
+// queries per second (reported as ns/op per query).
+func BenchmarkCampaignThroughput(b *testing.B) {
+	prober := &core.SimProber{Net: netsim.New(netsim.Config{Seed: 1})}
+	targets := experiment.Targets(dataset.Resolvers())
+	v := dataset.EC2Vantages()
+	b.ResetTimer()
+	queries := 0
+	for i := 0; i < b.N; i++ {
+		cfg := core.CampaignConfig{
+			Vantages: v, Targets: targets, Domains: dataset.Domains,
+			Rounds: 5, Interval: time.Hour, SkipPing: true,
+		}
+		c, err := core.NewCampaign(cfg, prober)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rs, err := c.Run(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		queries += rs.Len()
+	}
+	b.ReportMetric(float64(queries)/b.Elapsed().Seconds(), "queries/s")
+}
+
+// BenchmarkODoHSealOpen measures a full oblivious encapsulation round
+// trip: client seal → target open → target seal → client open.
+func BenchmarkODoHSealOpen(b *testing.B) {
+	key, err := odoh.NewTargetKey(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg, err := odoh.ParseConfig(key.Config())
+	if err != nil {
+		b.Fatal(err)
+	}
+	query, _ := dnswire.NewQuery(1, "google.com", dnswire.TypeA).Pack()
+	response, _ := dnswire.NewQuery(1, "google.com", dnswire.TypeA).Reply().Pack()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sealed, qctx, err := cfg.Seal(query)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, responder, err := key.OpenQuery(sealed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sr, err := responder.Seal(response)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := qctx.Open(sr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDistributionStrategies evaluates every distribution strategy
+// over a Zipf workload (experiment X1).
+func BenchmarkDistributionStrategies(b *testing.B) {
+	hosts := []string{"dns.google", "dns.quad9.net", "ordns.he.net",
+		"freedns.controld.com", "dns0.eu"}
+	var pool []dataset.Resolver
+	for _, h := range hosts {
+		r, ok := dataset.ResolverByHost(h)
+		if !ok {
+			b.Fatal(h)
+		}
+		pool = append(pool, r)
+	}
+	v, _ := dataset.VantageByName(dataset.VantageOhio)
+	targets := experiment.Targets(pool)
+	w := distribute.SyntheticWorkload(100, 500, 1)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prober := &core.SimProber{Net: netsim.New(netsim.Config{Seed: uint64(i + 1)})}
+		for _, s := range []distribute.Strategy{
+			distribute.Single{Index: 0},
+			distribute.RoundRobin{N: len(targets)},
+			distribute.HashDomain{N: len(targets)},
+			distribute.NewRace(len(targets), 2, uint64(i+1)),
+		} {
+			d := &distribute.Distributor{Targets: targets, Vantage: v, Prober: prober, Strategy: s}
+			r := distribute.Evaluate(ctx, d, w)
+			if r.QueriesSent == 0 {
+				b.Fatal("no queries sent")
+			}
+		}
+	}
+}
+
+// BenchmarkPageLoadComparison runs the resolver-choice → page-load-time
+// experiment (X2: the paper's future work).
+func BenchmarkPageLoadComparison(b *testing.B) {
+	v, _ := dataset.VantageByName(dataset.VantageOhio)
+	var targets []core.Target
+	for _, h := range []string{"dns.google", "doh.ffmuc.net"} {
+		r, ok := dataset.ResolverByHost(h)
+		if !ok {
+			b.Fatal(h)
+		}
+		targets = append(targets, core.Target{Host: r.Host, Endpoint: r.Endpoint, Net: r.Net})
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prober := &core.SimProber{Net: netsim.New(netsim.Config{Seed: uint64(i + 1)})}
+		out := pageload.Compare(ctx, prober, v, targets, pageload.TypicalPage(), 20)
+		if len(out) != 2 {
+			b.Fatal("missing results")
+		}
+	}
+}
+
+// BenchmarkBoxplotSummarize measures the stats pipeline on a realistic
+// sample set.
+func BenchmarkBoxplotSummarize(b *testing.B) {
+	samples := make([]float64, 500)
+	for i := range samples {
+		samples[i] = float64(i%97) + 20
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stats.Summarize(samples); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+// Command dnsdig is a dig-style DNS query tool speaking all three
+// measured transports — the client half of the paper's §3.1 methodology
+// ("we performed dig queries to the resolvers").
+//
+//	dnsdig -server 127.0.0.1:5353 google.com A
+//	dnsdig -proto doh -server https://127.0.0.1:8443/dns-query -cacert /tmp/dohserver-ca.pem google.com
+//	dnsdig -proto dot -server 127.0.0.1:8853 -insecure wikipedia.com AAAA
+//	dnsdig -trace -roots 198.18.0.1:53,198.18.0.2:53 www.amazon.com
+//
+// -trace resolves iteratively from the given root servers over Do53,
+// printing each referral step like dig +trace.
+package main
+
+import (
+	"context"
+	"crypto/tls"
+	"crypto/x509"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"encdns/internal/dns53"
+	"encdns/internal/dnswire"
+	"encdns/internal/doh"
+	"encdns/internal/dot"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dnsdig:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("dnsdig", flag.ContinueOnError)
+	var (
+		server   = fs.String("server", "127.0.0.1:53", "server address (host:port, or URL for doh)")
+		proto    = fs.String("proto", "do53", "transport: do53, dot, or doh")
+		caCert   = fs.String("cacert", "", "PEM file with a CA to trust for TLS transports")
+		insecure = fs.Bool("insecure", false, "skip TLS certificate verification")
+		timeout  = fs.Duration("timeout", 5*time.Second, "query timeout")
+		short    = fs.Bool("short", false, "print only the answer RDATA")
+		trace    = fs.Bool("trace", false, "resolve iteratively from the roots, printing each step")
+		roots    = fs.String("roots", "", "comma-separated root server addresses for -trace")
+		gluePort = fs.Int("glue-port", 53, "port appended to glue addresses during -trace")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() < 1 {
+		return fmt.Errorf("usage: dnsdig [flags] name [type]")
+	}
+	name := fs.Arg(0)
+	qtype := dnswire.TypeA
+	if fs.NArg() >= 2 {
+		t, ok := dnswire.ParseType(strings.ToUpper(fs.Arg(1)))
+		if !ok {
+			return fmt.Errorf("unknown query type %q", fs.Arg(1))
+		}
+		qtype = t
+	}
+	if err := dnswire.ValidateName(name); err != nil {
+		return fmt.Errorf("invalid name %q: %w", name, err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	if *trace {
+		if *roots == "" {
+			return fmt.Errorf("-trace needs -roots")
+		}
+		return runTrace(ctx, w, name, qtype, strings.Split(*roots, ","), *timeout, *gluePort)
+	}
+
+	tlsCfg, err := tlsConfig(*caCert, *insecure)
+	if err != nil {
+		return err
+	}
+	var resp *dnswire.Message
+	start := time.Now()
+	switch *proto {
+	case "do53":
+		c := &dns53.Client{Timeout: *timeout}
+		resp, err = c.Query(ctx, *server, name, qtype)
+	case "dot":
+		c := &dot.Client{TLS: tlsCfg, Timeout: *timeout}
+		resp, err = c.Query(ctx, *server, name, qtype)
+	case "doh":
+		c := doh.NewClient(tlsCfg, nil, false)
+		c.Timeout = *timeout
+		resp, err = c.Query(ctx, *server, name, qtype)
+	default:
+		return fmt.Errorf("unknown proto %q", *proto)
+	}
+	elapsed := time.Since(start)
+	if err != nil {
+		return err
+	}
+	if *short {
+		for _, rr := range resp.Answers {
+			fmt.Fprintln(w, rr.Data)
+		}
+		return nil
+	}
+	fmt.Fprint(w, resp)
+	fmt.Fprintf(w, ";; Query time: %d msec\n;; SERVER: %s (%s)\n", elapsed.Milliseconds(), *server, *proto)
+	return nil
+}
+
+func tlsConfig(caCert string, insecure bool) (*tls.Config, error) {
+	cfg := &tls.Config{}
+	if insecure {
+		cfg.InsecureSkipVerify = true
+	}
+	if caCert != "" {
+		pemBytes, err := os.ReadFile(caCert)
+		if err != nil {
+			return nil, fmt.Errorf("reading CA: %w", err)
+		}
+		pool := x509.NewCertPool()
+		if !pool.AppendCertsFromPEM(pemBytes) {
+			return nil, fmt.Errorf("no certificates in %s", caCert)
+		}
+		cfg.RootCAs = pool
+	}
+	return cfg, nil
+}
+
+// runTrace walks the delegation chain from the roots over Do53, printing
+// each step — dig +trace.
+func runTrace(ctx context.Context, w io.Writer, name string, qtype dnswire.Type, roots []string, timeout time.Duration, gluePort int) error {
+	client := &dns53.Client{Timeout: timeout}
+	servers := roots
+	zone := "."
+	for depth := 0; depth < 16; depth++ {
+		if len(servers) == 0 {
+			return fmt.Errorf("no servers to query for %s", zone)
+		}
+		server := strings.TrimSpace(servers[0])
+		q := dnswire.NewQuery(dns53.NewID(), name, qtype)
+		q.Header.RD = false
+		resp, err := client.Exchange(ctx, q, server)
+		if err != nil {
+			if len(servers) > 1 {
+				servers = servers[1:]
+				continue
+			}
+			return fmt.Errorf("querying %s: %w", server, err)
+		}
+		fmt.Fprintf(w, ";; zone %s via %s: %s, %d answer(s), %d authority\n",
+			zone, server, resp.Header.RCode, len(resp.Answers), len(resp.Authority))
+		if len(resp.Answers) > 0 || resp.Header.RCode == dnswire.RCodeNXDomain {
+			for _, rr := range resp.Answers {
+				fmt.Fprintln(w, rr)
+			}
+			if resp.Header.RCode != dnswire.RCodeSuccess {
+				fmt.Fprintf(w, ";; final status: %s\n", resp.Header.RCode)
+			}
+			return nil
+		}
+		// Referral: print the NS set and follow the glue.
+		var next []string
+		var nextZone string
+		for _, rr := range resp.Authority {
+			fmt.Fprintln(w, rr)
+			if rr.Type == dnswire.TypeNS {
+				nextZone = dnswire.CanonicalName(rr.Name)
+			}
+		}
+		for _, rr := range resp.Additional {
+			if a, ok := rr.Data.(*dnswire.A); ok {
+				next = append(next, fmt.Sprintf("%s:%d", a.Addr, gluePort))
+			}
+		}
+		if len(next) == 0 {
+			return fmt.Errorf("glueless referral for %s; cannot continue", nextZone)
+		}
+		servers, zone = next, nextZone
+	}
+	return fmt.Errorf("referral chain too deep")
+}

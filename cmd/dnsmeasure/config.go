@@ -1,0 +1,90 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+)
+
+// Config is the measurement-suite configuration file (§3.1: "Clients ...
+// provide a list of DoH resolvers they wish to perform measurements
+// with"). Flags given on the command line override file values.
+type Config struct {
+	// Resolvers lists hostnames from the built-in population, full
+	// https:// URLs, or the shortcuts "all"/"mainstream".
+	Resolvers []string `json:"resolvers"`
+	// Domains to query each round.
+	Domains []string `json:"domains"`
+	// Vantage point name (sim mode).
+	Vantage string `json:"vantage"`
+	// Mode is "sim" or "live".
+	Mode string `json:"mode"`
+	// Rounds of measurement.
+	Rounds int `json:"rounds"`
+	// Interval between rounds, as a Go duration string ("8h", "90m").
+	Interval string `json:"interval"`
+	// Seed for simulated campaigns.
+	Seed uint64 `json:"seed"`
+	// Output is the JSON Lines result path.
+	Output string `json:"output"`
+}
+
+// LoadConfig reads and validates a config file.
+func LoadConfig(path string) (*Config, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("reading config: %w", err)
+	}
+	var c Config
+	dec := json.NewDecoder(strings.NewReader(string(b)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&c); err != nil {
+		return nil, fmt.Errorf("parsing config %s: %w", path, err)
+	}
+	if c.Interval != "" {
+		if _, err := time.ParseDuration(c.Interval); err != nil {
+			return nil, fmt.Errorf("config interval %q: %w", c.Interval, err)
+		}
+	}
+	if c.Mode != "" && c.Mode != "sim" && c.Mode != "live" {
+		return nil, fmt.Errorf("config mode %q: want sim or live", c.Mode)
+	}
+	if c.Rounds < 0 {
+		return nil, fmt.Errorf("config rounds %d: must be non-negative", c.Rounds)
+	}
+	return &c, nil
+}
+
+// apply folds config values into flag-value destinations that are still
+// at their defaults (explicit flags win). set reports which flags the
+// user passed.
+func (c *Config) apply(set map[string]bool, resolvers, domains, vantage, mode, output *string,
+	rounds *int, interval *time.Duration, seed *uint64) {
+	if len(c.Resolvers) > 0 && !set["resolvers"] {
+		*resolvers = strings.Join(c.Resolvers, ",")
+	}
+	if len(c.Domains) > 0 && !set["domains"] {
+		*domains = strings.Join(c.Domains, ",")
+	}
+	if c.Vantage != "" && !set["vantage"] {
+		*vantage = c.Vantage
+	}
+	if c.Mode != "" && !set["mode"] {
+		*mode = c.Mode
+	}
+	if c.Output != "" && !set["o"] {
+		*output = c.Output
+	}
+	if c.Rounds > 0 && !set["rounds"] {
+		*rounds = c.Rounds
+	}
+	if c.Interval != "" && !set["interval"] {
+		d, _ := time.ParseDuration(c.Interval) // validated by LoadConfig
+		*interval = d
+	}
+	if c.Seed != 0 && !set["seed"] {
+		*seed = c.Seed
+	}
+}

@@ -1,0 +1,261 @@
+// Command dnsmeasure is the encrypted-DNS measurement tool: it issues
+// DoH/DoT/Do53 queries (and ICMP pings, when available) to a list of
+// resolvers, continuously, and writes per-query JSON records — the
+// open-source tool the paper describes in §3.1.
+//
+// Two transports are available:
+//
+//   - -mode sim (default): measurements run against the calibrated model
+//     of the global internet, from any of the paper's vantage points.
+//     Deterministic under -seed; completes instantly.
+//   - -mode live: measurements are real — the tool dials the resolver
+//     endpoints with fresh connections per query and wall-clock timing.
+//     (Requires network reachability to the targets.)
+//
+// Examples:
+//
+//	dnsmeasure -resolvers mainstream -vantage ec2-seoul -rounds 50
+//	dnsmeasure -resolvers dns.google,ordns.he.net -domains google.com -o out.jsonl
+//	dnsmeasure -mode live -resolvers https://127.0.0.1:8443/dns-query -rounds 3
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"encdns/internal/core"
+	"encdns/internal/dataset"
+	"encdns/internal/dns53"
+	"encdns/internal/doh"
+	"encdns/internal/dot"
+	"encdns/internal/netsim"
+	"encdns/internal/report"
+	"encdns/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dnsmeasure:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout *os.File) error {
+	fs := flag.NewFlagSet("dnsmeasure", flag.ContinueOnError)
+	var (
+		resolvers = fs.String("resolvers", "all", "comma-separated resolver hosts/URLs, or 'all'/'mainstream'")
+		domains   = fs.String("domains", strings.Join(dataset.Domains, ","), "comma-separated query names")
+		mode      = fs.String("mode", "sim", "'sim' (network model) or 'live' (real network)")
+		proto     = fs.String("proto", "doh", "query transport: doh, dot, or do53")
+		vantage   = fs.String("vantage", dataset.VantageOhio, "vantage point name (sim mode); see -list-vantages")
+		rounds    = fs.Int("rounds", 20, "measurement rounds")
+		interval  = fs.Duration("interval", 8*time.Hour, "time between rounds (virtual in sim mode)")
+		seed      = fs.Uint64("seed", 1, "simulation seed")
+		output    = fs.String("o", "", "write JSON Lines records to this file")
+		summarize = fs.Bool("summary", true, "print per-resolver summary table")
+		listV     = fs.Bool("list-vantages", false, "list vantage point names and exit")
+		listR     = fs.Bool("list-resolvers", false, "list known resolver hosts and exit")
+		confPath  = fs.String("config", "", "JSON config file (flags override its values)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *confPath != "" {
+		conf, err := LoadConfig(*confPath)
+		if err != nil {
+			return err
+		}
+		set := map[string]bool{}
+		fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		conf.apply(set, resolvers, domains, vantage, mode, output, rounds, interval, seed)
+	}
+
+	if *listV {
+		for _, v := range dataset.Vantages() {
+			fmt.Fprintf(stdout, "%-18s %-11s (%.2f, %.2f)\n", v.Name, v.Access, v.Coord.Lat, v.Coord.Lon)
+		}
+		return nil
+	}
+	if *listR {
+		for _, r := range dataset.Resolvers() {
+			tag := ""
+			if r.Mainstream {
+				tag = " [mainstream]"
+			}
+			fmt.Fprintf(stdout, "%-42s %s%s\n", r.Host, r.Region, tag)
+		}
+		return nil
+	}
+
+	targets, err := parseTargets(*resolvers)
+	if err != nil {
+		return err
+	}
+	domainList := splitNonEmpty(*domains)
+	if len(domainList) == 0 {
+		return fmt.Errorf("no domains given")
+	}
+
+	protocol, err := parseProto(*proto)
+	if err != nil {
+		return err
+	}
+	var prober core.Prober
+	var vantages []netsim.Vantage
+	var clock netsim.Clock
+	switch *mode {
+	case "sim":
+		v, ok := dataset.VantageByName(*vantage)
+		if !ok {
+			return fmt.Errorf("unknown vantage %q (try -list-vantages)", *vantage)
+		}
+		vantages = []netsim.Vantage{v}
+		prober = &core.SimProber{
+			Net:      netsim.New(netsim.Config{Seed: *seed}),
+			Protocol: protocol,
+		}
+		clock = netsim.NewVirtualClock(netsim.CampaignEpoch)
+	case "live":
+		vantages = []netsim.Vantage{{Name: "local"}}
+		prober = &core.LiveProber{
+			Protocol:         protocol,
+			DoH:              doh.NewClient(nil, nil, false),
+			DoT:              &dot.Client{},
+			Do53:             &dns53.Client{},
+			FreshConnections: true,
+		}
+		clock = netsim.WallClock{}
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+
+	cfg := core.CampaignConfig{
+		Vantages: vantages,
+		Targets:  targets,
+		Domains:  domainList,
+		Rounds:   *rounds,
+		Interval: *interval,
+		Clock:    clock,
+		Progress: func(round, total int) {
+			if total >= 10 && round%(total/10) == 0 {
+				fmt.Fprintf(os.Stderr, "round %d/%d\n", round, total)
+			}
+		},
+	}
+	campaign, err := core.NewCampaign(cfg, prober)
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	results, runErr := campaign.Run(ctx)
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "campaign interrupted: %v (reporting partial results)\n", runErr)
+	}
+
+	if *output != "" {
+		if err := results.WriteJSONFile(*output); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %d records to %s\n", results.Len(), *output)
+	}
+	if *summarize {
+		if err := printSummary(stdout, results, vantages[0].Name, targets); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// parseTargets resolves the -resolvers flag: known hostnames come from the
+// dataset (with their model parameters); https:// URLs become ad-hoc live
+// targets.
+func parseTargets(spec string) ([]core.Target, error) {
+	switch spec {
+	case "all":
+		return targetsOf(dataset.Resolvers()), nil
+	case "mainstream":
+		return targetsOf(dataset.Mainstream()), nil
+	}
+	var out []core.Target
+	for _, item := range splitNonEmpty(spec) {
+		if strings.HasPrefix(item, "https://") {
+			host := strings.TrimPrefix(item, "https://")
+			if i := strings.IndexByte(host, '/'); i >= 0 {
+				host = host[:i]
+			}
+			out = append(out, core.Target{Host: host, Endpoint: item})
+			continue
+		}
+		r, ok := dataset.ResolverByHost(item)
+		if !ok {
+			return nil, fmt.Errorf("unknown resolver %q (try -list-resolvers, or pass a full https:// URL)", item)
+		}
+		out = append(out, core.Target{Host: r.Host, Endpoint: r.Endpoint, Net: r.Net})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no resolvers given")
+	}
+	return out, nil
+}
+
+// parseProto maps the -proto flag to a transport.
+func parseProto(s string) (netsim.Protocol, error) {
+	switch s {
+	case "doh":
+		return netsim.ProtoDoH, nil
+	case "dot":
+		return netsim.ProtoDoT, nil
+	case "do53":
+		return netsim.ProtoDo53, nil
+	}
+	return 0, fmt.Errorf("unknown proto %q (want doh, dot, or do53)", s)
+}
+
+func targetsOf(rs []dataset.Resolver) []core.Target {
+	out := make([]core.Target, 0, len(rs))
+	for _, r := range rs {
+		out = append(out, core.Target{Host: r.Host, Endpoint: r.Endpoint, Net: r.Net})
+	}
+	return out
+}
+
+func splitNonEmpty(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func printSummary(w *os.File, rs *core.ResultSet, vantage string, targets []core.Target) error {
+	t := &report.Table{
+		Title:   fmt.Sprintf("Response times from %s", vantage),
+		Headers: []string{"Resolver", "N", "Median (ms)", "P90 (ms)", "Ping (ms)", "Errors"},
+	}
+	av := rs.Availability()
+	for _, target := range targets {
+		samples := rs.QuerySamples(vantage, target.Host)
+		pings := rs.PingSamples(vantage, target.Host)
+		med, p90, ping := "-", "-", "-"
+		if len(samples) > 0 {
+			med = fmt.Sprintf("%.1f", stats.Median(samples))
+			p90 = fmt.Sprintf("%.1f", stats.Quantile(samples, 0.9))
+		}
+		if len(pings) > 0 {
+			ping = fmt.Sprintf("%.1f", stats.Median(pings))
+		}
+		t.AddRow(target.Host, fmt.Sprintf("%d", len(samples)), med, p90, ping,
+			fmt.Sprintf("%d", av.ByResolver[target.Host]))
+	}
+	return t.Render(w)
+}

@@ -1,0 +1,247 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"encdns/internal/core"
+)
+
+// capture runs run() with stdout redirected to a pipe and returns output.
+func capture(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan []byte, 1)
+	go func() {
+		out, _ := io.ReadAll(r)
+		done <- out
+	}()
+	runErr := run(args, w)
+	w.Close()
+	out := <-done
+	r.Close()
+	return string(out), runErr
+}
+
+func TestListVantages(t *testing.T) {
+	out, err := capture(t, "-list-vantages")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"chicago-home-1", "ec2-ohio", "ec2-frankfurt", "ec2-seoul", "home", "datacenter"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestListResolvers(t *testing.T) {
+	out, err := capture(t, "-list-resolvers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "dns.google") || !strings.Contains(out, "[mainstream]") {
+		t.Errorf("resolver list incomplete:\n%s", out)
+	}
+	if n := strings.Count(out, "\n"); n != 75 {
+		t.Errorf("listed %d resolvers, want 75", n)
+	}
+}
+
+func TestSimCampaignSummary(t *testing.T) {
+	out, err := capture(t, "-resolvers", "dns.google,ordns.he.net",
+		"-vantage", "ec2-ohio", "-rounds", "10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Response times from ec2-ohio", "dns.google", "ordns.he.net", "Median"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestWritesJSONOutput(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "r.jsonl")
+	_, err := capture(t, "-resolvers", "dns.google", "-rounds", "5", "-o", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := core.ReadJSONFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 rounds × (3 domains + 1 ping).
+	if rs.Len() != 20 {
+		t.Errorf("records = %d, want 20", rs.Len())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := [][]string{
+		{"-resolvers", "not.a.known.host"},
+		{"-resolvers", ""},
+		{"-vantage", "mars"},
+		{"-mode", "quantum"},
+		{"-domains", ""},
+	}
+	for _, args := range cases {
+		if _, err := capture(t, args...); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestMainstreamShortcut(t *testing.T) {
+	out, err := capture(t, "-resolvers", "mainstream", "-rounds", "3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "dns.quad9.net") || !strings.Contains(out, "anycast.dns.nextdns.io") {
+		t.Errorf("mainstream set missing rows:\n%s", out)
+	}
+}
+
+func TestAdHocHTTPSTarget(t *testing.T) {
+	// Parsing only: an https:// URL becomes an ad-hoc target. In sim mode
+	// it has no model parameters (zero sites), so we just check parsing.
+	targets, err := parseTargets("https://dns.example/custom-path")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(targets) != 1 || targets[0].Host != "dns.example" {
+		t.Fatalf("targets = %+v", targets)
+	}
+	if targets[0].Endpoint != "https://dns.example/custom-path" {
+		t.Errorf("endpoint = %s", targets[0].Endpoint)
+	}
+}
+
+func TestSplitNonEmpty(t *testing.T) {
+	got := splitNonEmpty(" a, ,b ,, c ")
+	want := []string{"a", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v", got)
+		}
+	}
+}
+
+func TestConfigFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "suite.json")
+	outPath := filepath.Join(dir, "out.jsonl")
+	conf := `{
+		"resolvers": ["dns.google", "dns.quad9.net"],
+		"domains": ["google.com"],
+		"vantage": "ec2-seoul",
+		"rounds": 4,
+		"interval": "1h",
+		"seed": 9,
+		"output": ` + strconv.Quote(outPath) + `
+	}`
+	if err := os.WriteFile(path, []byte(conf), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, "-config", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "ec2-seoul") || !strings.Contains(out, "dns.quad9.net") {
+		t.Errorf("config not applied:\n%s", out)
+	}
+	rs, err := core.ReadJSONFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() != 4*2*2 { // 4 rounds × 2 resolvers × (1 domain + 1 ping)
+		t.Errorf("records = %d", rs.Len())
+	}
+}
+
+func TestConfigFlagOverride(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "suite.json")
+	conf := `{"resolvers": ["dns.google"], "vantage": "ec2-seoul", "rounds": 3}`
+	if err := os.WriteFile(path, []byte(conf), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Explicit -vantage beats the config value.
+	out, err := capture(t, "-config", path, "-vantage", "ec2-ohio")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "ec2-ohio") {
+		t.Errorf("flag did not override config:\n%s", out)
+	}
+}
+
+func TestConfigErrors(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	cases := []string{
+		write("bad.json", "{not json"),
+		write("unknown.json", `{"surprise": true}`),
+		write("badmode.json", `{"mode": "psychic"}`),
+		write("badinterval.json", `{"interval": "yearly"}`),
+		write("badrounds.json", `{"rounds": -3}`),
+		filepath.Join(dir, "missing.json"),
+	}
+	for _, p := range cases {
+		if _, err := LoadConfig(p); err == nil {
+			t.Errorf("config %s accepted", p)
+		}
+	}
+}
+
+func TestProtoFlag(t *testing.T) {
+	for _, proto := range []string{"doh", "dot", "do53"} {
+		out, err := capture(t, "-resolvers", "dns.google", "-rounds", "5", "-proto", proto)
+		if err != nil {
+			t.Fatalf("proto %s: %v", proto, err)
+		}
+		if !strings.Contains(out, "dns.google") {
+			t.Errorf("proto %s output:\n%s", proto, out)
+		}
+	}
+	if _, err := capture(t, "-proto", "smoke-signals"); err == nil {
+		t.Error("bad proto accepted")
+	}
+}
+
+func TestProtoAffectsSimTiming(t *testing.T) {
+	// Do53 is one round trip; fresh DoH is three. The summary medians
+	// must reflect that.
+	med := func(proto string) float64 {
+		path := filepath.Join(t.TempDir(), proto+".jsonl")
+		if _, err := capture(t, "-resolvers", "doh.la.ahadns.net", "-rounds", "40",
+			"-proto", proto, "-o", path); err != nil {
+			t.Fatal(err)
+		}
+		rs, err := core.ReadJSONFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rs.MedianResponse("ec2-ohio", "doh.la.ahadns.net")
+	}
+	udp, doh := med("do53"), med("doh")
+	if ratio := doh / udp; ratio < 2 || ratio > 4.5 {
+		t.Errorf("doh/do53 ratio = %.2f, want ~3", ratio)
+	}
+}

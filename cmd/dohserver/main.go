@@ -1,0 +1,171 @@
+// Command dohserver runs a complete encrypted-DNS resolver: one caching
+// recursive resolver (iterating over a built-in authoritative hierarchy
+// for the measurement domains, or forwarding to an upstream) exposed over
+// three frontends at once — Do53 (UDP+TCP), DoT, and DoH. It is the
+// server-side substrate of the reproduction and a live target for
+// dnsmeasure -mode live.
+//
+// On startup it writes its self-signed CA certificate to -ca-out so
+// clients can trust the TLS endpoints:
+//
+//	dohserver -do53 127.0.0.1:5353 -dot 127.0.0.1:8853 -doh 127.0.0.1:8443
+//	curl --cacert /tmp/dohserver-ca.pem "https://127.0.0.1:8443/dns-query?name=google.com&type=A"
+package main
+
+import (
+	"context"
+	"encdns/internal/dnswire"
+	"encoding/pem"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"encdns/internal/authdns"
+	"encdns/internal/certs"
+	"encdns/internal/dns53"
+	"encdns/internal/doh"
+	"encdns/internal/dot"
+	"encdns/internal/resolver"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dohserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		do53Addr = flag.String("do53", "127.0.0.1:5353", "Do53 listen address (UDP+TCP); empty disables")
+		dotAddr  = flag.String("dot", "127.0.0.1:8853", "DoT listen address; empty disables")
+		dohAddr  = flag.String("doh", "127.0.0.1:8443", "DoH listen address; empty disables")
+		caOut    = flag.String("ca-out", "/tmp/dohserver-ca.pem", "write the CA certificate here")
+		upstream = flag.String("forward", "", "forward to this upstream Do53 server instead of recursing locally")
+		zoneFile = flag.String("zone", "", "serve this RFC 1035 zone file authoritatively instead of resolving")
+		zoneOrig = flag.String("zone-origin", ".", "origin of -zone")
+		cacheN   = flag.Int("cache", 65536, "cache entries")
+	)
+	flag.Parse()
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+
+	handler, err := buildHandler(*upstream, *zoneFile, *zoneOrig, *cacheN)
+	if err != nil {
+		return err
+	}
+	inner := &dns53.Server{Handler: handler, Logger: logger}
+
+	ca, err := certs.NewCA(0)
+	if err != nil {
+		return err
+	}
+	if *caOut != "" {
+		pemBytes := pem.EncodeToMemory(&pem.Block{Type: "CERTIFICATE", Bytes: ca.Cert.Raw})
+		if err := os.WriteFile(*caOut, pemBytes, 0o644); err != nil {
+			return fmt.Errorf("writing CA: %w", err)
+		}
+		logger.Info("wrote CA certificate", "path", *caOut)
+	}
+	tlsCfg, err := ca.ServerConfig([]string{"localhost"}, []net.IP{net.ParseIP("127.0.0.1"), net.ParseIP("::1")})
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 4)
+
+	if *do53Addr != "" {
+		pc, err := net.ListenPacket("udp", *do53Addr)
+		if err != nil {
+			return fmt.Errorf("do53 udp: %w", err)
+		}
+		ln, err := net.Listen("tcp", *do53Addr)
+		if err != nil {
+			return fmt.Errorf("do53 tcp: %w", err)
+		}
+		go func() { errCh <- inner.ServeUDP(pc) }()
+		go func() { errCh <- inner.ServeTCP(ln) }()
+		logger.Info("do53 listening", "addr", *do53Addr)
+	}
+	if *dotAddr != "" {
+		ln, err := net.Listen("tcp", *dotAddr)
+		if err != nil {
+			return fmt.Errorf("dot: %w", err)
+		}
+		defer ln.Close()
+		srv := &dot.Server{DNS: inner, TLS: tlsCfg}
+		go func() { errCh <- srv.Serve(ln) }()
+		logger.Info("dot listening", "addr", *dotAddr)
+	}
+	var httpSrv *http.Server
+	if *dohAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle(doh.DefaultPath, &doh.Handler{DNS: handler})
+		httpSrv = &http.Server{
+			Addr:      *dohAddr,
+			Handler:   mux,
+			TLSConfig: tlsCfg.Clone(),
+		}
+		go func() { errCh <- httpSrv.ListenAndServeTLS("", "") }()
+		logger.Info("doh listening", "addr", *dohAddr, "path", doh.DefaultPath)
+	}
+
+	select {
+	case <-ctx.Done():
+		logger.Info("shutting down")
+		if httpSrv != nil {
+			_ = httpSrv.Close()
+		}
+		inner.Shutdown()
+		return nil
+	case err := <-errCh:
+		if err != nil {
+			return err
+		}
+		return nil
+	}
+}
+
+// buildHandler assembles the resolver: an authoritative zone when -zone
+// is given, a forwarder when -forward is given, otherwise a recursive
+// resolver over the built-in hierarchy.
+func buildHandler(upstream, zoneFile, zoneOrigin string, cacheN int) (dns53.Handler, error) {
+	if zoneFile != "" {
+		f, err := os.Open(zoneFile)
+		if err != nil {
+			return nil, fmt.Errorf("opening zone: %w", err)
+		}
+		defer f.Close()
+		return authdns.ParseZone(zoneOrigin, f)
+	}
+	cache := resolver.NewCache(cacheN, nil)
+	if upstream != "" {
+		client := &dns53.Client{}
+		return &resolver.Forwarder{
+			Exchange:  exchangeVia(client),
+			Upstreams: []string{upstream},
+			Cache:     cache,
+		}, nil
+	}
+	h := authdns.BuildHierarchy(authdns.MeasurementLeaves())
+	return &resolver.Recursive{
+		Exchange: h.Registry,
+		Roots:    h.RootServers,
+		Cache:    cache,
+	}, nil
+}
+
+// clientExchanger adapts dns53.Client to the resolver.Exchanger interface.
+type clientExchanger struct{ c *dns53.Client }
+
+func exchangeVia(c *dns53.Client) resolver.Exchanger { return clientExchanger{c} }
+
+func (e clientExchanger) Exchange(ctx context.Context, q *dnswire.Message, server string) (*dnswire.Message, error) {
+	return e.c.Exchange(ctx, q, server)
+}

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"encdns/internal/core"
+)
+
+func TestReproAllArtefacts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full artefact regeneration is slow")
+	}
+	dir := t.TempDir()
+	if err := run([]string{"-out", dir, "-rounds", "12", "-seed", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	// Every artefact family must be present.
+	wanted := []string{
+		"table1.txt", "table2.txt", "table3.txt",
+		"availability.txt", "shape-checks.txt", "ablation.txt",
+		"drift.txt", "homevsec2.txt", "results.jsonl",
+		"fig1.txt", "fig1.csv", "fig1.svg",
+		"fig2a.txt", "fig3d.svg", "fig4b.csv",
+	}
+	for _, name := range wanted {
+		info, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Errorf("missing artefact %s: %v", name, err)
+			continue
+		}
+		if info.Size() == 0 {
+			t.Errorf("artefact %s is empty", name)
+		}
+	}
+	// The raw records parse back.
+	rs, err := core.ReadJSONFile(filepath.Join(dir, "results.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() != 7*75*4*12 {
+		t.Errorf("records = %d", rs.Len())
+	}
+}
+
+func TestReproSingleArtefact(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-out", dir, "-rounds", "8", "-only", "table2"}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(dir, "table2.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), "Seoul (ms)") {
+		t.Errorf("table2 content:\n%s", b)
+	}
+	// Nothing else generated.
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 {
+		t.Errorf("extra artefacts: %v", entries)
+	}
+}
+
+func TestReproFigureFamily(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-out", dir, "-rounds", "6", "-only", "fig4"}); err != nil {
+		t.Fatal(err)
+	}
+	entries, _ := os.ReadDir(dir)
+	// 4 panels × 3 formats.
+	if len(entries) != 12 {
+		t.Errorf("fig4 family produced %d files", len(entries))
+	}
+}
+
+func TestReproUnknownArtefact(t *testing.T) {
+	if err := run([]string{"-out", t.TempDir(), "-only", "fig99zz"}); err == nil {
+		t.Error("unknown artefact accepted")
+	}
+}
+
+func TestReproIndex(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-out", dir, "-rounds", "6", "-only", "fig1"}); err != nil {
+		t.Fatal(err)
+	}
+	// Index regenerates on demand over whatever exists.
+	if err := run([]string{"-out", dir, "-rounds", "6", "-only", "index"}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(dir, "index.html"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	html := string(b)
+	for _, want := range []string{"<h1>Reproduction artefacts</h1>", "fig1.svg", "fig1.txt", "fig1.csv"} {
+		if !strings.Contains(html, want) {
+			t.Errorf("index missing %q", want)
+		}
+	}
+}

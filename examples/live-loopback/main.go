@@ -1,0 +1,84 @@
+// Live loopback: the whole stack, no simulation. This example stands up a
+// real encrypted-DNS resolver in-process — authoritative root/TLD/leaf
+// zones, a caching recursive resolver, and a DoH frontend on a loopback
+// TLS listener — then measures it with the live prober over real sockets,
+// exactly as dnsmeasure -mode live would measure a public resolver.
+//
+//	go run ./examples/live-loopback
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"encdns"
+	"encdns/internal/authdns"
+	"encdns/internal/certs"
+	"encdns/internal/doh"
+	"encdns/internal/resolver"
+	"encdns/internal/stats"
+)
+
+func main() {
+	// 1. The authoritative hierarchy for the paper's three domains.
+	hierarchy := authdns.BuildHierarchy(authdns.MeasurementLeaves())
+
+	// 2. A caching recursive resolver walking that hierarchy.
+	rec := &resolver.Recursive{
+		Exchange: hierarchy.Registry,
+		Roots:    hierarchy.RootServers,
+		Cache:    resolver.NewCache(4096, nil),
+	}
+
+	// 3. A DoH frontend on a loopback TLS listener with a throwaway CA.
+	ca, err := certs.NewCA(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tlsCfg, err := ca.ServerConfig(nil, []net.IP{net.ParseIP("127.0.0.1")})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle(doh.DefaultPath, &doh.Handler{DNS: rec})
+	srv := &http.Server{Handler: mux, TLSConfig: tlsCfg}
+	go srv.ServeTLS(ln, "", "")
+	defer srv.Close()
+	endpoint := "https://" + ln.Addr().String() + doh.DefaultPath
+	fmt.Println("serving DoH at", endpoint)
+
+	// 4. Measure it live: fresh connections, wall-clock timing.
+	client := encdns.NewDoHClient(ca.ClientConfig("127.0.0.1"), nil, false)
+	prober := &encdns.LiveProber{DoH: client, FreshConnections: true}
+	cfg := encdns.CampaignConfig{
+		Vantages: []encdns.Vantage{{Name: "loopback"}},
+		Targets:  []encdns.Target{{Host: "loopback-resolver", Endpoint: endpoint}},
+		Domains:  encdns.Domains,
+		Rounds:   10,
+		Interval: time.Millisecond,
+		Clock:    encdns.WallClock{},
+	}
+	campaign, err := encdns.NewCampaign(cfg, prober)
+	if err != nil {
+		log.Fatal(err)
+	}
+	results, err := campaign.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	samples := results.QuerySamples("loopback", "loopback-resolver")
+	av := results.Availability()
+	fmt.Printf("\n%d live queries: %d ok, %d errors\n", av.Successes+av.Errors, av.Successes, av.Errors)
+	fmt.Printf("response time over loopback: median %.2f ms, p95 %.2f ms\n",
+		stats.Median(samples), stats.Quantile(samples, 0.95))
+	fmt.Println("\n(the first round resolves through root → com → leaf; later rounds hit the cache)")
+}

@@ -1,0 +1,92 @@
+// Oblivious DoH: the privacy construction behind the odoh-target-* rows
+// of the paper's appendix. This example stands up a target resolver and a
+// relay in-process and resolves through both, then demonstrates the
+// privacy property: the relay transports the query but never sees the
+// name, and the target answers it without learning which client asked.
+//
+//	go run ./examples/oblivious
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+
+	"encdns/internal/authdns"
+	"encdns/internal/dnswire"
+	"encdns/internal/odoh"
+	"encdns/internal/resolver"
+)
+
+func main() {
+	// Target: a real recursive resolver behind an ODoH decryption layer.
+	hierarchy := authdns.BuildHierarchy(authdns.MeasurementLeaves())
+	rec := &resolver.Recursive{
+		Exchange: hierarchy.Registry,
+		Roots:    hierarchy.RootServers,
+		Cache:    resolver.NewCache(4096, nil),
+	}
+	key, err := odoh.NewTargetKey(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	targetMux := http.NewServeMux()
+	targetMux.Handle(odoh.DefaultPath, &odoh.TargetHandler{Key: key, DNS: rec})
+	target := httptest.NewTLSServer(targetMux)
+	defer target.Close()
+
+	// Relay: forwards opaque blobs; we capture what it can observe.
+	var observed [][]byte
+	relayInner := &odoh.RelayHandler{Client: target.Client()}
+	relayMux := http.NewServeMux()
+	relayMux.Handle(odoh.DefaultPath, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		observed = append(observed, body)
+		r.Body = io.NopCloser(bytes.NewReader(body))
+		relayInner.ServeHTTP(w, r)
+	}))
+	relay := httptest.NewTLSServer(relayMux)
+	defer relay.Close()
+
+	// Client: fetch the target's key config, then query through the relay.
+	ctx := context.Background()
+	cfg, err := odoh.FetchConfig(ctx, target.Client(), target.URL+odoh.DefaultPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	targetURL, _ := url.Parse(target.URL)
+	client := &odoh.Client{
+		HTTP:       relay.Client(),
+		Relay:      relay.URL + odoh.DefaultPath,
+		TargetHost: targetURL.Host,
+		TargetPath: odoh.DefaultPath,
+		Config:     cfg,
+	}
+
+	const domain = "wikipedia.com"
+	resp, err := client.Query(ctx, domain, dnswire.TypeA)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("resolved %s obliviously: %s (rcode %s)\n",
+		domain, resp.Answers[0].Data, resp.Header.RCode)
+
+	// The privacy check: the relay transported the query but the domain
+	// never appeared in anything it saw.
+	leaked := false
+	for _, body := range observed {
+		if bytes.Contains(body, []byte("wikipedia")) {
+			leaked = true
+		}
+	}
+	fmt.Printf("relay observed %d message(s); plaintext domain visible: %v\n",
+		len(observed), leaked)
+	fmt.Println("\nthe relay knows WHO asked (the client connected to it);")
+	fmt.Println("the target knows WHAT was asked (it decrypted the query);")
+	fmt.Println("neither party knows both — that is the ODoH split.")
+}

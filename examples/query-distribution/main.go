@@ -1,0 +1,87 @@
+// Query distribution: the system the paper's measurements are meant to
+// inform (§2.2, §5 — "ensuring that queries are distributed across
+// multiple encrypted resolvers"). This example replays a Zipf browsing
+// workload through five distribution strategies over a pool of measured
+// resolvers and prints the performance/privacy trade-off each one makes.
+//
+//	go run ./examples/query-distribution
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"encdns/internal/core"
+	"encdns/internal/dataset"
+	"encdns/internal/distribute"
+	"encdns/internal/experiment"
+	"encdns/internal/netsim"
+	"encdns/internal/report"
+	"os"
+)
+
+func main() {
+	// A realistic pool from the paper's population: two mainstream
+	// anycast resolvers plus three non-mainstream alternatives.
+	hosts := []string{
+		"dns.google", "dns.quad9.net",
+		"ordns.he.net", "freedns.controld.com", "dns0.eu",
+	}
+	var pool []dataset.Resolver
+	for _, h := range hosts {
+		r, ok := dataset.ResolverByHost(h)
+		if !ok {
+			log.Fatalf("unknown resolver %s", h)
+		}
+		pool = append(pool, r)
+	}
+	vantage, _ := dataset.VantageByName(dataset.VantageOhio)
+	targets := experiment.Targets(pool)
+	prober := &core.SimProber{Net: netsim.New(netsim.Config{Seed: 1})}
+
+	workload := distribute.SyntheticWorkload(150, 1500, 7)
+	fmt.Printf("workload: %d lookups over %d distinct domains (Zipf), from %s\n\n",
+		len(workload.Sequence), len(workload.Domains), vantage.Name)
+
+	n := len(targets)
+	strategies := []distribute.Strategy{
+		distribute.Single{Index: 0},
+		distribute.RoundRobin{N: n},
+		distribute.NewRandom(n, 2),
+		distribute.HashDomain{N: n},
+		distribute.NewRace(n, 2, 3),
+	}
+
+	tbl := &report.Table{
+		Title: "Distribution strategies: performance vs privacy",
+		Headers: []string{"Strategy", "Median (ms)", "P95 (ms)", "Fail %",
+			"Queries", "Max domain share", "Entropy (bits)"},
+	}
+	ctx := context.Background()
+	for _, s := range strategies {
+		d := &distribute.Distributor{
+			Targets: targets, Vantage: vantage, Prober: prober, Strategy: s,
+		}
+		r := distribute.Evaluate(ctx, d, workload)
+		tbl.AddRow(r.Strategy,
+			fmt.Sprintf("%.1f", r.MedianMs),
+			fmt.Sprintf("%.1f", r.P95Ms),
+			fmt.Sprintf("%.2f", 100*r.FailureRate),
+			fmt.Sprintf("%d", r.QueriesSent),
+			fmt.Sprintf("%.2f", r.MaxDomainShare),
+			fmt.Sprintf("%.2f", r.EntropyBits),
+		)
+	}
+	if err := tbl.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(`
+reading the table:
+  max domain share = fraction of your distinct domains the busiest
+                     resolver saw (1.00 = full profile in one place)
+  entropy          = spread of your profile across resolvers (higher =
+                     more fragmented, harder to reassemble)
+hash-domain is the K-resolver construction: each domain pins to one
+resolver, so no single operator sees more than ~1/N of your browsing.`)
+}

@@ -1,0 +1,91 @@
+// Resolver selection: the paper's motivating application (§1). Browsers
+// offer only a few mainstream resolvers; this example measures the whole
+// public population from a chosen vantage point and reports the fastest
+// non-mainstream alternatives that perform within a budget of the best
+// mainstream option — the "viable alternatives" of §6.
+//
+//	go run ./examples/resolver-selection            # from the Chicago homes
+//	go run ./examples/resolver-selection ec2-seoul  # from Seoul
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"sort"
+
+	"encdns"
+	"encdns/internal/stats"
+)
+
+func main() {
+	vantageName := "chicago-home-1"
+	if len(os.Args) > 1 {
+		vantageName = os.Args[1]
+	}
+	var vantage encdns.Vantage
+	found := false
+	for _, v := range encdns.Vantages() {
+		if v.Name == vantageName {
+			vantage, found = v, true
+		}
+	}
+	if !found {
+		log.Fatalf("unknown vantage %q", vantageName)
+	}
+
+	cfg := encdns.CampaignConfig{
+		Vantages: []encdns.Vantage{vantage},
+		Targets:  encdns.Targets(encdns.Resolvers()),
+		Domains:  encdns.Domains,
+		Rounds:   30,
+	}
+	prober := &encdns.SimProber{Net: encdns.NewNet(encdns.NetConfig{Seed: 1})}
+	campaign, err := encdns.NewCampaign(cfg, prober)
+	if err != nil {
+		log.Fatal(err)
+	}
+	results, err := campaign.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type ranked struct {
+		host       string
+		median     float64
+		mainstream bool
+		errors     int
+	}
+	av := results.Availability()
+	var all []ranked
+	bestMainstream := math.Inf(1)
+	for _, r := range encdns.Resolvers() {
+		med := stats.Median(results.QuerySamples(vantage.Name, r.Host))
+		if math.IsNaN(med) {
+			continue
+		}
+		all = append(all, ranked{r.Host, med, r.Mainstream, av.ByResolver[r.Host]})
+		if r.Mainstream && med < bestMainstream {
+			bestMainstream = med
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].median < all[j].median })
+
+	fmt.Printf("From %s, the best mainstream resolver answers in %.1f ms (median).\n",
+		vantage.Name, bestMainstream)
+	fmt.Printf("Non-mainstream resolvers within 1.5x of that budget:\n\n")
+	n := 0
+	for _, r := range all {
+		if r.mainstream || r.median > 1.5*bestMainstream {
+			continue
+		}
+		n++
+		fmt.Printf("  %2d. %-42s %6.1f ms  (%d errors)\n", n, r.host, r.median, r.errors)
+	}
+	if n == 0 {
+		fmt.Println("  (none — the mainstream resolvers are unbeatable from here)")
+	}
+	fmt.Printf("\n%d of %d measured resolvers are viable alternatives from this vantage.\n", n, len(all))
+}

@@ -1,0 +1,3 @@
+module encdns
+
+go 1.24

@@ -1,0 +1,112 @@
+// Package certs generates the self-signed certificate authorities and leaf
+// certificates that back the in-process DoT and DoH servers. Public
+// encrypted-DNS resolvers present WebPKI certificates; the reproduction's
+// servers present leaves signed by a local CA that the clients are
+// configured to trust, preserving full TLS verification on the test paths.
+package certs
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"fmt"
+	"math/big"
+	"net"
+	"time"
+)
+
+// CA is a throwaway certificate authority.
+type CA struct {
+	Cert *x509.Certificate
+	Key  *ecdsa.PrivateKey
+	// Pool contains just this CA, ready for tls.Config.RootCAs.
+	Pool *x509.CertPool
+}
+
+// NewCA creates a CA valid for the given duration (<=0 means 24h).
+func NewCA(validity time.Duration) (*CA, error) {
+	if validity <= 0 {
+		validity = 24 * time.Hour
+	}
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("certs: generating CA key: %w", err)
+	}
+	serial, err := rand.Int(rand.Reader, big.NewInt(1).Lsh(big.NewInt(1), 62))
+	if err != nil {
+		return nil, fmt.Errorf("certs: serial: %w", err)
+	}
+	tmpl := &x509.Certificate{
+		SerialNumber:          serial,
+		Subject:               pkix.Name{CommonName: "encdns test CA", Organization: []string{"encdns"}},
+		NotBefore:             time.Now().Add(-time.Hour),
+		NotAfter:              time.Now().Add(validity),
+		IsCA:                  true,
+		KeyUsage:              x509.KeyUsageCertSign | x509.KeyUsageDigitalSignature,
+		BasicConstraintsValid: true,
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, tmpl, &key.PublicKey, key)
+	if err != nil {
+		return nil, fmt.Errorf("certs: creating CA cert: %w", err)
+	}
+	cert, err := x509.ParseCertificate(der)
+	if err != nil {
+		return nil, fmt.Errorf("certs: parsing CA cert: %w", err)
+	}
+	pool := x509.NewCertPool()
+	pool.AddCert(cert)
+	return &CA{Cert: cert, Key: key, Pool: pool}, nil
+}
+
+// Leaf issues a server certificate for the given DNS names and IPs and
+// returns it as a tls.Certificate ready for a tls.Config.
+func (ca *CA) Leaf(dnsNames []string, ips []net.IP) (tls.Certificate, error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return tls.Certificate{}, fmt.Errorf("certs: generating leaf key: %w", err)
+	}
+	serial, err := rand.Int(rand.Reader, big.NewInt(1).Lsh(big.NewInt(1), 62))
+	if err != nil {
+		return tls.Certificate{}, fmt.Errorf("certs: serial: %w", err)
+	}
+	cn := "encdns server"
+	if len(dnsNames) > 0 {
+		cn = dnsNames[0]
+	}
+	tmpl := &x509.Certificate{
+		SerialNumber: serial,
+		Subject:      pkix.Name{CommonName: cn},
+		NotBefore:    time.Now().Add(-time.Hour),
+		NotAfter:     ca.Cert.NotAfter,
+		KeyUsage:     x509.KeyUsageDigitalSignature,
+		ExtKeyUsage:  []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth},
+		DNSNames:     dnsNames,
+		IPAddresses:  ips,
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, ca.Cert, &key.PublicKey, ca.Key)
+	if err != nil {
+		return tls.Certificate{}, fmt.Errorf("certs: creating leaf: %w", err)
+	}
+	return tls.Certificate{
+		Certificate: [][]byte{der, ca.Cert.Raw},
+		PrivateKey:  key,
+	}, nil
+}
+
+// ServerConfig returns a TLS config presenting a leaf for names/ips.
+func (ca *CA) ServerConfig(dnsNames []string, ips []net.IP) (*tls.Config, error) {
+	leaf, err := ca.Leaf(dnsNames, ips)
+	if err != nil {
+		return nil, err
+	}
+	return &tls.Config{Certificates: []tls.Certificate{leaf}}, nil
+}
+
+// ClientConfig returns a TLS config trusting this CA and verifying
+// serverName.
+func (ca *CA) ClientConfig(serverName string) *tls.Config {
+	return &tls.Config{RootCAs: ca.Pool, ServerName: serverName}
+}

@@ -1,0 +1,105 @@
+package certs
+
+import (
+	"crypto/tls"
+	"crypto/x509"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestNewCA(t *testing.T) {
+	ca, err := NewCA(time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ca.Cert.IsCA {
+		t.Error("certificate is not a CA")
+	}
+	if ca.Pool == nil {
+		t.Error("pool not populated")
+	}
+}
+
+func TestLeafVerifiesAgainstCA(t *testing.T) {
+	ca, err := NewCA(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf, err := ca.Leaf([]string{"dns.example"}, []net.IP{net.ParseIP("127.0.0.1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, err := x509.ParseCertificate(leaf.Certificate[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cert.Verify(x509.VerifyOptions{
+		Roots:   ca.Pool,
+		DNSName: "dns.example",
+	}); err != nil {
+		t.Errorf("leaf does not verify: %v", err)
+	}
+	if err := cert.VerifyHostname("127.0.0.1"); err != nil {
+		t.Errorf("IP SAN missing: %v", err)
+	}
+}
+
+func TestLeafRejectedByForeignCA(t *testing.T) {
+	ca1, _ := NewCA(0)
+	ca2, _ := NewCA(0)
+	leaf, err := ca1.Leaf([]string{"dns.example"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, _ := x509.ParseCertificate(leaf.Certificate[0])
+	if _, err := cert.Verify(x509.VerifyOptions{Roots: ca2.Pool, DNSName: "dns.example"}); err == nil {
+		t.Error("foreign CA accepted the leaf")
+	}
+}
+
+func TestTLSHandshakeOverPipe(t *testing.T) {
+	ca, err := NewCA(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvCfg, err := ca.ServerConfig([]string{"resolver.test"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cliCfg := ca.ClientConfig("resolver.test")
+
+	cliRaw, srvRaw := net.Pipe()
+	done := make(chan error, 1)
+	go func() {
+		srv := tls.Server(srvRaw, srvCfg)
+		done <- srv.Handshake()
+	}()
+	cli := tls.Client(cliRaw, cliCfg)
+	if err := cli.Handshake(); err != nil {
+		t.Fatalf("client handshake: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("server handshake: %v", err)
+	}
+	state := cli.ConnectionState()
+	if state.PeerCertificates[0].Subject.CommonName != "resolver.test" {
+		t.Errorf("CN = %s", state.PeerCertificates[0].Subject.CommonName)
+	}
+}
+
+func TestWrongServerNameFails(t *testing.T) {
+	ca, _ := NewCA(0)
+	srvCfg, _ := ca.ServerConfig([]string{"resolver.test"}, nil)
+	cliCfg := ca.ClientConfig("other.test")
+
+	cliRaw, srvRaw := net.Pipe()
+	go func() {
+		srv := tls.Server(srvRaw, srvCfg)
+		_ = srv.Handshake()
+	}()
+	cli := tls.Client(cliRaw, cliCfg)
+	if err := cli.Handshake(); err == nil {
+		t.Error("handshake with wrong server name succeeded")
+	}
+}

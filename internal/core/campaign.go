@@ -1,0 +1,201 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"encdns/internal/netsim"
+)
+
+// CampaignConfig describes one measurement campaign: which vantage points
+// probe which resolvers for which domains, how many rounds, and how far
+// apart. §3.2: home tests ran "every few hours"; EC2 tests "three times a
+// day".
+type CampaignConfig struct {
+	Vantages []netsim.Vantage
+	Targets  []Target
+	Domains  []string
+	// Rounds is the number of measurement rounds; must be positive.
+	Rounds int
+	// Interval is the virtual (or real) time between rounds.
+	Interval time.Duration
+	// Clock timestamps records and advances between rounds; nil uses a
+	// virtual clock starting at the paper's campaign epoch.
+	Clock netsim.Clock
+	// PingPerRound issues one ICMP probe per (vantage, target) round,
+	// as the paper's procedure step 2 specifies. Default true via Run;
+	// set SkipPing to disable.
+	SkipPing bool
+	// Sink, when non-nil, receives every record as it is produced (in
+	// deterministic order), enabling continuous deployments to stream
+	// results to disk instead of holding months of records in memory —
+	// how the paper's tool ran June–September 2023. Records are still
+	// accumulated in the returned ResultSet unless DiscardResults is set.
+	Sink func(Record) error
+	// DiscardResults stops the campaign from retaining records in memory;
+	// only the Sink sees them. Requires Sink.
+	DiscardResults bool
+	// Parallel probes the vantage points concurrently within each round.
+	// Results are identical to the sequential order (every probe draws
+	// from its own deterministic stream and records are appended in
+	// vantage order), so this is purely a wall-clock optimisation for
+	// large simulated campaigns. Live probers must be safe for concurrent
+	// use to enable it.
+	Parallel bool
+	// Progress, when non-nil, receives a callback after each round.
+	Progress func(round, total int)
+}
+
+// Campaign executes measurement rounds through a Prober.
+type Campaign struct {
+	cfg    CampaignConfig
+	prober Prober
+}
+
+// NewCampaign validates the configuration and builds a campaign.
+func NewCampaign(cfg CampaignConfig, prober Prober) (*Campaign, error) {
+	if prober == nil {
+		return nil, fmt.Errorf("core: campaign needs a prober")
+	}
+	if len(cfg.Vantages) == 0 {
+		return nil, fmt.Errorf("core: campaign needs at least one vantage")
+	}
+	if len(cfg.Targets) == 0 {
+		return nil, fmt.Errorf("core: campaign needs at least one target")
+	}
+	if len(cfg.Domains) == 0 {
+		return nil, fmt.Errorf("core: campaign needs at least one domain")
+	}
+	if cfg.Rounds <= 0 {
+		return nil, fmt.Errorf("core: campaign needs a positive round count")
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = netsim.NewVirtualClock(netsim.CampaignEpoch)
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 8 * time.Hour
+	}
+	if cfg.DiscardResults && cfg.Sink == nil {
+		return nil, fmt.Errorf("core: DiscardResults needs a Sink")
+	}
+	return &Campaign{cfg: cfg, prober: prober}, nil
+}
+
+// Run executes every round, following the paper's §3.2 measurement
+// procedure per (vantage, resolver): a dig-style query per domain, then
+// one ICMP probe. It stops early (returning partial results and the
+// context's error) when ctx is cancelled.
+func (c *Campaign) Run(ctx context.Context) (*ResultSet, error) {
+	rs := NewResultSet()
+	for round := 0; round < c.cfg.Rounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return rs, err
+		}
+		now := c.cfg.Clock.Now()
+		emit := func(rec Record) error {
+			if c.cfg.Sink != nil {
+				if err := c.cfg.Sink(rec); err != nil {
+					return fmt.Errorf("core: sink: %w", err)
+				}
+			}
+			if !c.cfg.DiscardResults {
+				rs.Add(rec)
+			}
+			return nil
+		}
+		if c.cfg.Parallel && len(c.cfg.Vantages) > 1 {
+			perVantage := make([][]Record, len(c.cfg.Vantages))
+			var wg sync.WaitGroup
+			for i, v := range c.cfg.Vantages {
+				wg.Add(1)
+				go func(i int, v netsim.Vantage) {
+					defer wg.Done()
+					perVantage[i] = c.probeVantage(ctx, v, round, now)
+				}(i, v)
+			}
+			wg.Wait()
+			// Emit in vantage order so the record stream is identical to
+			// a sequential run.
+			for _, recs := range perVantage {
+				for _, rec := range recs {
+					if err := emit(rec); err != nil {
+						return rs, err
+					}
+				}
+			}
+		} else {
+			for _, v := range c.cfg.Vantages {
+				for _, rec := range c.probeVantage(ctx, v, round, now) {
+					if err := emit(rec); err != nil {
+						return rs, err
+					}
+				}
+			}
+		}
+		c.cfg.Clock.Advance(c.cfg.Interval)
+		if c.cfg.Progress != nil {
+			c.cfg.Progress(round+1, c.cfg.Rounds)
+		}
+	}
+	return rs, nil
+}
+
+// probeVantage runs one round's probes from one vantage point, following
+// the §3.2 procedure per resolver.
+func (c *Campaign) probeVantage(ctx context.Context, v netsim.Vantage, round int, now time.Time) []Record {
+	out := make([]Record, 0, len(c.cfg.Targets)*(len(c.cfg.Domains)+1))
+	for _, t := range c.cfg.Targets {
+		for _, domain := range c.cfg.Domains {
+			q := c.prober.Query(ctx, v, t, domain, round)
+			rec := Record{
+				Time:         now,
+				Vantage:      v.Name,
+				Resolver:     t.Host,
+				Kind:         KindQuery,
+				Protocol:     protoName(c.prober),
+				Domain:       domain,
+				Round:        round,
+				Milliseconds: float64(q.Duration) / float64(time.Millisecond),
+				OK:           q.Err == netsim.OK,
+			}
+			if q.Err != netsim.OK {
+				rec.Error = q.Err.String()
+			} else {
+				rec.RCode = q.RCode.String()
+			}
+			out = append(out, rec)
+		}
+		if !c.cfg.SkipPing {
+			p := c.prober.Ping(ctx, v, t, round)
+			rec := Record{
+				Time:     now,
+				Vantage:  v.Name,
+				Resolver: t.Host,
+				Kind:     KindPing,
+				Round:    round,
+				OK:       p.OK,
+			}
+			if p.OK {
+				rec.Milliseconds = float64(p.RTT) / float64(time.Millisecond)
+			} else {
+				rec.Error = "no-reply"
+			}
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// protoName extracts a protocol label from the prober for the records.
+func protoName(p Prober) string {
+	switch sp := p.(type) {
+	case *SimProber:
+		return sp.Protocol.String()
+	case *LiveProber:
+		return sp.Protocol.String()
+	default:
+		return "doh"
+	}
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"net"
+	"os"
+	"strings"
+	"time"
+
+	"encdns/internal/dnswire"
+	"encdns/internal/doh"
+	"encdns/internal/dot"
+	"encdns/internal/icmp"
+	"encdns/internal/netsim"
+)
+
+// LiveProber measures real resolvers with the real protocol clients,
+// timing each exchange end to end — the §3.1 definition of DNS query
+// response time ("the end-to-end time it takes for a client to initiate a
+// query and receive a response").
+type LiveProber struct {
+	// Protocol selects which client is used; default DoH.
+	Protocol netsim.Protocol
+	// DoH issues RFC 8484 queries; required for ProtoDoH.
+	DoH *doh.Client
+	// DoT issues RFC 7858 queries; required for ProtoDoT.
+	DoT *dot.Client
+	// Do53 issues conventional queries; required for ProtoDo53.
+	Do53 Exchanger53
+	// Pinger measures ICMP RTT; nil makes every ping fail (no raw-socket
+	// privileges), matching resolvers "that did not respond to our ICMP
+	// ping probes".
+	Pinger icmp.Pinger
+	// FreshConnections closes idle connections before each DoH query so
+	// every measurement pays the full TCP+TLS establishment cost, like
+	// the paper's dig runs.
+	FreshConnections bool
+	// QueryType is the record type queried; default A.
+	QueryType dnswire.Type
+}
+
+// Exchanger53 is the Do53 client surface LiveProber needs.
+type Exchanger53 interface {
+	Query(ctx context.Context, server, name string, t dnswire.Type) (*dnswire.Message, error)
+}
+
+func (p *LiveProber) qtype() dnswire.Type {
+	if p.QueryType != dnswire.TypeNone {
+		return p.QueryType
+	}
+	return dnswire.TypeA
+}
+
+// Query implements Prober with a wall-clock-timed live exchange.
+func (p *LiveProber) Query(ctx context.Context, _ netsim.Vantage, t Target, domain string, _ int) QueryOutcome {
+	start := time.Now()
+	var resp *dnswire.Message
+	var err error
+	switch p.Protocol {
+	case netsim.ProtoDoT:
+		if p.DoT == nil {
+			return QueryOutcome{Err: netsim.ErrConnect}
+		}
+		resp, err = p.DoT.Query(ctx, t.Endpoint, domain, p.qtype())
+	case netsim.ProtoDo53:
+		if p.Do53 == nil {
+			return QueryOutcome{Err: netsim.ErrConnect}
+		}
+		resp, err = p.Do53.Query(ctx, t.Endpoint, domain, p.qtype())
+	default:
+		if p.DoH == nil {
+			return QueryOutcome{Err: netsim.ErrConnect}
+		}
+		if p.FreshConnections {
+			p.DoH.CloseIdle()
+		}
+		resp, err = p.DoH.Query(ctx, t.Endpoint, domain, p.qtype())
+	}
+	elapsed := time.Since(start)
+	if err != nil {
+		return QueryOutcome{Duration: elapsed, Err: ClassifyError(err)}
+	}
+	out := QueryOutcome{Duration: elapsed, RCode: resp.Header.RCode}
+	if resp.Header.RCode != dnswire.RCodeSuccess && resp.Header.RCode != dnswire.RCodeNXDomain {
+		out.Err = netsim.ErrDNS
+	}
+	return out
+}
+
+// Ping implements Prober via the configured Pinger.
+func (p *LiveProber) Ping(ctx context.Context, _ netsim.Vantage, t Target, _ int) PingOutcome {
+	if p.Pinger == nil {
+		return PingOutcome{}
+	}
+	host := t.Host
+	rtt, err := p.Pinger.Ping(ctx, host)
+	if err != nil {
+		return PingOutcome{}
+	}
+	return PingOutcome{RTT: rtt, OK: true}
+}
+
+// ClassifyError maps live transport errors onto the model's error
+// taxonomy, mirroring the availability analysis categories ("The most
+// common errors ... were related to a failure to establish a connection").
+func ClassifyError(err error) netsim.ErrClass {
+	if err == nil {
+		return netsim.OK
+	}
+	var httpErr *doh.HTTPError
+	if errors.As(err, &httpErr) {
+		return netsim.ErrHTTP
+	}
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, os.ErrDeadlineExceeded) {
+		return netsim.ErrTimeout
+	}
+	var netErr net.Error
+	if errors.As(err, &netErr) && netErr.Timeout() {
+		return netsim.ErrTimeout
+	}
+	msg := err.Error()
+	switch {
+	case strings.Contains(msg, "tls:") || strings.Contains(msg, "x509:") ||
+		strings.Contains(msg, "certificate"):
+		return netsim.ErrTLS
+	case strings.Contains(msg, "connection refused") ||
+		strings.Contains(msg, "no such host") ||
+		strings.Contains(msg, "network is unreachable") ||
+		strings.Contains(msg, "connection reset"):
+		return netsim.ErrConnect
+	case strings.Contains(msg, "timeout") || strings.Contains(msg, "deadline"):
+		return netsim.ErrTimeout
+	default:
+		return netsim.ErrConnect
+	}
+}

@@ -1,0 +1,323 @@
+package core
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"encdns/internal/authdns"
+	"encdns/internal/certs"
+	"encdns/internal/dataset"
+	"encdns/internal/dns53"
+	"encdns/internal/dnswire"
+	"encdns/internal/doh"
+	"encdns/internal/dot"
+	"encdns/internal/icmp"
+	"encdns/internal/netsim"
+	"encdns/internal/resolver"
+)
+
+// delayDialer injects a fixed latency before each connection establishes,
+// modelling a slow path for the live prober to measure.
+type delayDialer struct {
+	delay time.Duration
+	inner net.Dialer
+	dials atomic.Int64
+}
+
+func (d *delayDialer) DialContext(ctx context.Context, network, address string) (net.Conn, error) {
+	d.dials.Add(1)
+	select {
+	case <-time.After(d.delay):
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return d.inner.DialContext(ctx, network, address)
+}
+
+// startLiveStack stands up the full substrate: authoritative hierarchy →
+// recursive resolver → DoH server on a loopback TLS listener. It returns
+// the endpoint URL and the test server (whose client trusts the cert).
+func startLiveStack(t *testing.T) (string, *httptest.Server) {
+	t.Helper()
+	h := authdns.BuildHierarchy(authdns.MeasurementLeaves())
+	rec := &resolver.Recursive{
+		Exchange: h.Registry,
+		Roots:    h.RootServers,
+		Cache:    resolver.NewCache(4096, nil),
+		RNGSeed:  1,
+	}
+	mux := http.NewServeMux()
+	mux.Handle(doh.DefaultPath, &doh.Handler{DNS: rec})
+	ts := httptest.NewTLSServer(mux)
+	t.Cleanup(ts.Close)
+	return ts.URL + doh.DefaultPath, ts
+}
+
+func TestLiveProberEndToEnd(t *testing.T) {
+	endpoint, ts := startLiveStack(t)
+	prober := &LiveProber{
+		DoH: &doh.Client{HTTP: ts.Client()},
+		Pinger: icmp.PingerFunc(func(ctx context.Context, host string) (time.Duration, error) {
+			return 12 * time.Millisecond, nil
+		}),
+	}
+	target := Target{Host: "live.test", Endpoint: endpoint}
+	v := netsim.Vantage{Name: "loopback"}
+
+	for _, domain := range dataset.Domains {
+		out := prober.Query(context.Background(), v, target, domain, 0)
+		if out.Err != netsim.OK {
+			t.Fatalf("query %s failed: %v", domain, out.Err)
+		}
+		if out.RCode != dnswire.RCodeSuccess {
+			t.Fatalf("query %s rcode = %v", domain, out.RCode)
+		}
+		if out.Duration <= 0 {
+			t.Fatalf("query %s measured no time", domain)
+		}
+	}
+	ping := prober.Ping(context.Background(), v, target, 0)
+	if !ping.OK || ping.RTT != 12*time.Millisecond {
+		t.Errorf("ping = %+v", ping)
+	}
+}
+
+func TestLiveProberMeasuresInjectedLatency(t *testing.T) {
+	endpoint, ts := startLiveStack(t)
+	const injected = 60 * time.Millisecond
+
+	// Rebuild the test client's transport with the delaying dialer while
+	// keeping its TLS trust.
+	baseTr := ts.Client().Transport.(*http.Transport)
+	dd := &delayDialer{delay: injected}
+	tr := baseTr.Clone()
+	tr.DialContext = dd.DialContext
+	tr.DisableKeepAlives = true
+
+	prober := &LiveProber{
+		DoH:              &doh.Client{HTTP: &http.Client{Transport: tr}},
+		FreshConnections: true,
+	}
+	target := Target{Host: "live.test", Endpoint: endpoint}
+	v := netsim.Vantage{Name: "loopback"}
+
+	out := prober.Query(context.Background(), v, target, "google.com", 0)
+	if out.Err != netsim.OK {
+		t.Fatalf("query failed: %v", out.Err)
+	}
+	if out.Duration < injected {
+		t.Errorf("measured %v < injected %v", out.Duration, injected)
+	}
+	if out.Duration > injected*4 {
+		t.Errorf("measured %v ≫ injected %v; overhead unexpectedly large", out.Duration, injected)
+	}
+	if dd.dials.Load() == 0 {
+		t.Error("delaying dialer never used")
+	}
+}
+
+func TestLiveProberFreshVsReusedConnections(t *testing.T) {
+	endpoint, ts := startLiveStack(t)
+	const injected = 30 * time.Millisecond
+	baseTr := ts.Client().Transport.(*http.Transport)
+	dd := &delayDialer{delay: injected}
+	tr := baseTr.Clone()
+	tr.DialContext = dd.DialContext
+
+	client := &doh.Client{HTTP: &http.Client{Transport: tr}}
+	v := netsim.Vantage{Name: "loopback"}
+	target := Target{Host: "live.test", Endpoint: endpoint}
+
+	// Reused connections: only the first query pays the dial delay.
+	reused := &LiveProber{DoH: client}
+	_ = reused.Query(context.Background(), v, target, "google.com", 0) // warm up
+	warm := reused.Query(context.Background(), v, target, "google.com", 1)
+	if warm.Err != netsim.OK {
+		t.Fatalf("warm query failed: %v", warm.Err)
+	}
+	if warm.Duration >= injected {
+		t.Errorf("reused-connection query took %v, should avoid the %v dial", warm.Duration, injected)
+	}
+
+	// Fresh connections pay it every time.
+	fresh := &LiveProber{DoH: client, FreshConnections: true}
+	cold := fresh.Query(context.Background(), v, target, "google.com", 2)
+	if cold.Err != netsim.OK {
+		t.Fatalf("cold query failed: %v", cold.Err)
+	}
+	if cold.Duration < injected {
+		t.Errorf("fresh-connection query took %v, should include the %v dial", cold.Duration, injected)
+	}
+}
+
+func TestLiveProberClassifiesDeadEndpoint(t *testing.T) {
+	// Nothing listens on this port (bound then closed).
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadURL := "https://" + ln.Addr().String() + "/dns-query"
+	ln.Close()
+
+	prober := &LiveProber{DoH: &doh.Client{Timeout: 500 * time.Millisecond}}
+	out := prober.Query(context.Background(), netsim.Vantage{}, Target{Host: "dead", Endpoint: deadURL}, "google.com", 0)
+	if out.Err != netsim.ErrConnect && out.Err != netsim.ErrTimeout {
+		t.Errorf("err = %v, want connect-failure or timeout", out.Err)
+	}
+}
+
+func TestLiveProberHTTPErrorClass(t *testing.T) {
+	ts := httptest.NewTLSServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "no", http.StatusBadGateway)
+	}))
+	defer ts.Close()
+	prober := &LiveProber{DoH: &doh.Client{HTTP: ts.Client()}}
+	out := prober.Query(context.Background(), netsim.Vantage{}, Target{Host: "x", Endpoint: ts.URL}, "google.com", 0)
+	if out.Err != netsim.ErrHTTP {
+		t.Errorf("err = %v, want http-error", out.Err)
+	}
+}
+
+func TestLiveProberNilClients(t *testing.T) {
+	v := netsim.Vantage{}
+	target := Target{Host: "x", Endpoint: "https://x/dns-query"}
+	for _, p := range []*LiveProber{
+		{Protocol: netsim.ProtoDoH},
+		{Protocol: netsim.ProtoDoT},
+		{Protocol: netsim.ProtoDo53},
+	} {
+		out := p.Query(context.Background(), v, target, "google.com", 0)
+		if out.Err != netsim.ErrConnect {
+			t.Errorf("proto %v: err = %v", p.Protocol, out.Err)
+		}
+	}
+	// Nil pinger: ping fails cleanly.
+	p := &LiveProber{}
+	if out := p.Ping(context.Background(), v, target, 0); out.OK {
+		t.Error("nil pinger reported success")
+	}
+}
+
+func TestLiveCampaign(t *testing.T) {
+	// A small but fully live campaign: the campaign scheduler drives the
+	// LiveProber against the real DoH stack; the analysis pipeline then
+	// consumes the records exactly as it does simulated ones.
+	endpoint, ts := startLiveStack(t)
+	prober := &LiveProber{
+		DoH: &doh.Client{HTTP: ts.Client()},
+		Pinger: icmp.PingerFunc(func(ctx context.Context, host string) (time.Duration, error) {
+			return 3 * time.Millisecond, nil
+		}),
+	}
+	cfg := CampaignConfig{
+		Vantages: []netsim.Vantage{{Name: "loopback"}},
+		Targets:  []Target{{Host: "live.test", Endpoint: endpoint}},
+		Domains:  dataset.Domains,
+		Rounds:   3,
+		Interval: time.Nanosecond,
+		Clock:    netsim.NewVirtualClock(netsim.CampaignEpoch),
+	}
+	c, err := NewCampaign(cfg, prober)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := rs.Availability()
+	if a.Errors != 0 {
+		t.Fatalf("live campaign errors: %+v", a)
+	}
+	if a.Successes != 3*3 {
+		t.Errorf("successes = %d", a.Successes)
+	}
+	med := rs.MedianResponse("loopback", "live.test")
+	if med <= 0 {
+		t.Errorf("median = %v", med)
+	}
+}
+
+func TestLiveProberDoT(t *testing.T) {
+	ca, err := certs.NewCA(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvTLS, err := ca.ServerConfig(nil, []net.IP{net.ParseIP("127.0.0.1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := &dns53.Server{Handler: dns53.Static(map[string][]net.IP{
+		"google.com.": {net.ParseIP("142.250.64.78")},
+	})}
+	srv := &dot.Server{DNS: inner, TLS: srvTLS}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { ln.Close(); inner.Shutdown() })
+
+	prober := &LiveProber{
+		Protocol: netsim.ProtoDoT,
+		DoT:      &dot.Client{TLS: ca.ClientConfig("127.0.0.1")},
+	}
+	out := prober.Query(context.Background(), netsim.Vantage{},
+		Target{Host: "dot.test", Endpoint: ln.Addr().String()}, "google.com", 0)
+	if out.Err != netsim.OK || out.RCode != dnswire.RCodeSuccess {
+		t.Fatalf("outcome = %+v", out)
+	}
+	if out.Duration <= 0 {
+		t.Error("no duration measured")
+	}
+}
+
+func TestLiveProberDo53(t *testing.T) {
+	inner := &dns53.Server{Handler: dns53.Static(map[string][]net.IP{
+		"google.com.": {net.ParseIP("142.250.64.78")},
+	})}
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go inner.ServeUDP(pc)
+	t.Cleanup(inner.Shutdown)
+
+	prober := &LiveProber{
+		Protocol: netsim.ProtoDo53,
+		Do53:     &dns53.Client{},
+	}
+	out := prober.Query(context.Background(), netsim.Vantage{},
+		Target{Host: "udp.test", Endpoint: pc.LocalAddr().String()}, "google.com", 0)
+	if out.Err != netsim.OK || out.RCode != dnswire.RCodeSuccess {
+		t.Fatalf("outcome = %+v", out)
+	}
+}
+
+func TestLiveProberUDPPinger(t *testing.T) {
+	// Wire the real UDP echo pinger through the prober.
+	echoSrv := &icmp.EchoServer{Delay: 5 * time.Millisecond}
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go echoSrv.Serve(pc)
+	t.Cleanup(func() { pc.Close() })
+
+	pinger := icmp.NewUDPPinger()
+	addr := pc.LocalAddr().String()
+	pinger.Resolve = func(host string) (string, error) { return addr, nil }
+	prober := &LiveProber{Pinger: pinger}
+	out := prober.Ping(context.Background(), netsim.Vantage{}, Target{Host: "x"}, 0)
+	if !out.OK {
+		t.Fatal("ping failed")
+	}
+	if out.RTT < 5*time.Millisecond {
+		t.Errorf("rtt = %v, below injected delay", out.RTT)
+	}
+}

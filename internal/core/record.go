@@ -1,0 +1,81 @@
+// Package core is the measurement engine — the paper's primary
+// contribution (§3: "we developed and released an open-source tool for
+// measuring encrypted DNS performance"). It schedules continuous
+// measurement rounds across vantage points and resolvers, issues DoH/DoT/
+// Do53 queries and ICMP pings through an interchangeable Prober, records
+// per-query outcomes, tracks availability, and writes results to JSON
+// files exactly as §3.1 describes.
+//
+// Two probers are provided: SimProber drives the internal/netsim model
+// (deterministic, virtual-time — used to regenerate the paper's figures)
+// and LiveProber drives the real protocol clients over real connections
+// (used by the CLI against real servers and by the integration tests).
+// Both produce identical Record values, so the analysis pipeline cannot
+// tell them apart.
+package core
+
+import (
+	"time"
+
+	"encdns/internal/dnswire"
+	"encdns/internal/netsim"
+)
+
+// Kind distinguishes record types in the result stream.
+type Kind string
+
+// Record kinds.
+const (
+	KindQuery Kind = "query"
+	KindPing  Kind = "ping"
+)
+
+// Record is one measurement outcome, the unit the tool writes to its JSON
+// result files.
+type Record struct {
+	// Time is when the measurement started (virtual or wall clock).
+	Time time.Time `json:"ts"`
+	// Vantage is the measuring client's name.
+	Vantage string `json:"vantage"`
+	// Resolver is the probed resolver's hostname.
+	Resolver string `json:"resolver"`
+	// Kind is "query" or "ping".
+	Kind Kind `json:"kind"`
+	// Protocol is "doh", "dot", or "do53" for queries.
+	Protocol string `json:"protocol,omitempty"`
+	// Domain is the queried name for query records.
+	Domain string `json:"domain,omitempty"`
+	// Round is the measurement round index.
+	Round int `json:"round"`
+	// Milliseconds is the measured duration. For failed queries it is the
+	// time until failure; for failed pings it is zero.
+	Milliseconds float64 `json:"ms"`
+	// OK reports success.
+	OK bool `json:"ok"`
+	// Error classifies failures ("connect-failure", "timeout", ...).
+	Error string `json:"error,omitempty"`
+	// RCode is the DNS response code name for answered queries.
+	RCode string `json:"rcode,omitempty"`
+}
+
+// QueryOutcome is a prober's result for one DNS query.
+type QueryOutcome struct {
+	Duration time.Duration
+	Err      netsim.ErrClass
+	RCode    dnswire.RCode
+}
+
+// PingOutcome is a prober's result for one ICMP exchange.
+type PingOutcome struct {
+	RTT time.Duration
+	OK  bool
+}
+
+// Target identifies one resolver to a prober. Host names the resolver;
+// Endpoint is the live DoH URL (or host:port for DoT/Do53); Net carries
+// the simulation parameters.
+type Target struct {
+	Host     string
+	Endpoint string
+	Net      netsim.Endpoint
+}

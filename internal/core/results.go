@@ -1,0 +1,239 @@
+package core
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+
+	"encdns/internal/stats"
+)
+
+// ResultSet accumulates measurement records and answers the analysis
+// queries the paper's results section needs. Safe for concurrent Add.
+type ResultSet struct {
+	mu      sync.Mutex
+	records []Record
+}
+
+// NewResultSet returns an empty result set.
+func NewResultSet() *ResultSet { return &ResultSet{} }
+
+// Add appends one record.
+func (rs *ResultSet) Add(r Record) {
+	rs.mu.Lock()
+	rs.records = append(rs.records, r)
+	rs.mu.Unlock()
+}
+
+// Len reports the number of records.
+func (rs *ResultSet) Len() int {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return len(rs.records)
+}
+
+// Records returns a copy of all records.
+func (rs *ResultSet) Records() []Record {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	out := make([]Record, len(rs.records))
+	copy(out, rs.records)
+	return out
+}
+
+// Merge appends all records from other.
+func (rs *ResultSet) Merge(other *ResultSet) {
+	for _, r := range other.Records() {
+		rs.Add(r)
+	}
+}
+
+// Filter returns the records matching pred.
+func (rs *ResultSet) Filter(pred func(Record) bool) []Record {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	var out []Record
+	for _, r := range rs.records {
+		if pred(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// QuerySamples returns successful query response times in ms for one
+// (vantage, resolver) pair.
+func (rs *ResultSet) QuerySamples(vantage, resolver string) []float64 {
+	return rs.samples(KindQuery, vantage, resolver)
+}
+
+// PingSamples returns successful ping RTTs in ms for one (vantage,
+// resolver) pair.
+func (rs *ResultSet) PingSamples(vantage, resolver string) []float64 {
+	return rs.samples(KindPing, vantage, resolver)
+}
+
+func (rs *ResultSet) samples(kind Kind, vantage, resolver string) []float64 {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	var out []float64
+	for _, r := range rs.records {
+		if r.Kind == kind && r.OK &&
+			(vantage == "" || r.Vantage == vantage) &&
+			(resolver == "" || r.Resolver == resolver) {
+			out = append(out, r.Milliseconds)
+		}
+	}
+	return out
+}
+
+// MedianResponse returns the median successful query response time for
+// the pair, NaN when no samples exist.
+func (rs *ResultSet) MedianResponse(vantage, resolver string) float64 {
+	return stats.Median(rs.QuerySamples(vantage, resolver))
+}
+
+// Availability summarises the campaign's success/error tally — the
+// paper's §4 "Are Non-Mainstream Resolvers Available?" numbers.
+type Availability struct {
+	// Successes and Errors count query records (pings excluded).
+	Successes int `json:"successes"`
+	Errors    int `json:"errors"`
+	// ByClass tallies errors per class name.
+	ByClass map[string]int `json:"by_class"`
+	// ByResolver tallies error counts per resolver.
+	ByResolver map[string]int `json:"by_resolver"`
+	// QueriesByResolver tallies total queries per resolver.
+	QueriesByResolver map[string]int `json:"queries_by_resolver"`
+}
+
+// ErrorRate returns errors / (successes + errors), zero when empty.
+func (a Availability) ErrorRate() float64 {
+	total := a.Successes + a.Errors
+	if total == 0 {
+		return 0
+	}
+	return float64(a.Errors) / float64(total)
+}
+
+// Unresponsive lists resolvers whose queries from the given tally all
+// failed — the paper's §3.1 availability definition ("unresponsive from a
+// given vantage point if we fail to receive any response").
+func (rs *ResultSet) Unresponsive(vantage string) []string {
+	type tally struct{ ok, total int }
+	m := make(map[string]*tally)
+	for _, r := range rs.Records() {
+		if r.Kind != KindQuery || (vantage != "" && r.Vantage != vantage) {
+			continue
+		}
+		t := m[r.Resolver]
+		if t == nil {
+			t = &tally{}
+			m[r.Resolver] = t
+		}
+		t.total++
+		if r.OK {
+			t.ok++
+		}
+	}
+	var out []string
+	for res, t := range m {
+		if t.total > 0 && t.ok == 0 {
+			out = append(out, res)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Availability tallies the query success/error counts.
+func (rs *ResultSet) Availability() Availability {
+	a := Availability{
+		ByClass:           make(map[string]int),
+		ByResolver:        make(map[string]int),
+		QueriesByResolver: make(map[string]int),
+	}
+	for _, r := range rs.Records() {
+		if r.Kind != KindQuery {
+			continue
+		}
+		a.QueriesByResolver[r.Resolver]++
+		if r.OK {
+			a.Successes++
+		} else {
+			a.Errors++
+			a.ByClass[r.Error]++
+			a.ByResolver[r.Resolver]++
+		}
+	}
+	return a
+}
+
+// WriteJSON streams the records as JSON Lines (one record per line), the
+// tool's result-file format ("the tool writes the results to a JSON
+// file", §3.1). JSON Lines keeps multi-gigabyte campaigns streamable.
+func (rs *ResultSet) WriteJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, r := range rs.Records() {
+		if err := enc.Encode(r); err != nil {
+			return fmt.Errorf("core: encoding record: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteJSONFile writes the records to path.
+func (rs *ResultSet) WriteJSONFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("core: creating %s: %w", path, err)
+	}
+	defer f.Close()
+	if err := rs.WriteJSON(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// ReadJSON loads a result stream written by WriteJSON.
+func ReadJSON(r io.Reader) (*ResultSet, error) {
+	rs := NewResultSet()
+	dec := json.NewDecoder(r)
+	for {
+		var rec Record
+		if err := dec.Decode(&rec); err == io.EOF {
+			return rs, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("core: decoding record: %w", err)
+		}
+		rs.Add(rec)
+	}
+}
+
+// ReadJSONFile loads a result file.
+func ReadJSONFile(path string) (*ResultSet, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	return ReadJSON(f)
+}
+
+// JSONLSink returns a campaign Sink that appends each record to w as JSON
+// Lines, flushing per record — the continuous-deployment path where months
+// of results stream to disk as they happen.
+func JSONLSink(w io.Writer) func(Record) error {
+	enc := json.NewEncoder(w)
+	var mu sync.Mutex
+	return func(r Record) error {
+		mu.Lock()
+		defer mu.Unlock()
+		return enc.Encode(r)
+	}
+}

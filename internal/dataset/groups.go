@@ -1,0 +1,134 @@
+package dataset
+
+// Figure groups: the exact resolver rows of the paper's Figures 1–4. Each
+// regional figure shows the resolvers GeoLite2 located in that region plus
+// the boldface mainstream overlay (and ordns.he.net, which the paper's
+// figures carry in every region because its anycast geolocates locally).
+
+// NAGroup reproduces the rows of Figure 1 / Figure 2 (resolvers located in
+// North America).
+func NAGroup() []Resolver {
+	return byHosts(
+		"dns9.quad9.net",
+		"ordns.he.net",
+		"freedns.controld.com",
+		"dns.quad9.net",
+		"dns.google",
+		"security.cloudflare-dns.com",
+		"family.cloudflare-dns.com",
+		"adblock.doh.mullvad.net",
+		"doh.mullvad.net",
+		"kronos.plan9-dns.com",
+		"anycast.dns.nextdns.io",
+		"dns.nextdns.io",
+		"doh.safesurfer.io",
+		"dohtrial.att.net",
+		"pluton.plan9-dns.com",
+		"helios.plan9-dns.com",
+		"doh.la.ahadns.net",
+		"odoh-target-noads.alekberg.net",
+		"odoh-target.alekberg.net",
+		"odoh-target-se.alekberg.net",
+		"odoh-target-noads-se.alekberg.net",
+	)
+}
+
+// EUGroup reproduces the rows of Figure 3 (resolvers located in Europe,
+// with the mainstream overlay).
+func EUGroup() []Resolver {
+	return byHosts(
+		"ordns.he.net",
+		"dns9.quad9.net",
+		"dns-family.adguard.com",
+		"dns10.quad9.net",
+		"dns-unfiltered.adguard.com",
+		"dns.adguard.com",
+		"dns12.quad9.net",
+		"family.cloudflare-dns.com",
+		"security.cloudflare-dns.com",
+		"dns11.quad9.net",
+		"dns.google",
+		"doh.dnscrypt.uk",
+		"v.dnscrypt.uk",
+		"dns1.ryan-palmer.com",
+		"doh.sb",
+		"doh.libredns.gr",
+		"kids.dns0.eu",
+		"dns.brahma.world",
+		"dnsforge.de",
+		"dns.digitalsize.net",
+		"dns-doh.dnsforfamily.com",
+		"dnsnl.alekberg.net",
+		"dnsnl-noads.alekberg.net",
+		"dns-doh-no-safe-search.dnsforfamily.com",
+		"open.dns0.eu",
+		"dns.njal.la",
+		"unicast.uncensoreddns.org",
+		"dns.switch.ch",
+		"dns.digitale-gesellschaft.ch",
+		"dns.circl.lu",
+		"anycast.uncensoreddns.org",
+		"dns0.eu",
+		"ibksturm.synology.me",
+		"dnsse.alekberg.net",
+		"dnsse-noads.alekberg.net",
+		"doh.ffmuc.net",
+		"doh.nl.ahadns.net",
+	)
+}
+
+// AsiaGroup reproduces the rows of Figure 4 (resolvers located in Asia,
+// with the mainstream overlay).
+func AsiaGroup() []Resolver {
+	return byHosts(
+		"ordns.he.net",
+		"dns9.quad9.net",
+		"family.cloudflare-dns.com",
+		"security.cloudflare-dns.com",
+		"dns.google",
+		"public.dns.iij.jp",
+		"doh.360.cn",
+		"dnslow.me",
+		"jp.tiar.app",
+		"doh.pub",
+		"dns.therifleman.name",
+		"dns.alidns.com",
+		"dns.bebasid.com",
+		"antivirus.bebasid.com",
+		"doh.tiar.app",
+		"sby-doh.limotelu.org",
+		"pdns.itxe.net",
+		"dns.twnic.tw",
+	)
+}
+
+func byHosts(hosts ...string) []Resolver {
+	out := make([]Resolver, 0, len(hosts))
+	for _, h := range hosts {
+		r, ok := ResolverByHost(h)
+		if !ok {
+			panic("dataset: unknown resolver " + h)
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// Table 1: the browser → mainstream-resolver matrix, as of May 9, 2024.
+// The providers are resolver families, not individual endpoints.
+
+// Browsers in the order the paper's Table 1 lists them.
+var Browsers = []string{"Chrome", "Firefox", "Edge", "Opera", "Brave"}
+
+// Providers in the order the paper's Table 1 lists them.
+var Providers = []string{"Cloudflare", "Google", "Quad9", "NextDNS", "CleanBrowsing", "OpenDNS"}
+
+// BrowserMatrix reports which providers each browser offers as built-in
+// encrypted DNS choices (Table 1).
+var BrowserMatrix = map[string]map[string]bool{
+	"Chrome":  {"Cloudflare": true, "Google": true, "Quad9": false, "NextDNS": true, "CleanBrowsing": true, "OpenDNS": true},
+	"Firefox": {"Cloudflare": true, "Google": false, "Quad9": false, "NextDNS": true, "CleanBrowsing": false, "OpenDNS": false},
+	"Edge":    {"Cloudflare": true, "Google": true, "Quad9": true, "NextDNS": true, "CleanBrowsing": true, "OpenDNS": true},
+	"Opera":   {"Cloudflare": true, "Google": true, "Quad9": false, "NextDNS": false, "CleanBrowsing": false, "OpenDNS": false},
+	"Brave":   {"Cloudflare": true, "Google": true, "Quad9": true, "NextDNS": true, "CleanBrowsing": true, "OpenDNS": true},
+}

@@ -1,0 +1,179 @@
+// Package distribute implements query-distribution strategies over
+// multiple encrypted DNS resolvers — the line of work (K-resolver, Hoang
+// et al.; Hounsel et al., §2.2) that the paper's measurements are meant
+// to inform: "designing a system to take advantage of multiple recursive
+// resolvers must be informed about how the choice of resolver affects
+// performance."
+//
+// A Distributor sends each query to resolver(s) chosen by a Strategy and
+// an Evaluator scores strategies on the two axes that trade off against
+// each other:
+//
+//   - performance: response-time distribution and failure rate;
+//   - privacy: how much of the client's domain profile any single
+//     resolver gets to see (maximum share, and the entropy of the
+//     per-resolver domain distribution).
+package distribute
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"math/rand/v2"
+	"sort"
+	"time"
+
+	"encdns/internal/core"
+	"encdns/internal/netsim"
+)
+
+// Strategy selects which resolver(s) answer a query.
+type Strategy interface {
+	// Select returns indices into the distributor's target list for the
+	// seq-th query for domain. More than one index means the query races:
+	// all are asked, the fastest success wins.
+	Select(domain string, seq int) []int
+	// Name labels the strategy in reports.
+	Name() string
+}
+
+// Single always uses one resolver — the browser default the paper
+// critiques (all trust concentrates in one party).
+type Single struct{ Index int }
+
+// Select implements Strategy.
+func (s Single) Select(string, int) []int { return []int{s.Index} }
+
+// Name implements Strategy.
+func (s Single) Name() string { return "single" }
+
+// RoundRobin cycles through all resolvers query by query: perfect load
+// spread, but every resolver eventually sees every domain.
+type RoundRobin struct{ N int }
+
+// Select implements Strategy.
+func (r RoundRobin) Select(_ string, seq int) []int {
+	if r.N <= 0 {
+		return nil
+	}
+	return []int{seq % r.N}
+}
+
+// Name implements Strategy.
+func (r RoundRobin) Name() string { return "round-robin" }
+
+// Random picks a uniformly random resolver per query from a seeded
+// stream: same long-run exposure as round-robin, no synchronisation.
+type Random struct {
+	N   int
+	rng *rand.Rand
+}
+
+// NewRandom builds a Random strategy over n resolvers.
+func NewRandom(n int, seed uint64) *Random {
+	return &Random{N: n, rng: rand.New(rand.NewPCG(seed, 0x9E3779B97F4A7C15))}
+}
+
+// Select implements Strategy.
+func (r *Random) Select(string, int) []int {
+	if r.N <= 0 {
+		return nil
+	}
+	return []int{r.rng.IntN(r.N)}
+}
+
+// Name implements Strategy.
+func (r *Random) Name() string { return "random" }
+
+// HashDomain sends each domain to a stable resolver chosen by hashing the
+// name (the K-resolver construction): any one resolver only ever sees
+// ~1/N of the client's distinct domains, and repeated lookups of a domain
+// reuse that resolver's cache.
+type HashDomain struct{ N int }
+
+// Select implements Strategy.
+func (h HashDomain) Select(domain string, _ int) []int {
+	if h.N <= 0 {
+		return nil
+	}
+	f := fnv.New64a()
+	f.Write([]byte(domain))
+	return []int{int(f.Sum64() % uint64(h.N))}
+}
+
+// Name implements Strategy.
+func (h HashDomain) Name() string { return "hash-domain" }
+
+// Race asks K random resolvers in parallel and takes the fastest success:
+// buys tail latency and availability with extra queries — and extra
+// exposure.
+type Race struct {
+	N, K int
+	rng  *rand.Rand
+}
+
+// NewRace builds a Race strategy (K ≥ 2 racing among n resolvers).
+func NewRace(n, k int, seed uint64) *Race {
+	if k < 2 {
+		k = 2
+	}
+	if k > n {
+		k = n
+	}
+	return &Race{N: n, K: k, rng: rand.New(rand.NewPCG(seed, 0xD1B54A32D192ED03))}
+}
+
+// Select implements Strategy.
+func (r *Race) Select(string, int) []int {
+	idx := r.rng.Perm(r.N)[:r.K]
+	sort.Ints(idx)
+	return idx
+}
+
+// Name implements Strategy.
+func (r *Race) Name() string { return fmt.Sprintf("race-%d", r.K) }
+
+// Outcome is the result of one distributed resolution.
+type Outcome struct {
+	// Resolver is the index that produced the winning answer (-1 when
+	// every attempt failed).
+	Resolver int
+	// Duration is the winning response time (for races, the fastest).
+	Duration time.Duration
+	// OK reports whether any attempt succeeded.
+	OK bool
+	// Attempts is how many resolvers were asked.
+	Attempts int
+}
+
+// Distributor executes queries according to a strategy, through the same
+// Prober abstraction the measurement engine uses.
+type Distributor struct {
+	Targets  []core.Target
+	Vantage  netsim.Vantage
+	Prober   core.Prober
+	Strategy Strategy
+}
+
+// Resolve performs the seq-th lookup of domain.
+func (d *Distributor) Resolve(ctx context.Context, domain string, seq int) Outcome {
+	picks := d.Strategy.Select(domain, seq)
+	out := Outcome{Resolver: -1, Attempts: len(picks)}
+	for _, idx := range picks {
+		if idx < 0 || idx >= len(d.Targets) {
+			continue
+		}
+		q := d.Prober.Query(ctx, d.Vantage, d.Targets[idx], domain, seq)
+		if q.Err != netsim.OK {
+			continue
+		}
+		// For races, keep the fastest success; the model returns each
+		// attempt's standalone duration, so min() is the race winner.
+		if !out.OK || q.Duration < out.Duration {
+			out.OK = true
+			out.Duration = q.Duration
+			out.Resolver = idx
+		}
+	}
+	return out
+}

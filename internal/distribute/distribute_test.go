@@ -1,0 +1,260 @@
+package distribute
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"encdns/internal/core"
+	"encdns/internal/dataset"
+	"encdns/internal/experiment"
+	"encdns/internal/netsim"
+)
+
+// testDistributor builds a distributor over a few resolvers with the
+// given strategy.
+func testDistributor(strategy func(n int) Strategy) *Distributor {
+	hosts := []string{"dns.google", "dns.quad9.net", "security.cloudflare-dns.com",
+		"ordns.he.net", "doh.ffmuc.net"}
+	var rs []dataset.Resolver
+	for _, h := range hosts {
+		r, ok := dataset.ResolverByHost(h)
+		if !ok {
+			panic(h)
+		}
+		rs = append(rs, r)
+	}
+	v, _ := dataset.VantageByName(dataset.VantageOhio)
+	return &Distributor{
+		Targets:  experiment.Targets(rs),
+		Vantage:  v,
+		Prober:   &core.SimProber{Net: netsim.New(netsim.Config{Seed: 5})},
+		Strategy: strategy(len(rs)),
+	}
+}
+
+func TestSingleStrategy(t *testing.T) {
+	s := Single{Index: 2}
+	for seq := 0; seq < 10; seq++ {
+		picks := s.Select("x.example", seq)
+		if len(picks) != 1 || picks[0] != 2 {
+			t.Fatalf("picks = %v", picks)
+		}
+	}
+	if s.Name() != "single" {
+		t.Error("name")
+	}
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	s := RoundRobin{N: 3}
+	var got []int
+	for seq := 0; seq < 6; seq++ {
+		got = append(got, s.Select("x", seq)[0])
+	}
+	want := []int{0, 1, 2, 0, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sequence = %v", got)
+		}
+	}
+	if picks := (RoundRobin{N: 0}).Select("x", 1); picks != nil {
+		t.Error("empty round robin returned picks")
+	}
+}
+
+func TestRandomInRangeAndVaries(t *testing.T) {
+	s := NewRandom(5, 1)
+	seen := make(map[int]bool)
+	for seq := 0; seq < 200; seq++ {
+		p := s.Select("x", seq)[0]
+		if p < 0 || p >= 5 {
+			t.Fatalf("pick %d out of range", p)
+		}
+		seen[p] = true
+	}
+	if len(seen) != 5 {
+		t.Errorf("only %d resolvers used", len(seen))
+	}
+}
+
+func TestHashDomainStable(t *testing.T) {
+	s := HashDomain{N: 7}
+	a := s.Select("stable.example", 0)[0]
+	for seq := 1; seq < 20; seq++ {
+		if got := s.Select("stable.example", seq)[0]; got != a {
+			t.Fatal("hash-domain not stable across repeats")
+		}
+	}
+	// Different domains spread across resolvers.
+	seen := make(map[int]bool)
+	for i := 0; i < 100; i++ {
+		seen[s.Select(syntheticDomain(i), 0)[0]] = true
+	}
+	if len(seen) < 5 {
+		t.Errorf("hash spreads over only %d of 7 resolvers", len(seen))
+	}
+}
+
+func TestRaceSelectsK(t *testing.T) {
+	s := NewRace(5, 3, 1)
+	picks := s.Select("x", 0)
+	if len(picks) != 3 {
+		t.Fatalf("picks = %v", picks)
+	}
+	seen := make(map[int]bool)
+	for _, p := range picks {
+		if p < 0 || p >= 5 || seen[p] {
+			t.Fatalf("bad picks %v", picks)
+		}
+		seen[p] = true
+	}
+	if s.Name() != "race-3" {
+		t.Errorf("name = %s", s.Name())
+	}
+	// K clamps to N and to >= 2.
+	if got := NewRace(2, 9, 1); got.K != 2 {
+		t.Errorf("K = %d", got.K)
+	}
+	if got := NewRace(5, 1, 1); got.K != 2 {
+		t.Errorf("K = %d", got.K)
+	}
+}
+
+func TestDistributorResolve(t *testing.T) {
+	d := testDistributor(func(n int) Strategy { return Single{Index: 0} })
+	out := d.Resolve(context.Background(), "google.com", 0)
+	if !out.OK || out.Resolver != 0 || out.Duration <= 0 {
+		t.Fatalf("outcome = %+v", out)
+	}
+}
+
+func TestDistributorRaceTakesFastest(t *testing.T) {
+	// Race between dns.google (fast from Ohio) and doh.ffmuc.net (slow):
+	// the winner should essentially always be the fast one.
+	d := testDistributor(func(n int) Strategy { return nil })
+	d.Strategy = fixedPicks{picks: []int{0, 4}} // google + ffmuc
+	wins := map[int]int{}
+	for seq := 0; seq < 50; seq++ {
+		out := d.Resolve(context.Background(), "google.com", seq)
+		if !out.OK {
+			continue
+		}
+		wins[out.Resolver]++
+	}
+	if wins[4] > wins[0]/4 {
+		t.Errorf("slow resolver won too often: %v", wins)
+	}
+}
+
+type fixedPicks struct{ picks []int }
+
+func (f fixedPicks) Select(string, int) []int { return f.picks }
+func (f fixedPicks) Name() string             { return "fixed" }
+
+func TestDistributorAllFail(t *testing.T) {
+	d := testDistributor(func(n int) Strategy { return Single{Index: 0} })
+	dead := d.Targets[0]
+	dead.Net.Down = true
+	d.Targets[0] = dead
+	out := d.Resolve(context.Background(), "google.com", 0)
+	if out.OK || out.Resolver != -1 {
+		t.Fatalf("outcome = %+v", out)
+	}
+}
+
+func TestDistributorOutOfRangePick(t *testing.T) {
+	d := testDistributor(func(n int) Strategy { return nil })
+	d.Strategy = fixedPicks{picks: []int{-1, 99}}
+	out := d.Resolve(context.Background(), "google.com", 0)
+	if out.OK {
+		t.Fatalf("out-of-range picks succeeded: %+v", out)
+	}
+}
+
+func TestSyntheticWorkload(t *testing.T) {
+	w := SyntheticWorkload(50, 1000, 1)
+	if len(w.Domains) != 50 || len(w.Sequence) != 1000 {
+		t.Fatalf("workload shape %d/%d", len(w.Domains), len(w.Sequence))
+	}
+	counts := make([]int, 50)
+	for _, di := range w.Sequence {
+		if di < 0 || di >= 50 {
+			t.Fatalf("index %d out of range", di)
+		}
+		counts[di]++
+	}
+	// Zipf: the most popular domain dominates the tail.
+	if counts[0] < counts[49]*3 {
+		t.Errorf("popularity not skewed: head=%d tail=%d", counts[0], counts[49])
+	}
+	// Deterministic under the seed.
+	w2 := SyntheticWorkload(50, 1000, 1)
+	for i := range w.Sequence {
+		if w.Sequence[i] != w2.Sequence[i] {
+			t.Fatal("workload not deterministic")
+		}
+	}
+}
+
+func TestEvaluatePrivacyPerformanceTradeoffs(t *testing.T) {
+	w := SyntheticWorkload(80, 600, 2)
+	ctx := context.Background()
+
+	run := func(s func(n int) Strategy) Report {
+		d := testDistributor(s)
+		return Evaluate(ctx, d, w)
+	}
+	single := run(func(n int) Strategy { return Single{Index: 0} })
+	rr := run(func(n int) Strategy { return RoundRobin{N: n} })
+	hash := run(func(n int) Strategy { return HashDomain{N: n} })
+	race := run(func(n int) Strategy { return NewRace(n, 2, 3) })
+
+	// Single: one resolver sees every domain; zero entropy.
+	if single.MaxDomainShare < 0.99 {
+		t.Errorf("single max share = %v", single.MaxDomainShare)
+	}
+	if single.EntropyBits > 0.01 {
+		t.Errorf("single entropy = %v", single.EntropyBits)
+	}
+	// Round-robin: queries spread, but popular domains recur and are
+	// eventually seen by everyone — per-domain share stays high.
+	if rr.EntropyBits < 1.5 {
+		t.Errorf("round-robin entropy = %v", rr.EntropyBits)
+	}
+	// Hash-domain: the K-resolver property — no resolver sees more than
+	// roughly 1/N of distinct domains (with hashing slack).
+	if hash.MaxDomainShare > 2.5/5.0 {
+		t.Errorf("hash-domain max share = %v, want ≲ 1/5 + slack", hash.MaxDomainShare)
+	}
+	if hash.MaxDomainShare >= rr.MaxDomainShare {
+		t.Errorf("hash-domain (%v) should profile less than round-robin (%v)",
+			hash.MaxDomainShare, rr.MaxDomainShare)
+	}
+	// Racing sends ~2x the queries and cannot be slower at the median
+	// than the same resolvers queried singly at random.
+	if race.QueriesSent < 2*len(w.Sequence)*9/10 {
+		t.Errorf("race sent %d queries for %d lookups", race.QueriesSent, len(w.Sequence))
+	}
+	random := run(func(n int) Strategy { return NewRandom(n, 4) })
+	if race.MedianMs > random.MedianMs*1.1 {
+		t.Errorf("race median %.1f worse than random %.1f", race.MedianMs, random.MedianMs)
+	}
+	// Failure rates are tiny for this healthy pool.
+	for _, r := range []Report{single, rr, hash, race} {
+		if r.FailureRate > 0.2 {
+			t.Errorf("%s failure rate %v", r.Strategy, r.FailureRate)
+		}
+		if math.IsNaN(r.MedianMs) {
+			t.Errorf("%s has no median", r.Strategy)
+		}
+	}
+}
+
+func TestEvaluateEmptyWorkload(t *testing.T) {
+	d := testDistributor(func(n int) Strategy { return Single{Index: 0} })
+	r := Evaluate(context.Background(), d, Workload{})
+	if r.FailureRate != 0 || r.QueriesSent != 0 {
+		t.Errorf("empty workload report = %+v", r)
+	}
+}

@@ -1,0 +1,135 @@
+package distribute
+
+import (
+	"context"
+	"math"
+	"math/rand/v2"
+
+	"encdns/internal/stats"
+)
+
+// Workload is a client's browsing-style query stream: a domain universe
+// with Zipf-like popularity, replayed for a number of lookups.
+type Workload struct {
+	Domains []string
+	// Sequence is the ordered lookup stream (indices into Domains).
+	Sequence []int
+}
+
+// SyntheticWorkload builds a Zipf-weighted lookup stream over nDomains
+// synthetic names: a few very popular domains and a long tail, the
+// pattern that makes per-resolver profiling meaningful.
+func SyntheticWorkload(nDomains, lookups int, seed uint64) Workload {
+	rng := rand.New(rand.NewPCG(seed, 0xA5A5A5A5))
+	w := Workload{Domains: make([]string, nDomains)}
+	for i := range w.Domains {
+		w.Domains[i] = syntheticDomain(i)
+	}
+	// Zipf s=1.1 via inverse-CDF sampling over precomputed weights.
+	weights := make([]float64, nDomains)
+	total := 0.0
+	for i := range weights {
+		weights[i] = 1 / math.Pow(float64(i+1), 1.1)
+		total += weights[i]
+	}
+	cdf := make([]float64, nDomains)
+	acc := 0.0
+	for i, wt := range weights {
+		acc += wt / total
+		cdf[i] = acc
+	}
+	w.Sequence = make([]int, lookups)
+	for i := range w.Sequence {
+		u := rng.Float64()
+		lo := 0
+		for lo < nDomains-1 && cdf[lo] < u {
+			lo++
+		}
+		w.Sequence[i] = lo
+	}
+	return w
+}
+
+func syntheticDomain(i int) string {
+	const letters = "abcdefghijklmnopqrstuvwxyz"
+	name := []byte{letters[i%26], letters[(i/26)%26], letters[(i/676)%26]}
+	return "site-" + string(name) + ".example.com"
+}
+
+// Report scores one strategy over one workload.
+type Report struct {
+	Strategy string
+	// Performance.
+	MedianMs    float64
+	P95Ms       float64
+	FailureRate float64
+	// QueriesSent counts total resolver queries (races send extra).
+	QueriesSent int
+	// Privacy: share of the client's *distinct domains* seen by the
+	// busiest resolver (1.0 = one resolver profiles everything), and the
+	// Shannon entropy (bits) of the per-resolver domain distribution.
+	MaxDomainShare float64
+	EntropyBits    float64
+}
+
+// Evaluate replays the workload through the distributor and scores it.
+func Evaluate(ctx context.Context, d *Distributor, w Workload) Report {
+	r := Report{Strategy: d.Strategy.Name()}
+	var durations []float64
+	failures := 0
+	// domainsSeen[resolver] = set of distinct domain indices it saw.
+	domainsSeen := make([]map[int]bool, len(d.Targets))
+	for i := range domainsSeen {
+		domainsSeen[i] = make(map[int]bool)
+	}
+	for seq, di := range w.Sequence {
+		domain := w.Domains[di]
+		picks := d.Strategy.Select(domain, seq)
+		// Exposure counts every resolver asked, not just the winner.
+		for _, idx := range picks {
+			if idx >= 0 && idx < len(d.Targets) {
+				domainsSeen[idx][di] = true
+			}
+		}
+		r.QueriesSent += len(picks)
+		out := d.Resolve(ctx, domain, seq)
+		if !out.OK {
+			failures++
+			continue
+		}
+		durations = append(durations, float64(out.Duration.Microseconds())/1000)
+	}
+	r.MedianMs = stats.Median(durations)
+	r.P95Ms = stats.Quantile(durations, 0.95)
+	if n := len(w.Sequence); n > 0 {
+		r.FailureRate = float64(failures) / float64(n)
+	}
+	// Privacy metrics over the distinct domains actually looked up (the
+	// Zipf tail of the universe may never be drawn).
+	queried := make(map[int]bool)
+	for _, di := range w.Sequence {
+		queried[di] = true
+	}
+	counts := make([]float64, len(domainsSeen))
+	var total float64
+	for i, set := range domainsSeen {
+		counts[i] = float64(len(set))
+		total += counts[i]
+	}
+	nDomains := float64(len(queried))
+	for _, c := range counts {
+		if share := c / nDomains; share > r.MaxDomainShare {
+			r.MaxDomainShare = share
+		}
+	}
+	if total > 0 {
+		for _, c := range counts {
+			if c == 0 {
+				continue
+			}
+			p := c / total
+			r.EntropyBits -= p * math.Log2(p)
+		}
+	}
+	return r
+}

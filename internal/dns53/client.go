@@ -1,0 +1,197 @@
+package dns53
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"encdns/internal/dnswire"
+)
+
+// Errors returned by the client.
+var (
+	ErrIDMismatch = errors.New("dns53: response ID does not match query")
+	ErrNotReply   = errors.New("dns53: response is not a reply")
+)
+
+// Client issues conventional DNS queries over UDP with automatic retry and
+// RFC 1035 §4.2.2 TCP fallback on truncation.
+type Client struct {
+	// Timeout bounds each individual attempt; zero means 2 seconds.
+	Timeout time.Duration
+	// Retries is the number of extra UDP attempts after the first; zero
+	// means 2 (three attempts total), the classic stub-resolver default.
+	Retries int
+	// Dialer is used for both "udp" and "tcp" connections; nil uses a
+	// net.Dialer. Injecting a dialer is how tests and the live prober run
+	// the client over in-process transports.
+	Dialer ContextDialer
+	// EDNSSize advertises an EDNS0 buffer size on queries when non-zero.
+	EDNSSize uint16
+}
+
+// ContextDialer matches net.Dialer's DialContext, the injection point for
+// custom transports.
+type ContextDialer interface {
+	DialContext(ctx context.Context, network, address string) (net.Conn, error)
+}
+
+func (c *Client) timeout() time.Duration {
+	if c.Timeout > 0 {
+		return c.Timeout
+	}
+	return 2 * time.Second
+}
+
+func (c *Client) retries() int {
+	if c.Retries > 0 {
+		return c.Retries
+	}
+	return 2
+}
+
+func (c *Client) dialer() ContextDialer {
+	if c.Dialer != nil {
+		return c.Dialer
+	}
+	return &net.Dialer{}
+}
+
+// NewID returns a cryptographically random message ID. Predictable IDs
+// enable off-path spoofing (the cache-poisoning attacks that motivated
+// encrypted DNS in the first place).
+func NewID() uint16 {
+	var b [2]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("dns53: reading random ID: " + err.Error())
+	}
+	return binary.BigEndian.Uint16(b[:])
+}
+
+// Query builds and exchanges an A-record query for name, the measurement
+// tool's common case.
+func (c *Client) Query(ctx context.Context, server, name string, t dnswire.Type) (*dnswire.Message, error) {
+	q := dnswire.NewQuery(NewID(), name, t)
+	if c.EDNSSize > 0 {
+		q.SetEDNS(c.EDNSSize, false)
+	}
+	return c.Exchange(ctx, q, server)
+}
+
+// Exchange sends query to server ("host:port") and returns the validated
+// response, retrying over UDP and falling back to TCP when the response
+// arrives truncated.
+func (c *Client) Exchange(ctx context.Context, query *dnswire.Message, server string) (*dnswire.Message, error) {
+	wire, err := query.Pack()
+	if err != nil {
+		return nil, fmt.Errorf("dns53: packing query: %w", err)
+	}
+	var lastErr error
+	for attempt := 0; attempt <= c.retries(); attempt++ {
+		resp, err := c.exchangeUDP(ctx, wire, query.Header.ID, server)
+		if err != nil {
+			lastErr = err
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			continue
+		}
+		if resp.Header.TC {
+			return c.ExchangeTCP(ctx, query, server)
+		}
+		return resp, nil
+	}
+	return nil, fmt.Errorf("dns53: all UDP attempts failed: %w", lastErr)
+}
+
+func (c *Client) exchangeUDP(ctx context.Context, wire []byte, id uint16, server string) (*dnswire.Message, error) {
+	attemptCtx, cancel := context.WithTimeout(ctx, c.timeout())
+	defer cancel()
+	conn, err := c.dialer().DialContext(attemptCtx, "udp", server)
+	if err != nil {
+		return nil, fmt.Errorf("dns53: dial udp %s: %w", server, err)
+	}
+	defer conn.Close()
+	// Unblock reads on both deadline expiry and caller cancellation.
+	stop := context.AfterFunc(attemptCtx, func() { conn.Close() })
+	defer stop()
+	if d, ok := attemptCtx.Deadline(); ok {
+		_ = conn.SetDeadline(d)
+	}
+	if _, err := conn.Write(wire); err != nil {
+		return nil, fmt.Errorf("dns53: send: %w", err)
+	}
+	buf := make([]byte, 64*1024)
+	for {
+		n, err := conn.Read(buf)
+		if err != nil {
+			return nil, fmt.Errorf("dns53: receive: %w", err)
+		}
+		resp, err := dnswire.Unpack(buf[:n])
+		if err != nil {
+			// Malformed or spoofed datagram; keep waiting for the real one.
+			continue
+		}
+		if resp.Header.ID != id {
+			continue // stale or spoofed response
+		}
+		if !resp.Header.QR {
+			return nil, ErrNotReply
+		}
+		return resp, nil
+	}
+}
+
+// ExchangeTCP performs one query over a fresh TCP connection.
+func (c *Client) ExchangeTCP(ctx context.Context, query *dnswire.Message, server string) (*dnswire.Message, error) {
+	wire, err := query.Pack()
+	if err != nil {
+		return nil, fmt.Errorf("dns53: packing query: %w", err)
+	}
+	attemptCtx, cancel := context.WithTimeout(ctx, c.timeout())
+	defer cancel()
+	conn, err := c.dialer().DialContext(attemptCtx, "tcp", server)
+	if err != nil {
+		return nil, fmt.Errorf("dns53: dial tcp %s: %w", server, err)
+	}
+	defer conn.Close()
+	stop := context.AfterFunc(attemptCtx, func() { conn.Close() })
+	defer stop()
+	if d, ok := attemptCtx.Deadline(); ok {
+		_ = conn.SetDeadline(d)
+	}
+	return ExchangeConn(conn, query, wire)
+}
+
+// ExchangeConn performs one length-framed exchange on an established stream
+// connection. DoT shares it. wire may be nil, in which case query is packed.
+func ExchangeConn(conn net.Conn, query *dnswire.Message, wire []byte) (*dnswire.Message, error) {
+	if wire == nil {
+		var err error
+		if wire, err = query.Pack(); err != nil {
+			return nil, fmt.Errorf("dns53: packing query: %w", err)
+		}
+	}
+	if err := WriteTCPMsg(conn, wire); err != nil {
+		return nil, fmt.Errorf("dns53: send: %w", err)
+	}
+	raw, err := ReadTCPMsg(conn)
+	if err != nil {
+		return nil, fmt.Errorf("dns53: receive: %w", err)
+	}
+	resp, err := dnswire.Unpack(raw)
+	if err != nil {
+		return nil, fmt.Errorf("dns53: parsing response: %w", err)
+	}
+	if resp.Header.ID != query.Header.ID {
+		return nil, ErrIDMismatch
+	}
+	if !resp.Header.QR {
+		return nil, ErrNotReply
+	}
+	return resp, nil
+}

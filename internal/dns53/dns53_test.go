@@ -1,0 +1,391 @@
+package dns53
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"encdns/internal/dnswire"
+)
+
+// startServer launches a Server with the handler on loopback UDP and TCP,
+// returning the address (same port is not guaranteed between the two, so
+// both are returned) and a shutdown func.
+func startServer(t *testing.T, h Handler) (udpAddr, tcpAddr string, srv *Server) {
+	t.Helper()
+	srv = &Server{Handler: h}
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen udp: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen tcp: %v", err)
+	}
+	go srv.ServeUDP(pc)
+	go srv.ServeTCP(ln)
+	t.Cleanup(srv.Shutdown)
+	return pc.LocalAddr().String(), ln.Addr().String(), srv
+}
+
+func staticHandler() Handler {
+	return Static(map[string][]net.IP{
+		"google.com.":    {net.ParseIP("142.250.1.100")},
+		"wikipedia.com.": {net.ParseIP("208.80.154.224"), net.ParseIP("2620:0:861:ed1a::1")},
+	})
+}
+
+func TestUDPQuery(t *testing.T) {
+	udp, _, _ := startServer(t, staticHandler())
+	c := &Client{}
+	resp, err := c.Query(context.Background(), udp, "google.com", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Header.RCode != dnswire.RCodeSuccess {
+		t.Fatalf("rcode = %v", resp.Header.RCode)
+	}
+	if len(resp.Answers) != 1 {
+		t.Fatalf("answers = %d", len(resp.Answers))
+	}
+	a := resp.Answers[0].Data.(*dnswire.A)
+	if a.Addr.String() != "142.250.1.100" {
+		t.Errorf("addr = %v", a.Addr)
+	}
+}
+
+func TestUDPNXDomain(t *testing.T) {
+	udp, _, _ := startServer(t, staticHandler())
+	c := &Client{}
+	resp, err := c.Query(context.Background(), udp, "nonexistent.example", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Header.RCode != dnswire.RCodeNXDomain {
+		t.Errorf("rcode = %v, want NXDOMAIN", resp.Header.RCode)
+	}
+}
+
+func TestTCPQuery(t *testing.T) {
+	_, tcp, _ := startServer(t, staticHandler())
+	c := &Client{}
+	q := dnswire.NewQuery(NewID(), "google.com", dnswire.TypeA)
+	resp, err := c.ExchangeTCP(context.Background(), q, tcp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Answers) != 1 {
+		t.Fatalf("answers = %d", len(resp.Answers))
+	}
+}
+
+func TestTCPConnectionReuse(t *testing.T) {
+	_, tcp, _ := startServer(t, staticHandler())
+	conn, err := net.Dial("tcp", tcp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	for i := 0; i < 5; i++ {
+		q := dnswire.NewQuery(NewID(), "google.com", dnswire.TypeA)
+		resp, err := ExchangeConn(conn, q, nil)
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		if len(resp.Answers) != 1 {
+			t.Fatalf("query %d answers = %d", i, len(resp.Answers))
+		}
+	}
+}
+
+func TestAAAAQuery(t *testing.T) {
+	udp, _, _ := startServer(t, staticHandler())
+	c := &Client{}
+	resp, err := c.Query(context.Background(), udp, "wikipedia.com", dnswire.TypeAAAA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Answers) != 1 {
+		t.Fatalf("answers = %d", len(resp.Answers))
+	}
+	aaaa := resp.Answers[0].Data.(*dnswire.AAAA)
+	if aaaa.Addr.String() != "2620:0:861:ed1a::1" {
+		t.Errorf("addr = %v", aaaa.Addr)
+	}
+}
+
+func TestTruncationFallback(t *testing.T) {
+	// A handler that answers with many records, overflowing 512 bytes so
+	// the UDP path truncates and the client retries over TCP.
+	big := HandlerFunc(func(_ context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+		r := q.Reply()
+		for i := 0; i < 60; i++ {
+			r.Answers = append(r.Answers, dnswire.Record{
+				Name: "txt.example.", Type: dnswire.TypeTXT, Class: dnswire.ClassIN, TTL: 60,
+				Data: &dnswire.TXT{Strings: []string{strings.Repeat("x", 50)}},
+			})
+		}
+		return r, nil
+	})
+	srv := &Server{Handler: big}
+	pc, _ := net.ListenPacket("udp", "127.0.0.1:0")
+	// TCP listener on the SAME port as UDP so the fallback finds it.
+	tcpLn, err := net.Listen("tcp", pc.LocalAddr().String())
+	if err != nil {
+		t.Skipf("cannot bind matching TCP port: %v", err)
+	}
+	go srv.ServeUDP(pc)
+	go srv.ServeTCP(tcpLn)
+	defer srv.Shutdown()
+
+	c := &Client{}
+	resp, err := c.Query(context.Background(), pc.LocalAddr().String(), "txt.example", dnswire.TypeTXT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Header.TC {
+		t.Error("final response still truncated")
+	}
+	if len(resp.Answers) != 60 {
+		t.Errorf("answers = %d, want 60 via TCP", len(resp.Answers))
+	}
+}
+
+func TestEDNSRaisesUDPLimit(t *testing.T) {
+	// ~30 TXT answers ≈ 1.7 KB: over 512 but under a 4096 EDNS buffer, so
+	// with EDNS the answer arrives over UDP un-truncated.
+	big := HandlerFunc(func(_ context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+		r := q.Reply()
+		for i := 0; i < 30; i++ {
+			r.Answers = append(r.Answers, dnswire.Record{
+				Name: "txt.example.", Type: dnswire.TypeTXT, Class: dnswire.ClassIN, TTL: 60,
+				Data: &dnswire.TXT{Strings: []string{strings.Repeat("y", 50)}},
+			})
+		}
+		return r, nil
+	})
+	udp, _, _ := startServer(t, big)
+	c := &Client{EDNSSize: 4096}
+	resp, err := c.Query(context.Background(), udp, "txt.example", dnswire.TypeTXT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Header.TC || len(resp.Answers) != 30 {
+		t.Errorf("TC=%v answers=%d, want full UDP answer", resp.Header.TC, len(resp.Answers))
+	}
+}
+
+func TestServerAnswersServfailOnHandlerError(t *testing.T) {
+	h := HandlerFunc(func(context.Context, *dnswire.Message) (*dnswire.Message, error) {
+		return nil, errors.New("boom")
+	})
+	udp, _, _ := startServer(t, h)
+	c := &Client{}
+	resp, err := c.Query(context.Background(), udp, "any.example", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Header.RCode != dnswire.RCodeServFail {
+		t.Errorf("rcode = %v, want SERVFAIL", resp.Header.RCode)
+	}
+}
+
+func TestServerContainsHandlerPanic(t *testing.T) {
+	h := HandlerFunc(func(context.Context, *dnswire.Message) (*dnswire.Message, error) {
+		panic("handler bug")
+	})
+	udp, _, _ := startServer(t, h)
+	c := &Client{}
+	resp, err := c.Query(context.Background(), udp, "any.example", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Header.RCode != dnswire.RCodeServFail {
+		t.Errorf("rcode = %v, want SERVFAIL after panic", resp.Header.RCode)
+	}
+}
+
+func TestServerIgnoresGarbageUDP(t *testing.T) {
+	udp, _, _ := startServer(t, staticHandler())
+	conn, err := net.Dial("udp", udp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("not dns")); err != nil {
+		t.Fatal(err)
+	}
+	// Server must survive; a real query afterwards still works.
+	c := &Client{}
+	if _, err := c.Query(context.Background(), udp, "google.com", dnswire.TypeA); err != nil {
+		t.Fatalf("query after garbage: %v", err)
+	}
+}
+
+func TestServerIgnoresGarbageTCP(t *testing.T) {
+	_, tcp, _ := startServer(t, staticHandler())
+	conn, err := net.Dial("tcp", tcp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = conn.Write([]byte{0, 3, 'b', 'a', 'd'})
+	conn.Close()
+	c := &Client{}
+	q := dnswire.NewQuery(NewID(), "google.com", dnswire.TypeA)
+	if _, err := c.ExchangeTCP(context.Background(), q, tcp); err != nil {
+		t.Fatalf("query after garbage: %v", err)
+	}
+}
+
+func TestClientTimeout(t *testing.T) {
+	// A UDP socket nobody answers from.
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	c := &Client{Timeout: 50 * time.Millisecond, Retries: 1}
+	start := time.Now()
+	_, err = c.Query(context.Background(), pc.LocalAddr().String(), "google.com", dnswire.TypeA)
+	if err == nil {
+		t.Fatal("expected timeout")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("took %v, timeouts not enforced", elapsed)
+	}
+}
+
+func TestClientContextCancel(t *testing.T) {
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	c := &Client{Timeout: 5 * time.Second}
+	start := time.Now()
+	_, err = c.Query(ctx, pc.LocalAddr().String(), "google.com", dnswire.TypeA)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if time.Since(start) > time.Second {
+		t.Error("cancellation not honoured promptly")
+	}
+}
+
+func TestClientIgnoresMismatchedID(t *testing.T) {
+	// A fake server that first sends a response with the wrong ID, then
+	// the right one; the client must skip the first.
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	go func() {
+		buf := make([]byte, 4096)
+		n, from, err := pc.ReadFrom(buf)
+		if err != nil {
+			return
+		}
+		q, err := dnswire.Unpack(buf[:n])
+		if err != nil {
+			return
+		}
+		bad := q.Reply()
+		bad.Header.ID ^= 0xFFFF
+		badWire, _ := bad.Pack()
+		_, _ = pc.WriteTo(badWire, from)
+		good := q.Reply()
+		goodWire, _ := good.Pack()
+		_, _ = pc.WriteTo(goodWire, from)
+	}()
+	c := &Client{}
+	resp, err := c.Query(context.Background(), pc.LocalAddr().String(), "example.com", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp == nil || !resp.Header.QR {
+		t.Error("no valid response")
+	}
+}
+
+func TestFramingRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	msg := []byte{1, 2, 3, 4, 5}
+	if err := WriteTCPMsg(&buf, msg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTCPMsg(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Errorf("round trip = %v", got)
+	}
+}
+
+func TestFramingZeroLength(t *testing.T) {
+	if _, err := ReadTCPMsg(bytes.NewReader([]byte{0, 0})); err == nil {
+		t.Error("zero-length frame accepted")
+	}
+}
+
+func TestFramingShortRead(t *testing.T) {
+	if _, err := ReadTCPMsg(bytes.NewReader([]byte{0, 5, 1, 2})); err == nil {
+		t.Error("short frame accepted")
+	}
+	if _, err := ReadTCPMsg(bytes.NewReader([]byte{0})); err == nil {
+		t.Error("short prefix accepted")
+	}
+}
+
+func TestFramingTooLarge(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTCPMsg(&buf, make([]byte, dnswire.MaxMessageSize+1)); err == nil {
+		t.Error("oversized message accepted")
+	}
+}
+
+func TestNewIDVaries(t *testing.T) {
+	seen := make(map[uint16]bool)
+	for i := 0; i < 100; i++ {
+		seen[NewID()] = true
+	}
+	if len(seen) < 50 {
+		t.Errorf("only %d distinct IDs in 100 draws", len(seen))
+	}
+}
+
+func TestShutdownUnblocksServe(t *testing.T) {
+	srv := &Server{Handler: staticHandler()}
+	pc, _ := net.ListenPacket("udp", "127.0.0.1:0")
+	ln, _ := net.Listen("tcp", "127.0.0.1:0")
+	errs := make(chan error, 2)
+	go func() { errs <- srv.ServeUDP(pc) }()
+	go func() { errs <- srv.ServeTCP(ln) }()
+	time.Sleep(20 * time.Millisecond)
+	srv.Shutdown()
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-errs:
+			if err != nil {
+				t.Errorf("serve returned %v after shutdown", err)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("serve did not return after shutdown")
+		}
+	}
+	// Serving after shutdown refuses.
+	pc2, _ := net.ListenPacket("udp", "127.0.0.1:0")
+	if err := srv.ServeUDP(pc2); err == nil {
+		t.Error("ServeUDP after shutdown succeeded")
+	}
+}

@@ -1,0 +1,50 @@
+package dns53
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net/netip"
+
+	"encdns/internal/dnswire"
+)
+
+// WriteTCPMsg writes one DNS message with the RFC 1035 §4.2.2 two-octet
+// length prefix. It is used by the TCP and DoT transports.
+func WriteTCPMsg(w io.Writer, msg []byte) error {
+	if len(msg) > dnswire.MaxMessageSize {
+		return dnswire.ErrMessageTooLarge
+	}
+	buf := make([]byte, 2+len(msg))
+	binary.BigEndian.PutUint16(buf, uint16(len(msg)))
+	copy(buf[2:], msg)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadTCPMsg reads one length-prefixed DNS message. A zero-length frame is
+// rejected as malformed.
+func ReadTCPMsg(r io.Reader) ([]byte, error) {
+	var l [2]byte
+	if _, err := io.ReadFull(r, l[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint16(l[:])
+	if n == 0 {
+		return nil, fmt.Errorf("dns53: zero-length TCP frame")
+	}
+	msg := make([]byte, n)
+	if _, err := io.ReadFull(r, msg); err != nil {
+		return nil, err
+	}
+	return msg, nil
+}
+
+// netipFrom converts a net.IP to netip.Addr, unmapping 4-in-6 forms.
+func netipFrom(ip []byte) (netip.Addr, bool) {
+	a, ok := netip.AddrFromSlice(ip)
+	if !ok {
+		return netip.Addr{}, false
+	}
+	return a.Unmap(), true
+}

@@ -1,0 +1,264 @@
+package dns53
+
+import (
+	"context"
+	"errors"
+	"log/slog"
+	"net"
+	"sync"
+	"time"
+
+	"encdns/internal/dnswire"
+)
+
+// Server serves DNS over UDP and TCP. Configure Handler, then pass
+// listeners to ServeUDP/ServeTCP (each blocks; run them in goroutines) and
+// call Shutdown to stop. The zero value is not usable; populate Handler.
+type Server struct {
+	Handler Handler
+	// Logger receives malformed-packet and handler-failure notices; nil
+	// discards them.
+	Logger *slog.Logger
+	// ReadTimeout bounds each TCP read; zero means 10 seconds.
+	ReadTimeout time.Duration
+	// MaxUDPResponse truncates UDP responses longer than this (TC bit set);
+	// zero means dnswire.MaxUDPSize, raised per-query by EDNS.
+	MaxUDPResponse int
+
+	mu       sync.Mutex
+	closed   bool
+	udpConns []net.PacketConn
+	tcpLns   []net.Listener
+	conns    map[net.Conn]struct{}
+	wg       sync.WaitGroup
+}
+
+func (s *Server) logger() *slog.Logger {
+	if s.Logger != nil {
+		return s.Logger
+	}
+	return slog.New(slog.DiscardHandler)
+}
+
+func (s *Server) readTimeout() time.Duration {
+	if s.ReadTimeout > 0 {
+		return s.ReadTimeout
+	}
+	return 10 * time.Second
+}
+
+// track registers a listener or conn for Shutdown. It reports false when
+// the server is already closed.
+func (s *Server) track(pc net.PacketConn, ln net.Listener, c net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	switch {
+	case pc != nil:
+		s.udpConns = append(s.udpConns, pc)
+	case ln != nil:
+		s.tcpLns = append(s.tcpLns, ln)
+	case c != nil:
+		if s.conns == nil {
+			s.conns = make(map[net.Conn]struct{})
+		}
+		s.conns[c] = struct{}{}
+	}
+	return true
+}
+
+func (s *Server) untrackConn(c net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+// Shutdown closes all listeners and connections and waits for in-flight
+// handlers to finish.
+func (s *Server) Shutdown() {
+	s.mu.Lock()
+	s.closed = true
+	for _, pc := range s.udpConns {
+		pc.Close()
+	}
+	for _, ln := range s.tcpLns {
+		ln.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// ServeUDP answers queries arriving on pc until the connection is closed.
+func (s *Server) ServeUDP(pc net.PacketConn) error {
+	if !s.track(pc, nil, nil) {
+		pc.Close()
+		return errors.New("dns53: server closed")
+	}
+	buf := make([]byte, 64*1024)
+	for {
+		n, from, err := pc.ReadFrom(buf)
+		if err != nil {
+			if s.isClosed() {
+				return nil
+			}
+			return err
+		}
+		pkt := make([]byte, n)
+		copy(pkt, buf[:n])
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handleUDP(pc, from, pkt)
+		}()
+	}
+}
+
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+func (s *Server) handleUDP(pc net.PacketConn, from net.Addr, pkt []byte) {
+	query, err := dnswire.Unpack(pkt)
+	if err != nil {
+		s.logger().Debug("dropping malformed UDP query", "from", from, "err", err)
+		return
+	}
+	resp := s.respond(query)
+	// Respect the client's advertised EDNS buffer, defaulting to 512.
+	limit := s.MaxUDPResponse
+	if limit == 0 {
+		limit = dnswire.MaxUDPSize
+	}
+	if opt, ok := query.EDNS(); ok && int(opt.UDPSize) > limit {
+		limit = int(opt.UDPSize)
+	}
+	wire, err := resp.Pack()
+	if err != nil {
+		s.logger().Warn("packing response", "err", err)
+		return
+	}
+	if len(wire) > limit {
+		wire = truncateTo(resp, limit)
+		if wire == nil {
+			return
+		}
+	}
+	if _, err := pc.WriteTo(wire, from); err != nil {
+		s.logger().Debug("writing UDP response", "from", from, "err", err)
+	}
+}
+
+// truncateTo re-packs resp with answers removed and TC set so it fits.
+func truncateTo(resp *dnswire.Message, limit int) []byte {
+	tr := *resp
+	tr.Header.TC = true
+	tr.Answers = nil
+	tr.Authority = nil
+	tr.Additional = nil
+	wire, err := tr.Pack()
+	if err != nil || len(wire) > limit {
+		return nil
+	}
+	return wire
+}
+
+// ServeTCP answers queries on connections accepted from ln until it is
+// closed. Each connection may carry multiple length-prefixed queries.
+func (s *Server) ServeTCP(ln net.Listener) error {
+	if !s.track(nil, ln, nil) {
+		ln.Close()
+		return errors.New("dns53: server closed")
+	}
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.isClosed() {
+				return nil
+			}
+			return err
+		}
+		if !s.track(nil, nil, conn) {
+			conn.Close()
+			return nil
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer s.untrackConn(conn)
+			defer conn.Close()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// serveConn handles one stream connection (TCP or, via internal/dot, TLS).
+func (s *Server) serveConn(conn net.Conn) {
+	for {
+		_ = conn.SetReadDeadline(time.Now().Add(s.readTimeout()))
+		pkt, err := ReadTCPMsg(conn)
+		if err != nil {
+			return // EOF, timeout, or peer reset: stream is done either way
+		}
+		query, err := dnswire.Unpack(pkt)
+		if err != nil {
+			s.logger().Debug("dropping malformed TCP query", "err", err)
+			return
+		}
+		wire, err := s.respond(query).Pack()
+		if err != nil {
+			s.logger().Warn("packing response", "err", err)
+			return
+		}
+		if err := WriteTCPMsg(conn, wire); err != nil {
+			return
+		}
+	}
+}
+
+// ServeStream exposes serveConn for transports (DoT) that bring their own
+// connection establishment but reuse the RFC 1035 framing and dispatch.
+func (s *Server) ServeStream(conn net.Conn) {
+	if !s.track(nil, nil, conn) {
+		conn.Close()
+		return
+	}
+	s.wg.Add(1)
+	defer s.wg.Done()
+	defer s.untrackConn(conn)
+	defer conn.Close()
+	s.serveConn(conn)
+}
+
+// respond runs the handler with panic and error containment.
+func (s *Server) respond(query *dnswire.Message) *dnswire.Message {
+	resp, err := func() (m *dnswire.Message, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				s.logger().Error("handler panic", "panic", r)
+				m, err = nil, errors.New("handler panic")
+			}
+		}()
+		return s.Handler.ServeDNS(context.Background(), query)
+	}()
+	if err != nil || resp == nil {
+		if err != nil {
+			s.logger().Warn("handler failed", "q", query.Question0().Name, "err", err)
+		}
+		return servfail(query)
+	}
+	return resp
+}
+
+// Respond answers a single already-parsed query using the server's handler
+// and containment; the DoH transport calls this directly since HTTP does
+// its own framing.
+func (s *Server) Respond(query *dnswire.Message) *dnswire.Message {
+	return s.respond(query)
+}

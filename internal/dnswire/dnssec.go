@@ -1,0 +1,234 @@
+package dnswire
+
+import (
+	"encoding/base64"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// DNSSEC record types (RFC 4034). The measurement tool sets the DO bit on
+// its EDNS queries; resolvers that validate return these records, and the
+// codec must round-trip them faithfully even though the tool does not
+// itself validate signatures.
+const (
+	TypeDS     Type = 43
+	TypeRRSIG  Type = 46
+	TypeNSEC   Type = 47
+	TypeDNSKEY Type = 48
+)
+
+// DNSKEY is a zone's public key (RFC 4034 §2).
+type DNSKEY struct {
+	Flags     uint16 // 256 = ZSK, 257 = KSK
+	ProtoVal  uint8  // always 3
+	Algorithm uint8
+	PublicKey []byte
+}
+
+func (k *DNSKEY) appendRData(buf []byte, _ map[string]int) ([]byte, error) {
+	buf = binary.BigEndian.AppendUint16(buf, k.Flags)
+	buf = append(buf, k.ProtoVal, k.Algorithm)
+	return append(buf, k.PublicKey...), nil
+}
+
+func (k *DNSKEY) String() string {
+	return fmt.Sprintf("%d %d %d %s", k.Flags, k.ProtoVal, k.Algorithm,
+		base64.StdEncoding.EncodeToString(k.PublicKey))
+}
+
+func parseDNSKEY(rd []byte) (*DNSKEY, error) {
+	if len(rd) < 4 {
+		return nil, fmt.Errorf("%w: DNSKEY too short", ErrBadRData)
+	}
+	return &DNSKEY{
+		Flags:     binary.BigEndian.Uint16(rd),
+		ProtoVal:  rd[2],
+		Algorithm: rd[3],
+		PublicKey: append([]byte(nil), rd[4:]...),
+	}, nil
+}
+
+// DS is a delegation-signer digest (RFC 4034 §5), published in the parent
+// zone to authenticate the child's DNSKEY.
+type DS struct {
+	KeyTag     uint16
+	Algorithm  uint8
+	DigestType uint8
+	Digest     []byte
+}
+
+func (d *DS) appendRData(buf []byte, _ map[string]int) ([]byte, error) {
+	buf = binary.BigEndian.AppendUint16(buf, d.KeyTag)
+	buf = append(buf, d.Algorithm, d.DigestType)
+	return append(buf, d.Digest...), nil
+}
+
+func (d *DS) String() string {
+	return fmt.Sprintf("%d %d %d %s", d.KeyTag, d.Algorithm, d.DigestType,
+		strings.ToUpper(hex.EncodeToString(d.Digest)))
+}
+
+func parseDS(rd []byte) (*DS, error) {
+	if len(rd) < 4 {
+		return nil, fmt.Errorf("%w: DS too short", ErrBadRData)
+	}
+	return &DS{
+		KeyTag:     binary.BigEndian.Uint16(rd),
+		Algorithm:  rd[2],
+		DigestType: rd[3],
+		Digest:     append([]byte(nil), rd[4:]...),
+	}, nil
+}
+
+// RRSIG is a signature over an RRset (RFC 4034 §3). Its signer name is
+// NOT compressible and NOT downcased on the wire, but this codec
+// canonicalises names throughout, which is acceptable because it does not
+// validate signatures.
+type RRSIG struct {
+	TypeCovered Type
+	Algorithm   uint8
+	Labels      uint8
+	OrigTTL     uint32
+	Expiration  uint32
+	Inception   uint32
+	KeyTag      uint16
+	SignerName  string
+	Signature   []byte
+}
+
+func (r *RRSIG) appendRData(buf []byte, _ map[string]int) ([]byte, error) {
+	buf = binary.BigEndian.AppendUint16(buf, uint16(r.TypeCovered))
+	buf = append(buf, r.Algorithm, r.Labels)
+	buf = binary.BigEndian.AppendUint32(buf, r.OrigTTL)
+	buf = binary.BigEndian.AppendUint32(buf, r.Expiration)
+	buf = binary.BigEndian.AppendUint32(buf, r.Inception)
+	buf = binary.BigEndian.AppendUint16(buf, r.KeyTag)
+	var err error
+	if buf, err = appendName(buf, r.SignerName, nil); err != nil {
+		return nil, err
+	}
+	return append(buf, r.Signature...), nil
+}
+
+func (r *RRSIG) String() string {
+	return fmt.Sprintf("%s %d %d %d %d %d %d %s %s",
+		r.TypeCovered, r.Algorithm, r.Labels, r.OrigTTL,
+		r.Expiration, r.Inception, r.KeyTag, CanonicalName(r.SignerName),
+		base64.StdEncoding.EncodeToString(r.Signature))
+}
+
+func parseRRSIG(msg []byte, off, rdlen int) (*RRSIG, error) {
+	end := off + rdlen
+	if rdlen < 18 {
+		return nil, fmt.Errorf("%w: RRSIG too short", ErrBadRData)
+	}
+	r := &RRSIG{
+		TypeCovered: Type(binary.BigEndian.Uint16(msg[off:])),
+		Algorithm:   msg[off+2],
+		Labels:      msg[off+3],
+		OrigTTL:     binary.BigEndian.Uint32(msg[off+4:]),
+		Expiration:  binary.BigEndian.Uint32(msg[off+8:]),
+		Inception:   binary.BigEndian.Uint32(msg[off+12:]),
+		KeyTag:      binary.BigEndian.Uint16(msg[off+16:]),
+	}
+	var err error
+	var nameEnd int
+	r.SignerName, nameEnd, err = readName(msg, off+18)
+	if err != nil {
+		return nil, err
+	}
+	if nameEnd > end {
+		return nil, fmt.Errorf("%w: RRSIG signer overruns", ErrBadRData)
+	}
+	r.Signature = append([]byte(nil), msg[nameEnd:end]...)
+	return r, nil
+}
+
+// NSEC is an authenticated-denial record (RFC 4034 §4): the next owner
+// name in canonical order plus the type bitmap at this name.
+type NSEC struct {
+	NextDomain string
+	Types      []Type
+}
+
+func (n *NSEC) appendRData(buf []byte, _ map[string]int) ([]byte, error) {
+	var err error
+	if buf, err = appendName(buf, n.NextDomain, nil); err != nil {
+		return nil, err
+	}
+	return appendTypeBitmap(buf, n.Types)
+}
+
+func (n *NSEC) String() string {
+	parts := make([]string, 0, 1+len(n.Types))
+	parts = append(parts, CanonicalName(n.NextDomain))
+	for _, t := range n.Types {
+		parts = append(parts, t.String())
+	}
+	return strings.Join(parts, " ")
+}
+
+// appendTypeBitmap encodes the RFC 4034 §4.1.2 window-block bitmap.
+func appendTypeBitmap(buf []byte, types []Type) ([]byte, error) {
+	if len(types) == 0 {
+		return buf, nil
+	}
+	// Group by high byte (window), preserving sorted order.
+	windows := make(map[byte][]byte) // window → bitmap (up to 32 bytes)
+	var order []byte
+	for _, t := range types {
+		w := byte(uint16(t) >> 8)
+		low := byte(t)
+		bm, ok := windows[w]
+		if !ok {
+			order = append(order, w)
+			bm = make([]byte, 0, 32)
+		}
+		idx := int(low / 8)
+		for len(bm) <= idx {
+			bm = append(bm, 0)
+		}
+		bm[idx] |= 0x80 >> (low % 8)
+		windows[w] = bm
+	}
+	for _, w := range order {
+		bm := windows[w]
+		buf = append(buf, w, byte(len(bm)))
+		buf = append(buf, bm...)
+	}
+	return buf, nil
+}
+
+func parseNSEC(msg []byte, off, rdlen int) (*NSEC, error) {
+	end := off + rdlen
+	n := &NSEC{}
+	var err error
+	var pos int
+	n.NextDomain, pos, err = readName(msg, off)
+	if err != nil {
+		return nil, err
+	}
+	for pos < end {
+		if pos+2 > end {
+			return nil, fmt.Errorf("%w: NSEC bitmap header", ErrBadRData)
+		}
+		window := msg[pos]
+		blen := int(msg[pos+1])
+		pos += 2
+		if blen == 0 || blen > 32 || pos+blen > end {
+			return nil, fmt.Errorf("%w: NSEC bitmap block", ErrBadRData)
+		}
+		for i := 0; i < blen; i++ {
+			b := msg[pos+i]
+			for bit := 0; bit < 8; bit++ {
+				if b&(0x80>>bit) != 0 {
+					n.Types = append(n.Types, Type(uint16(window)<<8|uint16(i*8+bit)))
+				}
+			}
+		}
+		pos += blen
+	}
+	return n, nil
+}

@@ -1,0 +1,109 @@
+package dnswire
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestDNSSECRecordsRoundTrip(t *testing.T) {
+	records := []Record{
+		{Name: "example.com", Type: TypeDNSKEY, Class: ClassIN, TTL: 3600,
+			Data: &DNSKEY{Flags: 257, ProtoVal: 3, Algorithm: 13,
+				PublicKey: []byte{0x01, 0x02, 0x03, 0x04}}},
+		{Name: "example.com", Type: TypeDS, Class: ClassIN, TTL: 3600,
+			Data: &DS{KeyTag: 12345, Algorithm: 13, DigestType: 2,
+				Digest: []byte{0xAA, 0xBB, 0xCC}}},
+		{Name: "example.com", Type: TypeRRSIG, Class: ClassIN, TTL: 300,
+			Data: &RRSIG{TypeCovered: TypeA, Algorithm: 13, Labels: 2,
+				OrigTTL: 300, Expiration: 1700000000, Inception: 1690000000,
+				KeyTag: 12345, SignerName: "example.com.",
+				Signature: []byte{0xDE, 0xAD, 0xBE, 0xEF}}},
+		{Name: "example.com", Type: TypeNSEC, Class: ClassIN, TTL: 300,
+			Data: &NSEC{NextDomain: "mail.example.com.",
+				Types: []Type{TypeA, TypeNS, TypeSOA, TypeRRSIG, TypeNSEC, TypeDNSKEY, TypeCAA}}},
+	}
+	m := &Message{Header: Header{ID: 1, QR: true}}
+	m.Answers = records
+	wire, err := m.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unpack(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range records {
+		g := got.Answers[i]
+		if g.Type != want.Type {
+			t.Errorf("record %d type = %v", i, g.Type)
+		}
+		if !reflect.DeepEqual(g.Data, want.Data) {
+			t.Errorf("record %d data:\ngot  %#v\nwant %#v", i, g.Data, want.Data)
+		}
+	}
+}
+
+func TestNSECTypeBitmapHighTypes(t *testing.T) {
+	// CAA (257) lives in window 1; mixing windows exercises the block
+	// encoding.
+	n := &NSEC{NextDomain: "z.example.", Types: []Type{TypeA, TypeCAA}}
+	m := &Message{Header: Header{ID: 1}}
+	m.Answers = []Record{{Name: "a.example.", Type: TypeNSEC, Class: ClassIN, TTL: 60, Data: n}}
+	wire, err := m.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unpack(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed := got.Answers[0].Data.(*NSEC)
+	if len(parsed.Types) != 2 || parsed.Types[0] != TypeA || parsed.Types[1] != TypeCAA {
+		t.Errorf("types = %v", parsed.Types)
+	}
+}
+
+func TestDNSSECStrings(t *testing.T) {
+	k := &DNSKEY{Flags: 257, ProtoVal: 3, Algorithm: 13, PublicKey: []byte{1}}
+	if s := k.String(); s != "257 3 13 AQ==" {
+		t.Errorf("dnskey = %q", s)
+	}
+	d := &DS{KeyTag: 1, Algorithm: 13, DigestType: 2, Digest: []byte{0xAB}}
+	if s := d.String(); s != "1 13 2 AB" {
+		t.Errorf("ds = %q", s)
+	}
+	n := &NSEC{NextDomain: "b.example.", Types: []Type{TypeA}}
+	if s := n.String(); s != "b.example. A" {
+		t.Errorf("nsec = %q", s)
+	}
+	if TypeRRSIG.String() != "RRSIG" || TypeDNSKEY.String() != "DNSKEY" {
+		t.Error("type names")
+	}
+}
+
+func TestDNSSECParseErrors(t *testing.T) {
+	mk := func(tp Type, rdata []byte) []byte {
+		b := []byte{0, 1, 0x80, 0, 0, 0, 0, 1, 0, 0, 0, 0}
+		b = append(b, 0)
+		b = append(b, byte(tp>>8), byte(tp))
+		b = append(b, 0, 1, 0, 0, 0, 60)
+		b = append(b, byte(len(rdata)>>8), byte(len(rdata)))
+		return append(b, rdata...)
+	}
+	cases := []struct {
+		name string
+		b    []byte
+	}{
+		{"DNSKEY short", mk(TypeDNSKEY, []byte{1, 2})},
+		{"DS short", mk(TypeDS, []byte{1})},
+		{"RRSIG short", mk(TypeRRSIG, []byte{1, 2, 3})},
+		{"NSEC bad bitmap len", mk(TypeNSEC, []byte{0, 0, 33})},
+		{"NSEC zero block", mk(TypeNSEC, []byte{0, 0, 0})},
+		{"NSEC truncated block", mk(TypeNSEC, []byte{0, 0, 4, 0x80})},
+	}
+	for _, c := range cases {
+		if _, err := Unpack(c.b); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}

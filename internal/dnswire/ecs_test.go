@@ -1,0 +1,176 @@
+package dnswire
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func TestECSRoundTrip(t *testing.T) {
+	cases := []ECS{
+		{Prefix: netip.MustParsePrefix("203.0.113.0/24")},
+		{Prefix: netip.MustParsePrefix("10.0.0.0/8"), ScopeLen: 16},
+		{Prefix: netip.MustParsePrefix("2001:db8::/56")},
+		{Prefix: netip.MustParsePrefix("0.0.0.0/0")}, // privacy opt-out
+		{Prefix: netip.MustParsePrefix("203.0.113.7/32")},
+	}
+	for _, c := range cases {
+		b, err := MarshalECS(c)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", c, err)
+		}
+		got, err := ParseECS(b)
+		if err != nil {
+			t.Fatalf("parse %v: %v", c, err)
+		}
+		if got.Prefix != c.Prefix.Masked() || got.ScopeLen != c.ScopeLen {
+			t.Errorf("round trip %v = %v", c, got)
+		}
+	}
+}
+
+func TestECSWireCompactness(t *testing.T) {
+	// A /24 IPv4 subnet carries only three address octets (RFC 7871 §6).
+	b, err := MarshalECS(ECS{Prefix: netip.MustParsePrefix("203.0.113.0/24")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != 4+3 {
+		t.Errorf("wire length = %d, want 7", len(b))
+	}
+	// /0 carries none.
+	b, _ = MarshalECS(ECS{Prefix: netip.MustParsePrefix("0.0.0.0/0")})
+	if len(b) != 4 {
+		t.Errorf("/0 wire length = %d, want 4", len(b))
+	}
+}
+
+func TestParseECSErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		b    []byte
+	}{
+		{"short", []byte{0, 1, 24}},
+		{"bad family", []byte{0, 9, 0, 0}},
+		{"length mismatch", []byte{0, 1, 24, 0, 203, 0}},
+		{"source too long", []byte{0, 1, 64, 0, 1, 2, 3, 4, 5, 6, 7, 8}},
+		{"nonzero pad bits", []byte{0, 1, 24, 0, 203, 0, 113, 7}}, // /24 with 4 octets
+	}
+	for _, c := range cases {
+		if _, err := ParseECS(c.b); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+	// Non-zero bits inside the last significant octet also rejected:
+	// /23 with byte 113 (odd) has a non-zero trailing bit.
+	b := []byte{0, 1, 23, 0, 203, 0, 113}
+	if _, err := ParseECS(b); err == nil {
+		t.Error("non-zero trailing bits accepted")
+	}
+}
+
+func TestMessageECSRoundTrip(t *testing.T) {
+	m := NewQuery(1, "cdn.example.com", TypeA)
+	want := ECS{Prefix: netip.MustParsePrefix("198.51.100.0/24")}
+	if err := m.SetECS(want, MaxEDNSSize); err != nil {
+		t.Fatal(err)
+	}
+	wire, err := m.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unpack(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, ok := got.GetECS()
+	if !ok {
+		t.Fatal("ECS lost in transit")
+	}
+	if e.Prefix != want.Prefix {
+		t.Errorf("prefix = %v", e.Prefix)
+	}
+	// Replacing keeps a single ECS option.
+	if err := m.SetECS(ECS{Prefix: netip.MustParsePrefix("192.0.2.0/24")}, MaxEDNSSize); err != nil {
+		t.Fatal(err)
+	}
+	opt, _ := m.EDNS()
+	n := 0
+	for _, o := range opt.Options {
+		if o.Code == OptionCodeECS {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Errorf("ECS options = %d", n)
+	}
+}
+
+func TestGetECSAbsent(t *testing.T) {
+	m := NewQuery(1, "example.com", TypeA)
+	if _, ok := m.GetECS(); ok {
+		t.Error("ECS found on plain query")
+	}
+	m.SetEDNS(512, false)
+	if _, ok := m.GetECS(); ok {
+		t.Error("ECS found on EDNS query without the option")
+	}
+}
+
+func TestPadTo(t *testing.T) {
+	m := NewQuery(1, "example.com", TypeA)
+	m.SetEDNS(MaxEDNSSize, false)
+	if err := m.PadTo(128); err != nil {
+		t.Fatal(err)
+	}
+	wire, err := m.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wire)%128 != 0 {
+		t.Errorf("padded length %d not a multiple of 128", len(wire))
+	}
+	// Re-padding replaces rather than accumulates.
+	if err := m.PadTo(128); err != nil {
+		t.Fatal(err)
+	}
+	wire2, _ := m.Pack()
+	if len(wire2) != len(wire) {
+		t.Errorf("re-pad changed length: %d vs %d", len(wire2), len(wire))
+	}
+	// Round trip survives.
+	if _, err := Unpack(wire2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPadToRequiresEDNS(t *testing.T) {
+	m := NewQuery(1, "example.com", TypeA)
+	if err := m.PadTo(128); err == nil {
+		t.Error("padding without OPT accepted")
+	}
+	m.SetEDNS(512, false)
+	if err := m.PadTo(0); err == nil {
+		t.Error("zero block accepted")
+	}
+}
+
+func TestPadToProperty(t *testing.T) {
+	f := func(nameSeed uint8, block8 uint8) bool {
+		block := (int(block8)%8 + 1) * 16 // 16..128
+		name := "q" + string(rune('a'+nameSeed%26)) + ".example.com"
+		m := NewQuery(uint16(nameSeed), name, TypeA)
+		m.SetEDNS(MaxEDNSSize, false)
+		if err := m.PadTo(block); err != nil {
+			return false
+		}
+		wire, err := m.Pack()
+		if err != nil {
+			return false
+		}
+		return len(wire)%block == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,86 @@
+package dnswire
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+)
+
+// FuzzUnpack drives the wire parser with arbitrary bytes; it must never
+// panic, and anything it accepts must re-pack and re-parse consistently
+// (the parse → pack → parse fixpoint property). Seeds cover real message
+// shapes; `go test` runs the seed corpus, `go test -fuzz=FuzzUnpack`
+// explores further.
+func FuzzUnpack(f *testing.F) {
+	seed := func(m *Message) {
+		if b, err := m.Pack(); err == nil {
+			f.Add(b)
+		}
+	}
+	seed(NewQuery(1, "google.com", TypeA))
+	q := NewQuery(2, "www.example.com", TypeAAAA)
+	q.SetEDNS(MaxEDNSSize, true)
+	seed(q)
+	r := NewQuery(3, "amazon.com", TypeA).Reply()
+	r.Answers = append(r.Answers,
+		Record{Name: "amazon.com", Type: TypeCNAME, Class: ClassIN, TTL: 60,
+			Data: &CNAME{Target: "www.amazon.com"}},
+		Record{Name: "www.amazon.com", Type: TypeA, Class: ClassIN, TTL: 60,
+			Data: &A{Addr: netip.MustParseAddr("52.94.236.248")}})
+	r.Authority = append(r.Authority, Record{
+		Name: "amazon.com", Type: TypeSOA, Class: ClassIN, TTL: 300,
+		Data: &SOA{MName: "ns1.amazon.com.", RName: "root.amazon.com.",
+			Serial: 1, Refresh: 2, Retry: 3, Expire: 4, Minimum: 5}})
+	seed(r)
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 0x80, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0xC0, 0x0C, 0, 1, 0, 1})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Unpack(data)
+		if err != nil {
+			return
+		}
+		repacked, err := m.Pack()
+		if err != nil {
+			// Some parses are not re-encodable (e.g. counts the packer
+			// cannot reproduce); that is acceptable as long as nothing
+			// panicked.
+			return
+		}
+		m2, err := Unpack(repacked)
+		if err != nil {
+			t.Fatalf("repacked message does not parse: %v\noriginal: %x\nrepacked: %x", err, data, repacked)
+		}
+		b3, err := m2.Pack()
+		if err != nil {
+			t.Fatalf("second pack failed: %v", err)
+		}
+		if !bytes.Equal(repacked, b3) {
+			t.Fatalf("pack not a fixpoint:\nfirst:  %x\nsecond: %x", repacked, b3)
+		}
+	})
+}
+
+// FuzzReadName drives the name decoder alone, where the compression
+// pointer logic lives.
+func FuzzReadName(f *testing.F) {
+	b, _ := appendName(nil, "www.example.com", nil)
+	f.Add(b, 0)
+	f.Add([]byte{0xC0, 0x00}, 0)
+	f.Add([]byte{3, 'c', 'o', 'm', 0}, 0)
+	f.Fuzz(func(t *testing.T, data []byte, off int) {
+		if off < 0 || off > len(data) {
+			return
+		}
+		name, end, err := readName(data, off)
+		if err != nil {
+			return
+		}
+		if end < off || end > len(data) {
+			t.Fatalf("end %d out of range [%d, %d]", end, off, len(data))
+		}
+		if err := ValidateName(name); err != nil && name != "." {
+			t.Fatalf("decoder produced invalid name %q: %v", name, err)
+		}
+	})
+}

@@ -1,0 +1,370 @@
+package dnswire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Errors returned by message encoding and decoding.
+var (
+	ErrTruncatedMessage = errors.New("dnswire: truncated message")
+	ErrMessageTooLarge  = errors.New("dnswire: message exceeds 65535 octets")
+	ErrTrailingGarbage  = errors.New("dnswire: trailing bytes after message")
+)
+
+// Header is the 12-octet DNS message header (RFC 1035 §4.1.1).
+type Header struct {
+	ID     uint16
+	QR     bool // response flag
+	Opcode Opcode
+	AA     bool // authoritative answer
+	TC     bool // truncated
+	RD     bool // recursion desired
+	RA     bool // recursion available
+	AD     bool // authentic data (RFC 4035)
+	CD     bool // checking disabled (RFC 4035)
+	RCode  RCode
+}
+
+// Question is one entry of the question section (RFC 1035 §4.1.2).
+type Question struct {
+	Name  string
+	Type  Type
+	Class Class
+}
+
+// String renders the question in dig-like presentation format.
+func (q Question) String() string {
+	return fmt.Sprintf("%s %s %s", CanonicalName(q.Name), q.Class, q.Type)
+}
+
+// Record is one resource record: common fields plus typed RDATA.
+type Record struct {
+	Name  string
+	Type  Type
+	Class Class
+	TTL   uint32
+	Data  RData
+}
+
+// String renders the record in zone-file-like presentation format.
+func (r Record) String() string {
+	return fmt.Sprintf("%s %d %s %s %s",
+		CanonicalName(r.Name), r.TTL, r.Class, r.Type, r.Data)
+}
+
+// Message is a full DNS message.
+type Message struct {
+	Header     Header
+	Questions  []Question
+	Answers    []Record
+	Authority  []Record
+	Additional []Record
+}
+
+// NewQuery builds a standard recursive query for one question with the
+// given message ID.
+func NewQuery(id uint16, name string, t Type) *Message {
+	return &Message{
+		Header:    Header{ID: id, RD: true},
+		Questions: []Question{{Name: CanonicalName(name), Type: t, Class: ClassIN}},
+	}
+}
+
+// Reply builds a response skeleton for the message: same ID, opcode, and
+// question, QR set, RD copied.
+func (m *Message) Reply() *Message {
+	r := &Message{
+		Header: Header{
+			ID:     m.Header.ID,
+			QR:     true,
+			Opcode: m.Header.Opcode,
+			RD:     m.Header.RD,
+		},
+	}
+	r.Questions = append(r.Questions, m.Questions...)
+	return r
+}
+
+// Question0 returns the first question, or a zero Question when absent.
+// Virtually all real-world messages carry exactly one question.
+func (m *Message) Question0() Question {
+	if len(m.Questions) == 0 {
+		return Question{}
+	}
+	return m.Questions[0]
+}
+
+// EDNS returns the OPT pseudo-record from the additional section, if any.
+func (m *Message) EDNS() (*OPT, bool) {
+	for i := range m.Additional {
+		if m.Additional[i].Type == TypeOPT {
+			if o, ok := m.Additional[i].Data.(*OPT); ok {
+				return o, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// SetEDNS attaches (or replaces) an OPT pseudo-record advertising the given
+// UDP payload size and DO bit.
+func (m *Message) SetEDNS(udpSize uint16, do bool) {
+	for i := range m.Additional {
+		if m.Additional[i].Type == TypeOPT {
+			m.Additional = append(m.Additional[:i], m.Additional[i+1:]...)
+			break
+		}
+	}
+	opt := &OPT{UDPSize: udpSize, DO: do}
+	m.Additional = append(m.Additional, Record{
+		Name: ".", Type: TypeOPT, Class: Class(udpSize), Data: opt,
+	})
+}
+
+// packFlags assembles the 16 header flag bits.
+func (h Header) packFlags() uint16 {
+	var f uint16
+	if h.QR {
+		f |= 1 << 15
+	}
+	f |= uint16(h.Opcode&0xF) << 11
+	if h.AA {
+		f |= 1 << 10
+	}
+	if h.TC {
+		f |= 1 << 9
+	}
+	if h.RD {
+		f |= 1 << 8
+	}
+	if h.RA {
+		f |= 1 << 7
+	}
+	if h.AD {
+		f |= 1 << 5
+	}
+	if h.CD {
+		f |= 1 << 4
+	}
+	f |= uint16(h.RCode & 0xF)
+	return f
+}
+
+// unpackFlags splits the 16 header flag bits.
+func unpackFlags(f uint16) Header {
+	return Header{
+		QR:     f&(1<<15) != 0,
+		Opcode: Opcode(f >> 11 & 0xF),
+		AA:     f&(1<<10) != 0,
+		TC:     f&(1<<9) != 0,
+		RD:     f&(1<<8) != 0,
+		RA:     f&(1<<7) != 0,
+		AD:     f&(1<<5) != 0,
+		CD:     f&(1<<4) != 0,
+		RCode:  RCode(f & 0xF),
+	}
+}
+
+// Pack encodes the message into wire format with name compression.
+func (m *Message) Pack() ([]byte, error) {
+	buf := make([]byte, 12, 12+64)
+	binary.BigEndian.PutUint16(buf[0:], m.Header.ID)
+	binary.BigEndian.PutUint16(buf[2:], m.Header.packFlags())
+	binary.BigEndian.PutUint16(buf[4:], uint16(len(m.Questions)))
+	binary.BigEndian.PutUint16(buf[6:], uint16(len(m.Answers)))
+	binary.BigEndian.PutUint16(buf[8:], uint16(len(m.Authority)))
+	binary.BigEndian.PutUint16(buf[10:], uint16(len(m.Additional)))
+
+	cmap := make(map[string]int)
+	var err error
+	for _, q := range m.Questions {
+		if buf, err = appendName(buf, q.Name, cmap); err != nil {
+			return nil, fmt.Errorf("question %q: %w", q.Name, err)
+		}
+		buf = binary.BigEndian.AppendUint16(buf, uint16(q.Type))
+		buf = binary.BigEndian.AppendUint16(buf, uint16(q.Class))
+	}
+	for _, sec := range [][]Record{m.Answers, m.Authority, m.Additional} {
+		for _, rr := range sec {
+			if buf, err = appendRecord(buf, rr, cmap); err != nil {
+				return nil, fmt.Errorf("record %q %s: %w", rr.Name, rr.Type, err)
+			}
+		}
+	}
+	if len(buf) > MaxMessageSize {
+		return nil, ErrMessageTooLarge
+	}
+	return buf, nil
+}
+
+// appendRecord encodes one resource record, including its RDATA.
+func appendRecord(buf []byte, rr Record, cmap map[string]int) ([]byte, error) {
+	var err error
+	if buf, err = appendName(buf, rr.Name, cmap); err != nil {
+		return nil, err
+	}
+	// The OPT pseudo-RR (RFC 6891 §6.1.2) repurposes CLASS as the UDP
+	// payload size and TTL as extended-RCODE/version/flags; derive both
+	// from the typed payload so callers only fill in the OPT struct.
+	if opt, ok := rr.Data.(*OPT); ok && rr.Type == TypeOPT {
+		rr.Class = Class(opt.UDPSize)
+		rr.TTL = uint32(opt.ExtRCode)<<24 | uint32(opt.Version)<<16
+		if opt.DO {
+			rr.TTL |= 1 << 15
+		}
+	}
+	buf = binary.BigEndian.AppendUint16(buf, uint16(rr.Type))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(rr.Class))
+	buf = binary.BigEndian.AppendUint32(buf, rr.TTL)
+	// Reserve RDLENGTH, encode RDATA, then backfill the length.
+	lenAt := len(buf)
+	buf = append(buf, 0, 0)
+	if rr.Data == nil {
+		return nil, errors.New("dnswire: record has nil RDATA")
+	}
+	// RDATA names are compressible for the types RFC 1035 defines as such
+	// (NS, CNAME, SOA, PTR, MX); appendRData passes cmap selectively.
+	buf, err = rr.Data.appendRData(buf, cmap)
+	if err != nil {
+		return nil, err
+	}
+	rdlen := len(buf) - lenAt - 2
+	if rdlen > 0xFFFF {
+		return nil, errors.New("dnswire: RDATA exceeds 65535 octets")
+	}
+	binary.BigEndian.PutUint16(buf[lenAt:], uint16(rdlen))
+	return buf, nil
+}
+
+// Unpack decodes a wire-format message. It is strict: short sections,
+// malformed names, and RDATA length mismatches are errors. Trailing bytes
+// after the counted sections are rejected.
+func Unpack(msg []byte) (*Message, error) {
+	if len(msg) < 12 {
+		return nil, ErrTruncatedMessage
+	}
+	var m Message
+	m.Header = unpackFlags(binary.BigEndian.Uint16(msg[2:]))
+	m.Header.ID = binary.BigEndian.Uint16(msg[0:])
+	qd := int(binary.BigEndian.Uint16(msg[4:]))
+	an := int(binary.BigEndian.Uint16(msg[6:]))
+	ns := int(binary.BigEndian.Uint16(msg[8:]))
+	ar := int(binary.BigEndian.Uint16(msg[10:]))
+
+	off := 12
+	var err error
+	for i := 0; i < qd; i++ {
+		var q Question
+		if q.Name, off, err = readName(msg, off); err != nil {
+			return nil, err
+		}
+		if off+4 > len(msg) {
+			return nil, ErrTruncatedMessage
+		}
+		q.Type = Type(binary.BigEndian.Uint16(msg[off:]))
+		q.Class = Class(binary.BigEndian.Uint16(msg[off+2:]))
+		off += 4
+		m.Questions = append(m.Questions, q)
+	}
+	for _, sec := range []struct {
+		n   int
+		dst *[]Record
+	}{{an, &m.Answers}, {ns, &m.Authority}, {ar, &m.Additional}} {
+		for i := 0; i < sec.n; i++ {
+			var rr Record
+			if rr, off, err = readRecord(msg, off); err != nil {
+				return nil, err
+			}
+			*sec.dst = append(*sec.dst, rr)
+		}
+	}
+	// An EDNS OPT record extends the RCODE with 8 more high bits.
+	if opt, ok := m.EDNS(); ok {
+		m.Header.RCode |= RCode(opt.ExtRCode) << 4
+	}
+	if off != len(msg) {
+		return nil, ErrTrailingGarbage
+	}
+	return &m, nil
+}
+
+// readRecord decodes one resource record at off.
+func readRecord(msg []byte, off int) (Record, int, error) {
+	var rr Record
+	var err error
+	if rr.Name, off, err = readName(msg, off); err != nil {
+		return rr, 0, err
+	}
+	if off+10 > len(msg) {
+		return rr, 0, ErrTruncatedMessage
+	}
+	rr.Type = Type(binary.BigEndian.Uint16(msg[off:]))
+	rr.Class = Class(binary.BigEndian.Uint16(msg[off+2:]))
+	rr.TTL = binary.BigEndian.Uint32(msg[off+4:])
+	rdlen := int(binary.BigEndian.Uint16(msg[off+8:]))
+	off += 10
+	if off+rdlen > len(msg) {
+		return rr, 0, ErrTruncatedMessage
+	}
+	rr.Data, err = parseRData(rr.Type, msg, off, rdlen)
+	if err != nil {
+		return rr, 0, err
+	}
+	// Reverse the OPT pseudo-RR field packing (see appendRecord).
+	if opt, ok := rr.Data.(*OPT); ok {
+		opt.UDPSize = uint16(rr.Class)
+		opt.ExtRCode = uint8(rr.TTL >> 24)
+		opt.Version = uint8(rr.TTL >> 16)
+		opt.DO = rr.TTL&(1<<15) != 0
+	}
+	return rr, off + rdlen, nil
+}
+
+// String renders the message in a dig-like multi-section format, useful for
+// logs and the CLI's verbose mode.
+func (m *Message) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, ";; opcode: %s, status: %s, id: %d\n",
+		m.Header.Opcode, m.Header.RCode, m.Header.ID)
+	fmt.Fprintf(&sb, ";; flags:%s; QUERY: %d, ANSWER: %d, AUTHORITY: %d, ADDITIONAL: %d\n",
+		m.flagString(), len(m.Questions), len(m.Answers), len(m.Authority), len(m.Additional))
+	if len(m.Questions) > 0 {
+		sb.WriteString(";; QUESTION SECTION:\n")
+		for _, q := range m.Questions {
+			fmt.Fprintf(&sb, ";%s\n", q)
+		}
+	}
+	for _, sec := range []struct {
+		name string
+		rrs  []Record
+	}{{"ANSWER", m.Answers}, {"AUTHORITY", m.Authority}, {"ADDITIONAL", m.Additional}} {
+		if len(sec.rrs) == 0 {
+			continue
+		}
+		fmt.Fprintf(&sb, ";; %s SECTION:\n", sec.name)
+		for _, rr := range sec.rrs {
+			fmt.Fprintf(&sb, "%s\n", rr)
+		}
+	}
+	return sb.String()
+}
+
+func (m *Message) flagString() string {
+	var parts []string
+	h := m.Header
+	for _, f := range []struct {
+		on   bool
+		name string
+	}{{h.QR, "qr"}, {h.AA, "aa"}, {h.TC, "tc"}, {h.RD, "rd"}, {h.RA, "ra"}, {h.AD, "ad"}, {h.CD, "cd"}} {
+		if f.on {
+			parts = append(parts, f.name)
+		}
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return " " + strings.Join(parts, " ")
+}

@@ -1,0 +1,251 @@
+package dnswire
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Errors returned by name encoding and decoding.
+var (
+	ErrNameTooLong     = errors.New("dnswire: name exceeds 255 octets")
+	ErrLabelTooLong    = errors.New("dnswire: label exceeds 63 octets")
+	ErrEmptyLabel      = errors.New("dnswire: empty label")
+	ErrCompressionLoop = errors.New("dnswire: compression pointer loop")
+	ErrTruncatedName   = errors.New("dnswire: truncated name")
+	ErrBadPointer      = errors.New("dnswire: compression pointer out of range")
+)
+
+// Presentation-format escaping (RFC 4343 §2.1): wire labels are 8-bit
+// clean, so a label byte that is a dot, a backslash, or non-printable is
+// rendered as "\." / "\\" / "\DDD" in the string form. The codec escapes
+// on decode and unescapes on encode, keeping string ↔ wire unambiguous
+// even for hostile labels (a property the fuzzer checks).
+
+// escapeLabel renders one raw wire label in presentation form.
+func escapeLabel(raw []byte) string {
+	var sb strings.Builder
+	for _, b := range raw {
+		switch {
+		case b == '.' || b == '\\':
+			sb.WriteByte('\\')
+			sb.WriteByte(b)
+		case b < '!' || b > '~':
+			fmt.Fprintf(&sb, "\\%03d", b)
+		default:
+			sb.WriteByte(b)
+		}
+	}
+	return sb.String()
+}
+
+// unescapeLabel converts a presentation label back to raw wire bytes.
+func unescapeLabel(label string) ([]byte, error) {
+	out := make([]byte, 0, len(label))
+	for i := 0; i < len(label); i++ {
+		c := label[i]
+		if c != '\\' {
+			out = append(out, c)
+			continue
+		}
+		if i+1 >= len(label) {
+			return nil, fmt.Errorf("dnswire: dangling escape in label %q", label)
+		}
+		next := label[i+1]
+		if next >= '0' && next <= '9' {
+			if i+3 >= len(label) || label[i+2] < '0' || label[i+2] > '9' ||
+				label[i+3] < '0' || label[i+3] > '9' {
+				return nil, fmt.Errorf("dnswire: bad \\DDD escape in label %q", label)
+			}
+			v := int(next-'0')*100 + int(label[i+2]-'0')*10 + int(label[i+3]-'0')
+			if v > 255 {
+				return nil, fmt.Errorf("dnswire: \\DDD escape out of range in label %q", label)
+			}
+			out = append(out, byte(v))
+			i += 3
+			continue
+		}
+		out = append(out, next)
+		i++
+	}
+	return out, nil
+}
+
+// CanonicalName lowercases a domain name and ensures it ends with a single
+// trailing dot, turning "" into ".". DNS names are case-insensitive
+// (RFC 1035 §2.3.3) and the codec canonicalises on decode so lookups and
+// comparisons are byte-equal. Escapes are preserved.
+func CanonicalName(name string) string {
+	name = strings.ToLower(strings.TrimSuffix(name, "."))
+	return name + "."
+}
+
+// SplitLabels returns the labels of a canonical name, without the root,
+// splitting only at unescaped dots. Labels stay in presentation
+// (escaped) form. "www.example.com." → ["www", "example", "com"];
+// "." → nil.
+func SplitLabels(name string) []string {
+	name = strings.TrimSuffix(name, ".")
+	if name == "" {
+		return nil
+	}
+	var out []string
+	start := 0
+	for i := 0; i < len(name); i++ {
+		switch name[i] {
+		case '\\':
+			i++ // skip the escaped byte
+		case '.':
+			out = append(out, name[start:i])
+			start = i + 1
+		}
+	}
+	return append(out, name[start:])
+}
+
+// ParentName strips the leftmost label: "www.example.com." → "example.com.";
+// the root's parent is the root.
+func ParentName(name string) string {
+	name = CanonicalName(name)
+	if name == "." {
+		return "."
+	}
+	for i := 0; i < len(name); i++ {
+		switch name[i] {
+		case '\\':
+			i++
+		case '.':
+			if i+1 == len(name) {
+				return "."
+			}
+			return name[i+1:]
+		}
+	}
+	return "."
+}
+
+// IsSubdomain reports whether child is equal to or below parent (both are
+// canonicalised first). Every name is a subdomain of the root.
+func IsSubdomain(child, parent string) bool {
+	child, parent = CanonicalName(child), CanonicalName(parent)
+	if parent == "." {
+		return true
+	}
+	return child == parent || strings.HasSuffix(child, "."+parent)
+}
+
+// appendName encodes a domain name into wire format, appending to buf.
+// When cmap is non-nil it performs RFC 1035 §4.1.4 compression, recording
+// and reusing suffix offsets. The name is canonicalised before encoding.
+func appendName(buf []byte, name string, cmap map[string]int) ([]byte, error) {
+	name = CanonicalName(name)
+	if name == "." {
+		return append(buf, 0), nil
+	}
+	// Wire length check: each label costs len+1, plus the final root byte.
+	labels := SplitLabels(name)
+	raw := make([][]byte, len(labels))
+	wireLen := 1
+	for i, l := range labels {
+		if l == "" {
+			return buf, ErrEmptyLabel
+		}
+		rl, err := unescapeLabel(l)
+		if err != nil {
+			return buf, err
+		}
+		if len(rl) == 0 {
+			return buf, ErrEmptyLabel
+		}
+		if len(rl) > maxLabelLen {
+			return buf, ErrLabelTooLong
+		}
+		raw[i] = rl
+		wireLen += len(rl) + 1
+	}
+	if wireLen > maxNameLen {
+		return buf, ErrNameTooLong
+	}
+	for i := range labels {
+		suffix := strings.Join(labels[i:], ".") + "."
+		if cmap != nil {
+			if off, ok := cmap[suffix]; ok {
+				// Pointers are 14-bit; offsets beyond that are not reusable.
+				if off <= 0x3FFF {
+					return append(buf, 0xC0|byte(off>>8), byte(off)), nil
+				}
+			}
+			if len(buf) <= 0x3FFF {
+				cmap[suffix] = len(buf)
+			}
+		}
+		buf = append(buf, byte(len(raw[i])))
+		buf = append(buf, raw[i]...)
+	}
+	return append(buf, 0), nil
+}
+
+// readName decodes a domain name starting at off, following compression
+// pointers. It returns the canonical name and the offset just past the name
+// in the original (non-pointer) byte stream. Pointer chains are bounded to
+// reject loops; names that exceed RFC limits are rejected.
+func readName(msg []byte, off int) (string, int, error) {
+	var sb strings.Builder
+	ptrBudget := 32 // far more than any legitimate message nests
+	nameLen := 0
+	end := -1 // offset after the name in the top-level stream
+	for {
+		if off >= len(msg) {
+			return "", 0, ErrTruncatedName
+		}
+		b := msg[off]
+		switch {
+		case b == 0:
+			if end < 0 {
+				end = off + 1
+			}
+			if sb.Len() == 0 {
+				return ".", end, nil
+			}
+			return strings.ToLower(sb.String()), end, nil
+		case b&0xC0 == 0xC0:
+			if off+1 >= len(msg) {
+				return "", 0, ErrTruncatedName
+			}
+			if ptrBudget--; ptrBudget < 0 {
+				return "", 0, ErrCompressionLoop
+			}
+			target := int(b&0x3F)<<8 | int(msg[off+1])
+			if end < 0 {
+				end = off + 2
+			}
+			if target >= off {
+				// Forward (or self) pointers enable loops; RFC compression
+				// only ever points backwards.
+				return "", 0, ErrBadPointer
+			}
+			off = target
+		case b&0xC0 != 0:
+			return "", 0, fmt.Errorf("dnswire: reserved label type 0x%02x", b&0xC0)
+		default:
+			l := int(b)
+			if off+1+l > len(msg) {
+				return "", 0, ErrTruncatedName
+			}
+			nameLen += l + 1
+			if nameLen > maxNameLen {
+				return "", 0, ErrNameTooLong
+			}
+			sb.WriteString(escapeLabel(msg[off+1 : off+1+l]))
+			sb.WriteByte('.')
+			off += 1 + l
+		}
+	}
+}
+
+// ValidateName checks that a presentation-format name can be encoded:
+// labels non-empty and <= 63 octets, total wire length <= 255.
+func ValidateName(name string) error {
+	_, err := appendName(nil, name, nil)
+	return err
+}

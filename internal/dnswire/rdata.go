@@ -1,0 +1,455 @@
+package dnswire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+	"strings"
+)
+
+// RData is the typed payload of a resource record.
+type RData interface {
+	// appendRData encodes the RDATA, appending to buf. cmap is the message
+	// compression map; implementations for the RFC 1035 types whose names
+	// are compressible pass it through, others must not.
+	appendRData(buf []byte, cmap map[string]int) ([]byte, error)
+	// String renders the RDATA in presentation format.
+	String() string
+}
+
+// ErrBadRData reports malformed RDATA for the record type.
+var ErrBadRData = errors.New("dnswire: malformed RDATA")
+
+// parseRData decodes rdlen octets at off as the RDATA of type t. Unknown
+// types decode to Raw.
+func parseRData(t Type, msg []byte, off, rdlen int) (RData, error) {
+	rd := msg[off : off+rdlen]
+	switch t {
+	case TypeA:
+		if rdlen != 4 {
+			return nil, fmt.Errorf("%w: A length %d", ErrBadRData, rdlen)
+		}
+		return &A{Addr: netip.AddrFrom4([4]byte(rd))}, nil
+	case TypeAAAA:
+		if rdlen != 16 {
+			return nil, fmt.Errorf("%w: AAAA length %d", ErrBadRData, rdlen)
+		}
+		return &AAAA{Addr: netip.AddrFrom16([16]byte(rd))}, nil
+	case TypeNS, TypeCNAME, TypePTR:
+		name, end, err := readName(msg, off)
+		if err != nil {
+			return nil, err
+		}
+		if end != off+rdlen {
+			return nil, fmt.Errorf("%w: %s name length", ErrBadRData, t)
+		}
+		switch t {
+		case TypeNS:
+			return &NS{Host: name}, nil
+		case TypeCNAME:
+			return &CNAME{Target: name}, nil
+		default:
+			return &PTR{Target: name}, nil
+		}
+	case TypeSOA:
+		return parseSOA(msg, off, rdlen)
+	case TypeMX:
+		if rdlen < 3 {
+			return nil, fmt.Errorf("%w: MX too short", ErrBadRData)
+		}
+		pref := binary.BigEndian.Uint16(rd)
+		host, end, err := readName(msg, off+2)
+		if err != nil {
+			return nil, err
+		}
+		if end != off+rdlen {
+			return nil, fmt.Errorf("%w: MX name length", ErrBadRData)
+		}
+		return &MX{Preference: pref, Host: host}, nil
+	case TypeTXT:
+		return parseTXT(rd)
+	case TypeSRV:
+		if rdlen < 7 {
+			return nil, fmt.Errorf("%w: SRV too short", ErrBadRData)
+		}
+		target, end, err := readName(msg, off+6)
+		if err != nil {
+			return nil, err
+		}
+		if end != off+rdlen {
+			return nil, fmt.Errorf("%w: SRV name length", ErrBadRData)
+		}
+		return &SRV{
+			Priority: binary.BigEndian.Uint16(rd),
+			Weight:   binary.BigEndian.Uint16(rd[2:]),
+			Port:     binary.BigEndian.Uint16(rd[4:]),
+			Target:   target,
+		}, nil
+	case TypeOPT:
+		return parseOPT(rd)
+	case TypeCAA:
+		return parseCAA(rd)
+	case TypeSVCB, TypeHTTPS:
+		return parseSVCB(t, msg, off, rdlen)
+	case TypeDNSKEY:
+		return parseDNSKEY(rd)
+	case TypeDS:
+		return parseDS(rd)
+	case TypeRRSIG:
+		return parseRRSIG(msg, off, rdlen)
+	case TypeNSEC:
+		return parseNSEC(msg, off, rdlen)
+	default:
+		raw := make([]byte, rdlen)
+		copy(raw, rd)
+		return &Raw{Type: t, Data: raw}, nil
+	}
+}
+
+// A is an IPv4 address record (RFC 1035 §3.4.1).
+type A struct{ Addr netip.Addr }
+
+func (a *A) appendRData(buf []byte, _ map[string]int) ([]byte, error) {
+	if !a.Addr.Is4() {
+		return nil, fmt.Errorf("%w: A with non-IPv4 address %s", ErrBadRData, a.Addr)
+	}
+	b := a.Addr.As4()
+	return append(buf, b[:]...), nil
+}
+
+func (a *A) String() string { return a.Addr.String() }
+
+// AAAA is an IPv6 address record (RFC 3596).
+type AAAA struct{ Addr netip.Addr }
+
+func (a *AAAA) appendRData(buf []byte, _ map[string]int) ([]byte, error) {
+	if !a.Addr.Is6() || a.Addr.Is4In6() {
+		return nil, fmt.Errorf("%w: AAAA with non-IPv6 address %s", ErrBadRData, a.Addr)
+	}
+	b := a.Addr.As16()
+	return append(buf, b[:]...), nil
+}
+
+func (a *AAAA) String() string { return a.Addr.String() }
+
+// NS is a delegation record (RFC 1035 §3.3.11).
+type NS struct{ Host string }
+
+func (n *NS) appendRData(buf []byte, cmap map[string]int) ([]byte, error) {
+	return appendName(buf, n.Host, cmap)
+}
+
+func (n *NS) String() string { return CanonicalName(n.Host) }
+
+// CNAME is an alias record (RFC 1035 §3.3.1).
+type CNAME struct{ Target string }
+
+func (c *CNAME) appendRData(buf []byte, cmap map[string]int) ([]byte, error) {
+	return appendName(buf, c.Target, cmap)
+}
+
+func (c *CNAME) String() string { return CanonicalName(c.Target) }
+
+// PTR is a reverse-mapping record (RFC 1035 §3.3.12).
+type PTR struct{ Target string }
+
+func (p *PTR) appendRData(buf []byte, cmap map[string]int) ([]byte, error) {
+	return appendName(buf, p.Target, cmap)
+}
+
+func (p *PTR) String() string { return CanonicalName(p.Target) }
+
+// SOA is a start-of-authority record (RFC 1035 §3.3.13).
+type SOA struct {
+	MName   string // primary name server
+	RName   string // responsible mailbox
+	Serial  uint32
+	Refresh uint32
+	Retry   uint32
+	Expire  uint32
+	Minimum uint32 // negative-caching TTL per RFC 2308
+}
+
+func (s *SOA) appendRData(buf []byte, cmap map[string]int) ([]byte, error) {
+	var err error
+	if buf, err = appendName(buf, s.MName, cmap); err != nil {
+		return nil, err
+	}
+	if buf, err = appendName(buf, s.RName, cmap); err != nil {
+		return nil, err
+	}
+	buf = binary.BigEndian.AppendUint32(buf, s.Serial)
+	buf = binary.BigEndian.AppendUint32(buf, s.Refresh)
+	buf = binary.BigEndian.AppendUint32(buf, s.Retry)
+	buf = binary.BigEndian.AppendUint32(buf, s.Expire)
+	buf = binary.BigEndian.AppendUint32(buf, s.Minimum)
+	return buf, nil
+}
+
+func (s *SOA) String() string {
+	return fmt.Sprintf("%s %s %d %d %d %d %d",
+		CanonicalName(s.MName), CanonicalName(s.RName),
+		s.Serial, s.Refresh, s.Retry, s.Expire, s.Minimum)
+}
+
+func parseSOA(msg []byte, off, rdlen int) (*SOA, error) {
+	var s SOA
+	var err error
+	end := off + rdlen
+	if s.MName, off, err = readName(msg, off); err != nil {
+		return nil, err
+	}
+	if s.RName, off, err = readName(msg, off); err != nil {
+		return nil, err
+	}
+	if off+20 != end {
+		return nil, fmt.Errorf("%w: SOA fixed fields", ErrBadRData)
+	}
+	s.Serial = binary.BigEndian.Uint32(msg[off:])
+	s.Refresh = binary.BigEndian.Uint32(msg[off+4:])
+	s.Retry = binary.BigEndian.Uint32(msg[off+8:])
+	s.Expire = binary.BigEndian.Uint32(msg[off+12:])
+	s.Minimum = binary.BigEndian.Uint32(msg[off+16:])
+	return &s, nil
+}
+
+// MX is a mail-exchange record (RFC 1035 §3.3.9).
+type MX struct {
+	Preference uint16
+	Host       string
+}
+
+func (m *MX) appendRData(buf []byte, cmap map[string]int) ([]byte, error) {
+	buf = binary.BigEndian.AppendUint16(buf, m.Preference)
+	return appendName(buf, m.Host, cmap)
+}
+
+func (m *MX) String() string {
+	return fmt.Sprintf("%d %s", m.Preference, CanonicalName(m.Host))
+}
+
+// TXT is a text record (RFC 1035 §3.3.14): one or more character-strings.
+type TXT struct{ Strings []string }
+
+func (t *TXT) appendRData(buf []byte, _ map[string]int) ([]byte, error) {
+	if len(t.Strings) == 0 {
+		return nil, fmt.Errorf("%w: TXT needs at least one string", ErrBadRData)
+	}
+	for _, s := range t.Strings {
+		if len(s) > 255 {
+			return nil, fmt.Errorf("%w: TXT string exceeds 255 octets", ErrBadRData)
+		}
+		buf = append(buf, byte(len(s)))
+		buf = append(buf, s...)
+	}
+	return buf, nil
+}
+
+func (t *TXT) String() string {
+	parts := make([]string, len(t.Strings))
+	for i, s := range t.Strings {
+		parts[i] = fmt.Sprintf("%q", s)
+	}
+	return strings.Join(parts, " ")
+}
+
+func parseTXT(rd []byte) (*TXT, error) {
+	var t TXT
+	for len(rd) > 0 {
+		l := int(rd[0])
+		if 1+l > len(rd) {
+			return nil, fmt.Errorf("%w: TXT string overruns RDATA", ErrBadRData)
+		}
+		t.Strings = append(t.Strings, string(rd[1:1+l]))
+		rd = rd[1+l:]
+	}
+	if len(t.Strings) == 0 {
+		return nil, fmt.Errorf("%w: empty TXT", ErrBadRData)
+	}
+	return &t, nil
+}
+
+// SRV is a service-location record (RFC 2782). Its target name is not
+// compressible per the RFC.
+type SRV struct {
+	Priority uint16
+	Weight   uint16
+	Port     uint16
+	Target   string
+}
+
+func (s *SRV) appendRData(buf []byte, _ map[string]int) ([]byte, error) {
+	buf = binary.BigEndian.AppendUint16(buf, s.Priority)
+	buf = binary.BigEndian.AppendUint16(buf, s.Weight)
+	buf = binary.BigEndian.AppendUint16(buf, s.Port)
+	return appendName(buf, s.Target, nil)
+}
+
+func (s *SRV) String() string {
+	return fmt.Sprintf("%d %d %d %s", s.Priority, s.Weight, s.Port, CanonicalName(s.Target))
+}
+
+// CAA is a certification-authority-authorization record (RFC 8659).
+type CAA struct {
+	Flags uint8
+	Tag   string
+	Value string
+}
+
+func (c *CAA) appendRData(buf []byte, _ map[string]int) ([]byte, error) {
+	if len(c.Tag) == 0 || len(c.Tag) > 255 {
+		return nil, fmt.Errorf("%w: CAA tag length", ErrBadRData)
+	}
+	buf = append(buf, c.Flags, byte(len(c.Tag)))
+	buf = append(buf, c.Tag...)
+	return append(buf, c.Value...), nil
+}
+
+func (c *CAA) String() string {
+	return fmt.Sprintf("%d %s %q", c.Flags, c.Tag, c.Value)
+}
+
+func parseCAA(rd []byte) (*CAA, error) {
+	if len(rd) < 2 {
+		return nil, fmt.Errorf("%w: CAA too short", ErrBadRData)
+	}
+	tagLen := int(rd[1])
+	if tagLen == 0 || 2+tagLen > len(rd) {
+		return nil, fmt.Errorf("%w: CAA tag", ErrBadRData)
+	}
+	return &CAA{
+		Flags: rd[0],
+		Tag:   string(rd[2 : 2+tagLen]),
+		Value: string(rd[2+tagLen:]),
+	}, nil
+}
+
+// SVCB is a service-binding record (RFC 9460); HTTPS is its port-443
+// sibling. SvcParams are kept as opaque key/value pairs, which is all the
+// measurement tool needs (it never originates them, only round-trips them).
+type SVCB struct {
+	RRType   Type // TypeSVCB or TypeHTTPS
+	Priority uint16
+	Target   string
+	Params   []SvcParam
+}
+
+// SvcParam is one SvcParamKey/SvcParamValue pair.
+type SvcParam struct {
+	Key   uint16
+	Value []byte
+}
+
+func (s *SVCB) appendRData(buf []byte, _ map[string]int) ([]byte, error) {
+	buf = binary.BigEndian.AppendUint16(buf, s.Priority)
+	var err error
+	if buf, err = appendName(buf, s.Target, nil); err != nil {
+		return nil, err
+	}
+	for _, p := range s.Params {
+		buf = binary.BigEndian.AppendUint16(buf, p.Key)
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(p.Value)))
+		buf = append(buf, p.Value...)
+	}
+	return buf, nil
+}
+
+func (s *SVCB) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d %s", s.Priority, CanonicalName(s.Target))
+	for _, p := range s.Params {
+		fmt.Fprintf(&sb, " key%d=%x", p.Key, p.Value)
+	}
+	return sb.String()
+}
+
+func parseSVCB(t Type, msg []byte, off, rdlen int) (*SVCB, error) {
+	end := off + rdlen
+	if rdlen < 3 {
+		return nil, fmt.Errorf("%w: SVCB too short", ErrBadRData)
+	}
+	s := &SVCB{RRType: t, Priority: binary.BigEndian.Uint16(msg[off:])}
+	var err error
+	if s.Target, off, err = readName(msg, off+2); err != nil {
+		return nil, err
+	}
+	for off < end {
+		if off+4 > end {
+			return nil, fmt.Errorf("%w: SVCB param header", ErrBadRData)
+		}
+		key := binary.BigEndian.Uint16(msg[off:])
+		vlen := int(binary.BigEndian.Uint16(msg[off+2:]))
+		off += 4
+		if off+vlen > end {
+			return nil, fmt.Errorf("%w: SVCB param value", ErrBadRData)
+		}
+		v := make([]byte, vlen)
+		copy(v, msg[off:off+vlen])
+		s.Params = append(s.Params, SvcParam{Key: key, Value: v})
+		off += vlen
+	}
+	return s, nil
+}
+
+// OPT is the EDNS0 pseudo-record of RFC 6891. On the wire its CLASS carries
+// the requestor's UDP payload size and its TTL packs the extended RCODE,
+// EDNS version, and DO bit; Pack/Unpack translate between that encoding and
+// these fields.
+type OPT struct {
+	UDPSize  uint16
+	ExtRCode uint8
+	Version  uint8
+	DO       bool // DNSSEC OK
+	Options  []EDNSOption
+}
+
+// EDNSOption is one EDNS option TLV.
+type EDNSOption struct {
+	Code uint16
+	Data []byte
+}
+
+func (o *OPT) appendRData(buf []byte, _ map[string]int) ([]byte, error) {
+	for _, opt := range o.Options {
+		buf = binary.BigEndian.AppendUint16(buf, opt.Code)
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(opt.Data)))
+		buf = append(buf, opt.Data...)
+	}
+	return buf, nil
+}
+
+func (o *OPT) String() string {
+	return fmt.Sprintf("; EDNS: version %d; udp: %d; do: %v", o.Version, o.UDPSize, o.DO)
+}
+
+func parseOPT(rd []byte) (*OPT, error) {
+	var o OPT
+	for len(rd) > 0 {
+		if len(rd) < 4 {
+			return nil, fmt.Errorf("%w: OPT option header", ErrBadRData)
+		}
+		code := binary.BigEndian.Uint16(rd)
+		vlen := int(binary.BigEndian.Uint16(rd[2:]))
+		if 4+vlen > len(rd) {
+			return nil, fmt.Errorf("%w: OPT option value", ErrBadRData)
+		}
+		v := make([]byte, vlen)
+		copy(v, rd[4:4+vlen])
+		o.Options = append(o.Options, EDNSOption{Code: code, Data: v})
+		rd = rd[4+vlen:]
+	}
+	return &o, nil
+}
+
+// Raw is the fallback RDATA for record types this codec does not model.
+type Raw struct {
+	Type Type
+	Data []byte
+}
+
+func (r *Raw) appendRData(buf []byte, _ map[string]int) ([]byte, error) {
+	return append(buf, r.Data...), nil
+}
+
+func (r *Raw) String() string { return fmt.Sprintf("\\# %d %x", len(r.Data), r.Data) }

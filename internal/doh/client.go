@@ -1,0 +1,161 @@
+package doh
+
+import (
+	"bytes"
+	"context"
+	"crypto/tls"
+	"encoding/base64"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+
+	"encdns/internal/dns53"
+	"encdns/internal/dnswire"
+)
+
+// Method selects how the client sends queries (RFC 8484 allows both).
+type Method int
+
+// Methods. GET is cache-friendly; POST is smaller and the common default.
+const (
+	MethodPOST Method = iota
+	MethodGET
+)
+
+// HTTPError reports a non-200 DoH response; the measurement engine
+// classifies it separately from transport failures.
+type HTTPError struct {
+	StatusCode int
+	Status     string
+}
+
+func (e *HTTPError) Error() string {
+	return fmt.Sprintf("doh: server returned %s", e.Status)
+}
+
+// Client issues RFC 8484 DoH queries.
+type Client struct {
+	// HTTP is the underlying client; nil uses a private default. To
+	// measure fresh-connection response times (the paper's dig-style
+	// probes) call CloseIdle between queries or set DisableKeepAlives on
+	// the transport.
+	HTTP *http.Client
+	// Method selects GET or POST; default POST.
+	Method Method
+	// Timeout bounds each query; zero means 5s.
+	Timeout time.Duration
+	// UserAgent is sent on requests when non-empty.
+	UserAgent string
+}
+
+// NewClient builds a client with its own transport configured from tlsCfg
+// and dialer (either may be nil). Keep-alives follow reuse.
+func NewClient(tlsCfg *tls.Config, dialer dns53.ContextDialer, reuse bool) *Client {
+	tr := &http.Transport{
+		TLSClientConfig:   tlsCfg,
+		ForceAttemptHTTP2: true,
+		DisableKeepAlives: !reuse,
+		MaxIdleConns:      16,
+		IdleConnTimeout:   60 * time.Second,
+	}
+	if dialer != nil {
+		tr.DialContext = dialer.DialContext
+	}
+	return &Client{HTTP: &http.Client{Transport: tr}}
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP == nil {
+		c.HTTP = &http.Client{}
+	}
+	return c.HTTP
+}
+
+func (c *Client) timeout() time.Duration {
+	if c.Timeout > 0 {
+		return c.Timeout
+	}
+	return 5 * time.Second
+}
+
+// CloseIdle drops pooled connections, forcing the next query to pay the
+// full TCP+TLS establishment cost.
+func (c *Client) CloseIdle() {
+	c.http().CloseIdleConnections()
+}
+
+// Query exchanges a single question with the DoH endpoint URL (e.g.
+// "https://dns.example/dns-query").
+func (c *Client) Query(ctx context.Context, endpoint, name string, t dnswire.Type) (*dnswire.Message, error) {
+	// RFC 8484 recommends ID 0 for cacheability of GETs; the TLS channel
+	// provides the anti-spoofing the ID used to.
+	id := uint16(0)
+	if c.Method == MethodPOST {
+		id = dns53.NewID()
+	}
+	q := dnswire.NewQuery(id, name, t)
+	q.SetEDNS(dnswire.MaxEDNSSize, false)
+	return c.Exchange(ctx, q, endpoint)
+}
+
+// Exchange sends the query to the endpoint and parses the response.
+func (c *Client) Exchange(ctx context.Context, query *dnswire.Message, endpoint string) (*dnswire.Message, error) {
+	wire, err := query.Pack()
+	if err != nil {
+		return nil, fmt.Errorf("doh: packing query: %w", err)
+	}
+	ctx, cancel := context.WithTimeout(ctx, c.timeout())
+	defer cancel()
+
+	var req *http.Request
+	if c.Method == MethodGET {
+		u, err := url.Parse(endpoint)
+		if err != nil {
+			return nil, fmt.Errorf("doh: endpoint: %w", err)
+		}
+		qs := u.Query()
+		qs.Set("dns", base64.RawURLEncoding.EncodeToString(wire))
+		u.RawQuery = qs.Encode()
+		req, err = http.NewRequestWithContext(ctx, http.MethodGet, u.String(), nil)
+		if err != nil {
+			return nil, fmt.Errorf("doh: building request: %w", err)
+		}
+	} else {
+		req, err = http.NewRequestWithContext(ctx, http.MethodPost, endpoint, bytes.NewReader(wire))
+		if err != nil {
+			return nil, fmt.Errorf("doh: building request: %w", err)
+		}
+		req.Header.Set("Content-Type", ContentType)
+	}
+	req.Header.Set("Accept", ContentType)
+	if c.UserAgent != "" {
+		req.Header.Set("User-Agent", c.UserAgent)
+	}
+
+	httpResp, err := c.http().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("doh: request: %w", err)
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, io.LimitReader(httpResp.Body, 4096))
+		return nil, &HTTPError{StatusCode: httpResp.StatusCode, Status: httpResp.Status}
+	}
+	body, err := io.ReadAll(io.LimitReader(httpResp.Body, dnswire.MaxMessageSize+1))
+	if err != nil {
+		return nil, fmt.Errorf("doh: reading response: %w", err)
+	}
+	if len(body) > dnswire.MaxMessageSize {
+		return nil, fmt.Errorf("doh: response exceeds DNS message limit")
+	}
+	resp, err := dnswire.Unpack(body)
+	if err != nil {
+		return nil, fmt.Errorf("doh: parsing response: %w", err)
+	}
+	if resp.Header.ID != query.Header.ID {
+		return nil, dns53.ErrIDMismatch
+	}
+	return resp, nil
+}

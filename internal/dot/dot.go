@@ -1,0 +1,192 @@
+// Package dot implements DNS-over-TLS (RFC 7858): a client with optional
+// connection reuse and a server that terminates TLS and dispatches to the
+// shared dns53 handler/framing machinery. DoT runs the RFC 1035 TCP
+// framing over a TLS session on its dedicated port 853 — the design that
+// makes it easy for networks to block wholesale, which is why the paper's
+// measured resolvers overwhelmingly deploy DoH alongside or instead.
+package dot
+
+import (
+	"context"
+	"crypto/tls"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"encdns/internal/dns53"
+	"encdns/internal/dnswire"
+)
+
+// DefaultPort is the IANA-assigned DoT port.
+const DefaultPort = 853
+
+// Client issues DNS queries over TLS.
+type Client struct {
+	// TLS configures certificate verification; nil uses the system roots
+	// with the server name inferred from the address.
+	TLS *tls.Config
+	// Timeout bounds dial+handshake+exchange per query; zero means 5s.
+	Timeout time.Duration
+	// Dialer provides the underlying TCP connection; nil uses net.Dialer.
+	Dialer dns53.ContextDialer
+	// Reuse keeps the TLS session open between queries. The paper's
+	// related work (Zhu et al., Böttger et al.) found connection reuse
+	// amortises most of the encryption overhead.
+	Reuse bool
+
+	mu   sync.Mutex
+	conn *tls.Conn // cached connection when Reuse is set
+	addr string
+}
+
+func (c *Client) timeout() time.Duration {
+	if c.Timeout > 0 {
+		return c.Timeout
+	}
+	return 5 * time.Second
+}
+
+func (c *Client) dialer() dns53.ContextDialer {
+	if c.Dialer != nil {
+		return c.Dialer
+	}
+	return &net.Dialer{}
+}
+
+// Query exchanges a single question with the server ("host:port").
+func (c *Client) Query(ctx context.Context, server, name string, t dnswire.Type) (*dnswire.Message, error) {
+	return c.Exchange(ctx, dnswire.NewQuery(dns53.NewID(), name, t), server)
+}
+
+// Exchange sends query to server over TLS and returns the response.
+func (c *Client) Exchange(ctx context.Context, query *dnswire.Message, server string) (*dnswire.Message, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.timeout())
+	defer cancel()
+
+	if c.Reuse {
+		if resp, err := c.exchangeCached(ctx, query, server); err == nil {
+			return resp, nil
+		}
+		// Cached path failed (stale connection); fall through to a fresh
+		// one — exactly what stub resolvers do.
+	}
+	conn, err := c.dial(ctx, server)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := exchangeOn(ctx, conn, query)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if c.Reuse {
+		c.store(conn, server)
+	} else {
+		conn.Close()
+	}
+	return resp, nil
+}
+
+// exchangeCached tries the stored connection.
+func (c *Client) exchangeCached(ctx context.Context, query *dnswire.Message, server string) (*dnswire.Message, error) {
+	c.mu.Lock()
+	conn := c.conn
+	if conn == nil || c.addr != server {
+		c.mu.Unlock()
+		return nil, errors.New("dot: no cached connection")
+	}
+	c.conn = nil // claim it; returned on success
+	c.mu.Unlock()
+	resp, err := exchangeOn(ctx, conn, query)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	c.store(conn, server)
+	return resp, nil
+}
+
+func (c *Client) store(conn *tls.Conn, server string) {
+	c.mu.Lock()
+	old := c.conn
+	c.conn, c.addr = conn, server
+	c.mu.Unlock()
+	if old != nil && old != conn {
+		old.Close()
+	}
+}
+
+// Close drops any cached connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	conn := c.conn
+	c.conn = nil
+	c.mu.Unlock()
+	if conn != nil {
+		return conn.Close()
+	}
+	return nil
+}
+
+// dial establishes and handshakes a TLS connection.
+func (c *Client) dial(ctx context.Context, server string) (*tls.Conn, error) {
+	raw, err := c.dialer().DialContext(ctx, "tcp", server)
+	if err != nil {
+		return nil, fmt.Errorf("dot: dial %s: %w", server, err)
+	}
+	cfg := c.TLS
+	if cfg == nil {
+		cfg = &tls.Config{}
+	} else {
+		cfg = cfg.Clone()
+	}
+	if cfg.ServerName == "" {
+		host, _, err := net.SplitHostPort(server)
+		if err != nil {
+			host = server
+		}
+		cfg.ServerName = host
+	}
+	conn := tls.Client(raw, cfg)
+	if err := conn.HandshakeContext(ctx); err != nil {
+		raw.Close()
+		return nil, fmt.Errorf("dot: TLS handshake with %s: %w", server, err)
+	}
+	return conn, nil
+}
+
+// exchangeOn runs one framed exchange on an established connection,
+// honouring the context deadline.
+func exchangeOn(ctx context.Context, conn net.Conn, query *dnswire.Message) (*dnswire.Message, error) {
+	if d, ok := ctx.Deadline(); ok {
+		_ = conn.SetDeadline(d)
+	}
+	stop := context.AfterFunc(ctx, func() { _ = conn.SetDeadline(time.Now()) })
+	defer stop()
+	return dns53.ExchangeConn(conn, query, nil)
+}
+
+// Server terminates DoT connections and dispatches to a dns53.Server's
+// handler (sharing its framing, tracking, and shutdown).
+type Server struct {
+	DNS *dns53.Server
+	TLS *tls.Config
+}
+
+// Serve accepts TLS connections from ln until it is closed. Pass a plain
+// TCP listener; Serve wraps it with the server's TLS config.
+func (s *Server) Serve(ln net.Listener) error {
+	if s.TLS == nil {
+		return errors.New("dot: server needs a TLS config")
+	}
+	tlsLn := tls.NewListener(ln, s.TLS)
+	for {
+		conn, err := tlsLn.Accept()
+		if err != nil {
+			return err
+		}
+		go s.DNS.ServeStream(conn)
+	}
+}

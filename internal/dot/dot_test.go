@@ -1,0 +1,163 @@
+package dot
+
+import (
+	"context"
+	"crypto/tls"
+	"net"
+	"testing"
+	"time"
+
+	"encdns/internal/certs"
+	"encdns/internal/dns53"
+	"encdns/internal/dnswire"
+)
+
+// startDoT stands up a DoT server over a fresh CA and returns the address,
+// a trusting client config, and a cleanup registration.
+func startDoT(t *testing.T, h dns53.Handler) (addr string, clientTLS *tls.Config) {
+	t.Helper()
+	ca, err := certs.NewCA(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvTLS, err := ca.ServerConfig([]string{"dot.test"}, []net.IP{net.ParseIP("127.0.0.1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := &dns53.Server{Handler: h}
+	srv := &Server{DNS: inner, TLS: srvTLS}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() {
+		ln.Close()
+		inner.Shutdown()
+	})
+	return ln.Addr().String(), ca.ClientConfig("dot.test")
+}
+
+func static() dns53.Handler {
+	return dns53.Static(map[string][]net.IP{
+		"google.com.": {net.ParseIP("142.250.1.100")},
+	})
+}
+
+func TestDoTQuery(t *testing.T) {
+	addr, cliTLS := startDoT(t, static())
+	c := &Client{TLS: cliTLS}
+	resp, err := c.Query(context.Background(), addr, "google.com", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Header.RCode != dnswire.RCodeSuccess || len(resp.Answers) != 1 {
+		t.Fatalf("resp = %v", resp)
+	}
+}
+
+func TestDoTUntrustedCertRejected(t *testing.T) {
+	addr, _ := startDoT(t, static())
+	// Client with empty root pool trusts nothing.
+	c := &Client{TLS: &tls.Config{RootCAs: nil, ServerName: "dot.test"}}
+	_, err := c.Query(context.Background(), addr, "google.com", dnswire.TypeA)
+	if err == nil {
+		t.Fatal("untrusted certificate accepted")
+	}
+}
+
+func TestDoTReuse(t *testing.T) {
+	addr, cliTLS := startDoT(t, static())
+	c := &Client{TLS: cliTLS, Reuse: true}
+	defer c.Close()
+	for i := 0; i < 5; i++ {
+		resp, err := c.Query(context.Background(), addr, "google.com", dnswire.TypeA)
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		if len(resp.Answers) != 1 {
+			t.Fatalf("query %d: answers = %d", i, len(resp.Answers))
+		}
+	}
+}
+
+func TestDoTReuseSurvivesServerClosingConn(t *testing.T) {
+	// Short server read timeout kills idle connections; the client's
+	// cached connection then fails and it must transparently redial.
+	ca, _ := certs.NewCA(0)
+	srvTLS, _ := ca.ServerConfig(nil, []net.IP{net.ParseIP("127.0.0.1")})
+	inner := &dns53.Server{Handler: static(), ReadTimeout: 50 * time.Millisecond}
+	srv := &Server{DNS: inner, TLS: srvTLS}
+	ln, _ := net.Listen("tcp", "127.0.0.1:0")
+	go srv.Serve(ln)
+	defer ln.Close()
+	defer inner.Shutdown()
+
+	c := &Client{TLS: ca.ClientConfig("127.0.0.1"), Reuse: true}
+	defer c.Close()
+	if _, err := c.Query(context.Background(), ln.Addr().String(), "google.com", dnswire.TypeA); err != nil {
+		t.Fatalf("first query: %v", err)
+	}
+	time.Sleep(150 * time.Millisecond) // server read deadline passes
+	if _, err := c.Query(context.Background(), ln.Addr().String(), "google.com", dnswire.TypeA); err != nil {
+		t.Fatalf("query after idle close: %v", err)
+	}
+}
+
+func TestDoTTimeout(t *testing.T) {
+	// TCP listener that accepts but never handshakes.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+		}
+	}()
+	c := &Client{Timeout: 100 * time.Millisecond, TLS: &tls.Config{InsecureSkipVerify: true}}
+	start := time.Now()
+	_, err = c.Query(context.Background(), ln.Addr().String(), "google.com", dnswire.TypeA)
+	if err == nil {
+		t.Fatal("expected handshake timeout")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Error("timeout not enforced")
+	}
+}
+
+func TestDoTServerNameInferred(t *testing.T) {
+	addr, cliTLS := startDoT(t, static())
+	// Clear ServerName; client should infer the host part (127.0.0.1,
+	// which the cert carries as an IP SAN).
+	cfg := cliTLS.Clone()
+	cfg.ServerName = ""
+	c := &Client{TLS: cfg}
+	if _, err := c.Query(context.Background(), addr, "google.com", dnswire.TypeA); err != nil {
+		t.Fatalf("query with inferred server name: %v", err)
+	}
+}
+
+func TestDoTServerRequiresTLSConfig(t *testing.T) {
+	srv := &Server{DNS: &dns53.Server{Handler: static()}}
+	ln, _ := net.Listen("tcp", "127.0.0.1:0")
+	defer ln.Close()
+	if err := srv.Serve(ln); err == nil {
+		t.Error("Serve without TLS config succeeded")
+	}
+}
+
+func TestDoTClientCloseIdempotent(t *testing.T) {
+	c := &Client{}
+	if err := c.Close(); err != nil {
+		t.Errorf("close empty client: %v", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+}

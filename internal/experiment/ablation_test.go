@@ -1,0 +1,100 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"encdns/internal/dataset"
+	"encdns/internal/netsim"
+)
+
+func findRow(t *testing.T, rows []AblationRow, proto netsim.Protocol, reuse bool) AblationRow {
+	t.Helper()
+	for _, r := range rows {
+		if r.Protocol == proto && r.Reuse == reuse {
+			return r
+		}
+	}
+	t.Fatalf("missing row %v reuse=%v", proto, reuse)
+	return AblationRow{}
+}
+
+func TestProtocolAblationOrdering(t *testing.T) {
+	rows, err := ProtocolAblation(1, dataset.VantageOhio, "doh.la.ahadns.net", 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	do53 := findRow(t, rows, netsim.ProtoDo53, false)
+	dotFresh := findRow(t, rows, netsim.ProtoDoT, false)
+	dotReuse := findRow(t, rows, netsim.ProtoDoT, true)
+	dohFresh := findRow(t, rows, netsim.ProtoDoH, false)
+	dohReuse := findRow(t, rows, netsim.ProtoDoH, true)
+
+	// Böttger et al.: Do53 outperforms DoT/DoH on fresh connections.
+	if !(do53.MedianMs < dotFresh.MedianMs && do53.MedianMs < dohFresh.MedianMs) {
+		t.Errorf("do53 %.1f not fastest fresh (dot %.1f, doh %.1f)",
+			do53.MedianMs, dotFresh.MedianMs, dohFresh.MedianMs)
+	}
+	// Zhu et al. / Lu et al.: reuse brings encrypted DNS close to Do53.
+	if dotReuse.MedianMs > do53.MedianMs*1.5 {
+		t.Errorf("dot reuse %.1f far above do53 %.1f", dotReuse.MedianMs, do53.MedianMs)
+	}
+	if dohReuse.MedianMs > do53.MedianMs*1.5 {
+		t.Errorf("doh reuse %.1f far above do53 %.1f", dohReuse.MedianMs, do53.MedianMs)
+	}
+	// Fresh encrypted connections cost roughly 3x one exchange.
+	if ratio := dohFresh.MedianMs / do53.MedianMs; ratio < 2 || ratio > 4.5 {
+		t.Errorf("doh fresh / do53 = %.2f, want ~3", ratio)
+	}
+	// P95 at least the median everywhere.
+	for _, r := range rows {
+		if r.P95Ms < r.MedianMs {
+			t.Errorf("%s: p95 %.1f < median %.1f", r.Label(), r.P95Ms, r.MedianMs)
+		}
+	}
+}
+
+func TestProtocolAblationTLS12Endpoint(t *testing.T) {
+	// doh.ffmuc.net negotiates TLS 1.2: fresh DoH costs an extra round
+	// trip versus a TLS 1.3 endpoint at a comparable distance.
+	rows, err := ProtocolAblation(2, dataset.VantageSeoul, "doh.ffmuc.net", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := findRow(t, rows, netsim.ProtoDoH, false)
+	reuse := findRow(t, rows, netsim.ProtoDoH, true)
+	// 4 RTT fresh vs 1 RTT reuse (plus processing both ways).
+	if fresh.MedianMs < 2.5*reuse.MedianMs {
+		t.Errorf("TLS1.2 fresh %.1f vs reuse %.1f: expected ≥2.5x", fresh.MedianMs, reuse.MedianMs)
+	}
+}
+
+func TestProtocolAblationErrors(t *testing.T) {
+	if _, err := ProtocolAblation(1, "nowhere", "dns.google", 10); err == nil {
+		t.Error("unknown vantage accepted")
+	}
+	if _, err := ProtocolAblation(1, dataset.VantageOhio, "dns.invalid", 10); err == nil {
+		t.Error("unknown resolver accepted")
+	}
+}
+
+func TestRenderAblation(t *testing.T) {
+	rows, err := ProtocolAblation(3, dataset.VantageOhio, "dns.google", 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := RenderAblation(&buf, dataset.VantageOhio, "dns.google", rows); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"doh fresh", "doh reuse", "do53 fresh", "dot reuse", "Median (ms)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"encdns/internal/core"
+	"encdns/internal/report"
+)
+
+// AvailabilityReport is the reproduction of §4's availability analysis.
+type AvailabilityReport struct {
+	core.Availability
+	// PaperSuccesses and PaperErrors are the §4 reference counts.
+	PaperSuccesses int
+	PaperErrors    int
+	// Unresponsive lists resolvers that never answered from any vantage.
+	Unresponsive []string
+}
+
+// PaperErrorRate is the §4 reference rate: 311,351 errors out of
+// 5,409,632 attempts ≈ 5.76%.
+func (a AvailabilityReport) PaperErrorRate() float64 {
+	return float64(a.PaperErrors) / float64(a.PaperSuccesses+a.PaperErrors)
+}
+
+// Availability computes the reproduction's availability tally.
+func (r *Runner) Availability() (AvailabilityReport, error) {
+	rs, err := r.Results()
+	if err != nil {
+		return AvailabilityReport{}, err
+	}
+	return AvailabilityReport{
+		Availability:   rs.Availability(),
+		PaperSuccesses: 5098281,
+		PaperErrors:    311351,
+		Unresponsive:   rs.Unresponsive(""),
+	}, nil
+}
+
+// Render writes the availability report: totals, the paper comparison,
+// and the error-class breakdown.
+func (a AvailabilityReport) Render(w io.Writer) error {
+	fmt.Fprintln(w, "Availability (§4 \"Are Non-Mainstream Resolvers Available?\")")
+	fmt.Fprintln(w, "============================================================")
+	fmt.Fprintf(w, "queries: %d ok, %d errors (error rate %.2f%%)\n",
+		a.Successes, a.Errors, 100*a.ErrorRate())
+	fmt.Fprintf(w, "paper:   %d ok, %d errors (error rate %.2f%%)\n",
+		a.PaperSuccesses, a.PaperErrors, 100*a.PaperErrorRate())
+	fmt.Fprintln(w)
+
+	t := &report.Table{Headers: []string{"Error class", "Count", "Share"}}
+	type kv struct {
+		k string
+		v int
+	}
+	var classes []kv
+	for k, v := range a.ByClass {
+		classes = append(classes, kv{k, v})
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i].v > classes[j].v })
+	for _, c := range classes {
+		share := 0.0
+		if a.Errors > 0 {
+			share = 100 * float64(c.v) / float64(a.Errors)
+		}
+		t.AddRow(c.k, fmt.Sprintf("%d", c.v), fmt.Sprintf("%.1f%%", share))
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	if len(a.Unresponsive) == 0 {
+		fmt.Fprintln(w, "unresponsive resolvers: none (every resolver answered at least once)")
+	} else {
+		fmt.Fprintf(w, "unresponsive resolvers: %v\n", a.Unresponsive)
+	}
+	return nil
+}

@@ -1,0 +1,82 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"encdns/internal/dataset"
+)
+
+func TestPaperEpochs(t *testing.T) {
+	eps := PaperEpochs(80)
+	if len(eps) != 4 {
+		t.Fatalf("epochs = %d", len(eps))
+	}
+	if eps[0].Rounds != 80 || eps[0].Name != "2023-main" {
+		t.Errorf("main epoch = %+v", eps[0])
+	}
+	// Follow-ups are days × three-a-day (§3.2).
+	if eps[1].Rounds != 9 || eps[2].Rounds != 6 || eps[3].Rounds != 9 {
+		t.Errorf("follow-up rounds = %d/%d/%d", eps[1].Rounds, eps[2].Rounds, eps[3].Rounds)
+	}
+	for i := 1; i < len(eps); i++ {
+		if !eps[i].Start.After(eps[i-1].Start) {
+			t.Errorf("epochs out of order at %d", i)
+		}
+	}
+}
+
+func TestDriftCheckStable(t *testing.T) {
+	rep, err := DriftCheck(1, dataset.VantageOhio, 60, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 75 resolvers × 3 follow-up epochs.
+	if len(rep.Rows) != 75*3 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	// The model is stationary: medians must not move drastically. The
+	// follow-up spans are short (6–9 rounds ≈ 18–27 samples), so allow
+	// sampling noise but no 50%+ swings for the bulk of resolvers.
+	if frac := float64(len(rep.Drifted)) / float64(len(rep.Rows)); frac > 0.05 {
+		t.Errorf("%.1f%% of resolver-epochs drifted beyond 50%%: %v", 100*frac, rep.Drifted)
+	}
+	if rep.MaxChange() <= 0 {
+		t.Error("no sampling noise at all is suspicious")
+	}
+}
+
+func TestDriftCheckRender(t *testing.T) {
+	rep, err := DriftCheck(2, dataset.VantageFrankfurt, 30, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Stability check", "ec2-frankfurt", "Largest median movements", "verdict"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestDriftCheckUnknownVantage(t *testing.T) {
+	if _, err := DriftCheck(1, "atlantis", 10, 0.5); err == nil {
+		t.Error("unknown vantage accepted")
+	}
+}
+
+func TestDriftRowRelativeChange(t *testing.T) {
+	r := DriftRow{MainMs: 100, EpochMs: 130}
+	if rc := r.RelativeChange(); rc < 0.299 || rc > 0.301 {
+		t.Errorf("change = %v", rc)
+	}
+	bad := DriftRow{MainMs: 0, EpochMs: 10}
+	if rc := bad.RelativeChange(); rc == rc { // NaN check
+		t.Errorf("zero-main change = %v, want NaN", rc)
+	}
+}

@@ -1,0 +1,261 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"encdns/internal/dataset"
+	"encdns/internal/stats"
+)
+
+// Check is one falsifiable claim from the paper's §4, evaluated against
+// the reproduction's campaign. These are what "the shape holds" means.
+type Check struct {
+	Name   string
+	Pass   bool
+	Detail string
+}
+
+// ShapeChecks evaluates every §4 claim.
+func (r *Runner) ShapeChecks() ([]Check, error) {
+	rs, err := r.Results()
+	if err != nil {
+		return nil, err
+	}
+	var checks []Check
+	add := func(name string, pass bool, format string, args ...any) {
+		checks = append(checks, Check{Name: name, Pass: pass, Detail: fmt.Sprintf(format, args...)})
+	}
+
+	medians := func(vantage string, hosts []dataset.Resolver) map[string]float64 {
+		m := make(map[string]float64, len(hosts))
+		for _, h := range hosts {
+			m[h.Host] = MedianFor(rs, vantage, h.Host)
+		}
+		return m
+	}
+	rank := func(vantage string, group []dataset.Resolver, host string) int {
+		m := medians(vantage, group)
+		type hv struct {
+			h string
+			v float64
+		}
+		var all []hv
+		for h, v := range m {
+			all = append(all, hv{h, v})
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
+		for i, e := range all {
+			if e.h == host {
+				return i + 1
+			}
+		}
+		return -1
+	}
+
+	// S1a: ordns.he.net outperforms all mainstream resolvers from the
+	// home network devices.
+	{
+		he := MedianFor(rs, "home", "ordns.he.net")
+		worstBeat, best := true, 0.0
+		for _, m := range dataset.Mainstream() {
+			v := MedianFor(rs, "home", m.Host)
+			if v < he {
+				worstBeat = false
+			}
+			if best == 0 || v < best {
+				best = v
+			}
+		}
+		add("ordns.he.net beats all mainstream from Chicago homes", worstBeat,
+			"he=%.1fms best-mainstream=%.1fms", he, best)
+	}
+
+	// S1b: freedns.controld.com outperforms dns.google and Cloudflare
+	// from Ohio.
+	{
+		cd := MedianFor(rs, dataset.VantageOhio, "freedns.controld.com")
+		gg := MedianFor(rs, dataset.VantageOhio, "dns.google")
+		cf := MedianFor(rs, dataset.VantageOhio, "security.cloudflare-dns.com")
+		add("freedns.controld.com beats Google+Cloudflare from Ohio", cd < gg && cd < cf,
+			"controld=%.1f google=%.1f cloudflare=%.1f", cd, gg, cf)
+	}
+
+	// S1c: dns.brahma.world outperforms Cloudflare from Frankfurt.
+	{
+		br := MedianFor(rs, dataset.VantageFrankfurt, "dns.brahma.world")
+		cf := MedianFor(rs, dataset.VantageFrankfurt, "security.cloudflare-dns.com")
+		add("dns.brahma.world beats Cloudflare from Frankfurt", br < cf,
+			"brahma=%.1f cloudflare=%.1f", br, cf)
+	}
+
+	// S1d: dns.alidns.com outperforms Quad9, Google, and Cloudflare from
+	// Seoul.
+	{
+		al := MedianFor(rs, dataset.VantageSeoul, "dns.alidns.com")
+		q9 := MedianFor(rs, dataset.VantageSeoul, "dns.quad9.net")
+		gg := MedianFor(rs, dataset.VantageSeoul, "dns.google")
+		cf := MedianFor(rs, dataset.VantageSeoul, "security.cloudflare-dns.com")
+		add("dns.alidns.com beats Quad9+Google+Cloudflare from Seoul",
+			al < q9 && al < gg && al < cf,
+			"alidns=%.1f quad9=%.1f google=%.1f cloudflare=%.1f", al, q9, gg, cf)
+	}
+
+	// S1e: quad9/google/cloudflare are top-five performers in each
+	// regional group from its local EC2 vantage.
+	for _, tc := range []struct {
+		group   []dataset.Resolver
+		vantage string
+		label   string
+	}{
+		{dataset.NAGroup(), dataset.VantageOhio, "NA/Ohio"},
+		{dataset.EUGroup(), dataset.VantageFrankfurt, "EU/Frankfurt"},
+		{dataset.AsiaGroup(), dataset.VantageSeoul, "Asia/Seoul"},
+	} {
+		bestRank := len(tc.group)
+		for _, host := range []string{"dns.quad9.net", "dns9.quad9.net", "dns.google", "security.cloudflare-dns.com"} {
+			if !containsHost(tc.group, host) {
+				continue
+			}
+			if rk := rank(tc.vantage, tc.group, host); rk > 0 && rk < bestRank {
+				bestRank = rk
+			}
+		}
+		add(fmt.Sprintf("mainstream in top five (%s)", tc.label), bestRank <= 5,
+			"best mainstream rank = %d", bestRank)
+	}
+
+	// S2: anycast mainstream resolvers keep flat medians across EC2
+	// vantages; unicast non-mainstream medians spread with distance.
+	{
+		spread := func(host string) float64 {
+			var ms []float64
+			for _, v := range dataset.EC2Vantages() {
+				ms = append(ms, MedianFor(rs, v.Name, host))
+			}
+			return stats.Max(ms) - stats.Min(ms)
+		}
+		var mainSpread, uniSpread []float64
+		for _, m := range dataset.Mainstream() {
+			mainSpread = append(mainSpread, spread(m.Host))
+		}
+		for _, host := range []string{"doh.ffmuc.net", "dns.twnic.tw", "dns.njal.la", "public.dns.iij.jp", "doh.la.ahadns.net"} {
+			uniSpread = append(uniSpread, spread(host))
+		}
+		mMed, uMed := stats.Median(mainSpread), stats.Median(uniSpread)
+		add("anycast medians flat, unicast medians spread across vantages",
+			mMed*4 < uMed, "mainstream spread median=%.1fms unicast=%.1fms", mMed, uMed)
+	}
+
+	// S3: maximum per-resolver median response time per vantage is in the
+	// paper's reported neighbourhood (Ohio 270 ms, homes 399 ms, Seoul
+	// 569 ms, Frankfurt 380 ms) — within a factor of two.
+	for _, tc := range []struct {
+		vantage string
+		group   []dataset.Resolver
+		paperMs float64
+	}{
+		{dataset.VantageOhio, dataset.NAGroup(), 270},
+		{"home", dataset.NAGroup(), 399},
+		{dataset.VantageSeoul, dataset.EUGroup(), 569},
+		{dataset.VantageFrankfurt, dataset.AsiaGroup(), 380},
+	} {
+		maxMed := 0.0
+		for _, res := range tc.group {
+			if m := MedianFor(rs, tc.vantage, res.Host); m > maxMed {
+				maxMed = m
+			}
+		}
+		pass := maxMed > tc.paperMs/2 && maxMed < tc.paperMs*2
+		add(fmt.Sprintf("max median from %s ≈ %.0fms", tc.vantage, tc.paperMs), pass,
+			"measured max median = %.1fms", maxMed)
+	}
+
+	// S4: Tables 2 and 3 directionality — every top-five row is faster
+	// from its local vantage than from the remote one.
+	{
+		t2, err := r.Table2Rows()
+		if err != nil {
+			return nil, err
+		}
+		pass := len(t2) == 5
+		for _, row := range t2 {
+			if row.RemoteMs <= row.LocalMs {
+				pass = false
+			}
+		}
+		add("Table 2: Asia resolvers slower from Frankfurt than Seoul", pass, "%v", summary(t2))
+		t3, err := r.Table3Rows()
+		if err != nil {
+			return nil, err
+		}
+		pass = len(t3) == 5
+		for _, row := range t3 {
+			if row.RemoteMs <= row.LocalMs {
+				pass = false
+			}
+		}
+		add("Table 3: Europe resolvers slower from Seoul than Frankfurt", pass, "%v", summary(t3))
+	}
+
+	// S5: response time exceeds ping (handshakes cost multiple RTTs) for
+	// ping-answering resolvers from Ohio.
+	{
+		violations := 0
+		checked := 0
+		for _, res := range dataset.Resolvers() {
+			if !res.Net.ICMPResponds {
+				continue
+			}
+			ping := stats.Median(rs.PingSamples(dataset.VantageOhio, res.Host))
+			resp := MedianFor(rs, dataset.VantageOhio, res.Host)
+			if ping == ping && resp == resp { // skip NaNs
+				checked++
+				if resp <= ping {
+					violations++
+				}
+			}
+		}
+		add("median response time > median ping everywhere", violations == 0,
+			"%d violations out of %d resolvers", violations, checked)
+	}
+
+	return checks, nil
+}
+
+func summary(rows []RemoteRow) string {
+	s := ""
+	for i, r := range rows {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%s %.0f/%.0f", r.Host, r.LocalMs, r.RemoteMs)
+	}
+	return s
+}
+
+func containsHost(rs []dataset.Resolver, host string) bool {
+	for _, r := range rs {
+		if r.Host == host {
+			return true
+		}
+	}
+	return false
+}
+
+// RenderChecks writes the checks as a pass/fail list.
+func RenderChecks(w io.Writer, checks []Check) error {
+	fmt.Fprintln(w, "Paper shape checks (§4 claims)")
+	fmt.Fprintln(w, "==============================")
+	for _, c := range checks {
+		status := "PASS"
+		if !c.Pass {
+			status = "FAIL"
+		}
+		if _, err := fmt.Fprintf(w, "[%s] %s\n       %s\n", status, c.Name, c.Detail); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+
+	"encdns/internal/dataset"
+	"encdns/internal/geo"
+	"encdns/internal/report"
+)
+
+// Table1 renders the browser × mainstream-resolver matrix (static
+// deployment data, as of May 9, 2024).
+func Table1() *report.Table {
+	t := &report.Table{
+		Title:   "Table 1: Encrypted DNS resolver choices in major browsers",
+		Headers: append([]string{"Browser"}, dataset.Providers...),
+	}
+	for _, b := range dataset.Browsers {
+		row := []string{b}
+		for _, p := range dataset.Providers {
+			mark := ""
+			if dataset.BrowserMatrix[b][p] {
+				mark = "✓"
+			}
+			row = append(row, mark)
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// RemoteRow is one row of Tables 2–3: a resolver's median response time
+// from its local-region vantage and from the remote one.
+type RemoteRow struct {
+	Host     string
+	LocalMs  float64 // vantage in the resolver's region
+	RemoteMs float64 // distant vantage
+}
+
+// remoteTable ranks a region's non-mainstream resolvers by the gap between
+// remote and local medians and returns the top five — the construction of
+// Tables 2 and 3 ("the five encrypted DNS resolvers ... that exhibit the
+// largest differences in median DNS response times when queried from a
+// remote vantage point").
+func (r *Runner) remoteTable(region geo.Region, localVantage, remoteVantage string) ([]RemoteRow, error) {
+	rs, err := r.Results()
+	if err != nil {
+		return nil, err
+	}
+	var rows []RemoteRow
+	for _, res := range dataset.ByRegion(region) {
+		if res.Mainstream {
+			continue
+		}
+		rows = append(rows, RemoteRow{
+			Host:     res.Host,
+			LocalMs:  MedianFor(rs, localVantage, res.Host),
+			RemoteMs: MedianFor(rs, remoteVantage, res.Host),
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		return rows[i].RemoteMs-rows[i].LocalMs > rows[j].RemoteMs-rows[j].LocalMs
+	})
+	if len(rows) > 5 {
+		rows = rows[:5]
+	}
+	return rows, nil
+}
+
+// Table2Rows computes Table 2's data: Asia-located resolvers, Seoul
+// (local) vs Frankfurt (remote).
+func (r *Runner) Table2Rows() ([]RemoteRow, error) {
+	return r.remoteTable(geo.Asia, dataset.VantageSeoul, dataset.VantageFrankfurt)
+}
+
+// Table3Rows computes Table 3's data: Europe-located resolvers, Frankfurt
+// (local) vs Seoul (remote).
+func (r *Runner) Table3Rows() ([]RemoteRow, error) {
+	return r.remoteTable(geo.Europe, dataset.VantageFrankfurt, dataset.VantageSeoul)
+}
+
+// Table2 renders Table 2 in the paper's layout (Seoul column first).
+func (r *Runner) Table2() (*report.Table, error) {
+	rows, err := r.Table2Rows()
+	if err != nil {
+		return nil, err
+	}
+	t := &report.Table{
+		Title:   "Table 2: Median DNS response times for non-mainstream resolvers (Asia)",
+		Headers: []string{"Resolver", "Seoul (ms)", "Frankfurt (ms)"},
+	}
+	for _, row := range rows {
+		t.AddRow(row.Host, fmt.Sprintf("%.0f", row.LocalMs), fmt.Sprintf("%.0f", row.RemoteMs))
+	}
+	return t, nil
+}
+
+// Table3 renders Table 3 in the paper's layout (Frankfurt column first).
+func (r *Runner) Table3() (*report.Table, error) {
+	rows, err := r.Table3Rows()
+	if err != nil {
+		return nil, err
+	}
+	t := &report.Table{
+		Title:   "Table 3: Median DNS response times for non-mainstream resolvers (Europe)",
+		Headers: []string{"Resolver", "Frankfurt (ms)", "Seoul (ms)"},
+	}
+	for _, row := range rows {
+		t.AddRow(row.Host, fmt.Sprintf("%.0f", row.LocalMs), fmt.Sprintf("%.0f", row.RemoteMs))
+	}
+	return t, nil
+}

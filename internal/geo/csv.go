@@ -1,0 +1,102 @@
+package geo
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"net/netip"
+	"strconv"
+	"strings"
+)
+
+// CSV loading: the GeoLite2 distribution format is CSV (network, location
+// fields); this loader accepts the same shape so a database can ship as a
+// plain text asset. Expected header and columns:
+//
+//	network,region,country,city,lat,lon
+//	203.0.113.0/24,north-america,US,Chicago,41.88,-87.63
+//
+// The region column uses this package's Region slugs; unknown slugs map
+// to Unknown rather than failing, matching how GeoLite2 rows with missing
+// location data behave in the paper's pipeline ("6 resolvers were unable
+// to return a location").
+func ReadCSV(r io.Reader) (*DB, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 6
+	cr.TrimLeadingSpace = true
+
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("geo: reading CSV header: %w", err)
+	}
+	if strings.ToLower(header[0]) != "network" {
+		return nil, fmt.Errorf("geo: unexpected CSV header %v", header)
+	}
+	db := NewDB()
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return db, nil
+		}
+		line++
+		if err != nil {
+			return nil, fmt.Errorf("geo: CSV line %d: %w", line, err)
+		}
+		prefix, err := netip.ParsePrefix(rec[0])
+		if err != nil {
+			return nil, fmt.Errorf("geo: CSV line %d: network %q: %w", line, rec[0], err)
+		}
+		lat, err1 := strconv.ParseFloat(rec[4], 64)
+		lon, err2 := strconv.ParseFloat(rec[5], 64)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("geo: CSV line %d: bad coordinates %q,%q", line, rec[4], rec[5])
+		}
+		if lat < -90 || lat > 90 || lon < -180 || lon > 180 {
+			return nil, fmt.Errorf("geo: CSV line %d: coordinates out of range", line)
+		}
+		region := Region(strings.ToLower(rec[1]))
+		switch region {
+		case NorthAmerica, Europe, Asia, Oceania:
+		default:
+			region = Unknown
+		}
+		loc := Location{
+			Region:  region,
+			Country: strings.ToUpper(rec[2]),
+			City:    rec[3],
+			Coord:   Coord{Lat: lat, Lon: lon},
+		}
+		if err := db.Add(prefix, loc); err != nil {
+			return nil, fmt.Errorf("geo: CSV line %d: %w", line, err)
+		}
+	}
+}
+
+// WriteCSV exports rows in the ReadCSV format — the round-trip partner
+// used to snapshot a synthetic registry.
+func WriteCSV(w io.Writer, rows []CSVRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"network", "region", "country", "city", "lat", "lon"}); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		err := cw.Write([]string{
+			row.Network.String(), string(row.Location.Region), row.Location.Country,
+			row.Location.City,
+			strconv.FormatFloat(row.Location.Coord.Lat, 'f', 4, 64),
+			strconv.FormatFloat(row.Location.Coord.Lon, 'f', 4, 64),
+		})
+		if err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// CSVRow is one network → location mapping for WriteCSV.
+type CSVRow struct {
+	Network  netip.Prefix
+	Location Location
+}

@@ -1,0 +1,78 @@
+package geo
+
+import (
+	"bytes"
+	"net/netip"
+	"strings"
+	"testing"
+)
+
+const sampleCSV = `network,region,country,city,lat,lon
+203.0.113.0/24,north-america,US,Chicago,41.88,-87.63
+198.51.100.0/24,europe,DE,Frankfurt,50.11,8.68
+2001:db8::/48,asia,KR,Seoul,37.57,126.98
+192.0.2.0/24,somewhere-odd,??,Atlantis,0,0
+`
+
+func TestReadCSV(t *testing.T) {
+	db, err := ReadCSV(strings.NewReader(sampleCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 4 {
+		t.Fatalf("len = %d", db.Len())
+	}
+	loc, err := db.Lookup(netip.MustParseAddr("203.0.113.50"))
+	if err != nil || loc.City != "Chicago" || loc.Region != NorthAmerica {
+		t.Errorf("chicago lookup = %+v, %v", loc, err)
+	}
+	loc, err = db.Lookup(netip.MustParseAddr("2001:db8::1234"))
+	if err != nil || loc.Region != Asia {
+		t.Errorf("v6 lookup = %+v, %v", loc, err)
+	}
+	// Unknown region slug maps to Unknown (the "6 unlocated" behaviour).
+	loc, err = db.Lookup(netip.MustParseAddr("192.0.2.9"))
+	if err != nil || loc.Region != Unknown {
+		t.Errorf("odd region = %+v, %v", loc, err)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		csv  string
+	}{
+		{"bad header", "ip,a,b,c,d,e\n"},
+		{"bad network", "network,region,country,city,lat,lon\nnot-a-cidr,europe,DE,X,1,2\n"},
+		{"bad lat", "network,region,country,city,lat,lon\n10.0.0.0/8,europe,DE,X,north,2\n"},
+		{"lat out of range", "network,region,country,city,lat,lon\n10.0.0.0/8,europe,DE,X,95,2\n"},
+		{"wrong arity", "network,region,country,city,lat,lon\n10.0.0.0/8,europe,DE\n"},
+		{"empty", ""},
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c.csv)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	rows := []CSVRow{
+		{Network: netip.MustParsePrefix("203.0.113.0/24"),
+			Location: Location{Region: NorthAmerica, Country: "US", City: "Chicago", Coord: Chicago}},
+		{Network: netip.MustParsePrefix("198.51.100.0/24"),
+			Location: Location{Region: Europe, Country: "DE", City: "Frankfurt", Coord: Frankfurt}},
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	db, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc, err := db.Lookup(netip.MustParseAddr("198.51.100.7"))
+	if err != nil || loc.City != "Frankfurt" {
+		t.Errorf("round trip lookup = %+v, %v", loc, err)
+	}
+}

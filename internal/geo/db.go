@@ -1,0 +1,129 @@
+package geo
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"sort"
+	"sync"
+)
+
+// Location is the result of a geolocation lookup, mirroring the fields the
+// paper's pipeline uses from MaxMind GeoLite2 (§3.2).
+type Location struct {
+	Region  Region
+	Country string // ISO 3166-1 alpha-2
+	City    string
+	Coord   Coord
+}
+
+// ErrNotFound is returned by DB.Lookup for addresses outside every range.
+// The paper reports 6 resolvers that "were unable to return a location";
+// this error models that case.
+var ErrNotFound = errors.New("geo: address not in database")
+
+// rangeEntry is one contiguous address range mapped to a location.
+type rangeEntry struct {
+	lo, hi netip.Addr // inclusive
+	loc    Location
+}
+
+// DB is an IP-range geolocation database: the GeoLite2 stand-in. Ranges are
+// kept sorted for binary-search lookups. Safe for concurrent reads after
+// construction; Add must not race with Lookup.
+type DB struct {
+	mu     sync.RWMutex
+	v4, v6 []rangeEntry
+	sorted bool
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB { return &DB{} }
+
+// Add registers a prefix → location mapping.
+func (db *DB) Add(prefix netip.Prefix, loc Location) error {
+	if !prefix.IsValid() {
+		return fmt.Errorf("geo: invalid prefix %v", prefix)
+	}
+	prefix = prefix.Masked()
+	lo := prefix.Addr()
+	hi := lastAddr(prefix)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	e := rangeEntry{lo: lo, hi: hi, loc: loc}
+	if lo.Is4() {
+		db.v4 = append(db.v4, e)
+	} else {
+		db.v6 = append(db.v6, e)
+	}
+	db.sorted = false
+	return nil
+}
+
+// lastAddr computes the highest address in a prefix.
+func lastAddr(p netip.Prefix) netip.Addr {
+	a := p.Addr().AsSlice()
+	bits := p.Bits()
+	for i := range a {
+		bitsLeft := bits - i*8
+		switch {
+		case bitsLeft <= 0:
+			a[i] = 0xFF
+		case bitsLeft < 8:
+			a[i] |= 0xFF >> bitsLeft
+		}
+	}
+	addr, _ := netip.AddrFromSlice(a)
+	return addr
+}
+
+func (db *DB) ensureSorted() {
+	if db.sorted {
+		return
+	}
+	less := func(s []rangeEntry) func(i, j int) bool {
+		return func(i, j int) bool { return s[i].lo.Less(s[j].lo) }
+	}
+	sort.Slice(db.v4, less(db.v4))
+	sort.Slice(db.v6, less(db.v6))
+	db.sorted = true
+}
+
+// Lookup returns the location for addr, or ErrNotFound. When ranges
+// overlap, the range with the highest starting address (the most specific
+// in practice) wins.
+func (db *DB) Lookup(addr netip.Addr) (Location, error) {
+	if !addr.IsValid() {
+		return Location{}, fmt.Errorf("geo: invalid address")
+	}
+	if addr.Is4In6() {
+		addr = addr.Unmap()
+	}
+	db.mu.Lock()
+	db.ensureSorted()
+	db.mu.Unlock()
+
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	s := db.v6
+	if addr.Is4() {
+		s = db.v4
+	}
+	// Last entry with lo <= addr.
+	i := sort.Search(len(s), func(i int) bool { return addr.Less(s[i].lo) }) - 1
+	for ; i >= 0; i-- {
+		if !s[i].hi.Less(addr) { // addr <= hi
+			return s[i].loc, nil
+		}
+		// Because ranges can nest, keep scanning backwards while a
+		// containing range could still start earlier.
+	}
+	return Location{}, ErrNotFound
+}
+
+// Len reports the number of registered ranges.
+func (db *DB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.v4) + len(db.v6)
+}

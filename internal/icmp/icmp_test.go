@@ -1,0 +1,109 @@
+package icmp
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestChecksumRFC1071Example(t *testing.T) {
+	// Classic example from RFC 1071 §3: the one's-complement sum of
+	// 0001 f203 f4f5 f6f7 is ddf2, checksum ^ddf2 = 220d.
+	b := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	if got := Checksum(b); got != 0x220d {
+		t.Errorf("checksum = %#04x, want 0x220d", got)
+	}
+}
+
+func TestChecksumOddLength(t *testing.T) {
+	// Odd-length packets are padded with a zero byte.
+	odd := Checksum([]byte{0xAB})
+	even := Checksum([]byte{0xAB, 0x00})
+	if odd != even {
+		t.Errorf("odd %#04x != padded %#04x", odd, even)
+	}
+}
+
+func TestChecksumSelfVerifies(t *testing.T) {
+	f := func(payload []byte) bool {
+		e := Echo{Type: TypeEchoRequest, ID: 1, Seq: 2, Payload: payload}
+		return Checksum(e.Marshal()) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEchoRoundTrip(t *testing.T) {
+	e := &Echo{Type: TypeEchoRequest, ID: 0xBEEF, Seq: 7, Payload: []byte("ping!")}
+	got, err := Parse(e.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != TypeEchoRequest || got.ID != 0xBEEF || got.Seq != 7 {
+		t.Errorf("parsed = %+v", got)
+	}
+	if !bytes.Equal(got.Payload, []byte("ping!")) {
+		t.Errorf("payload = %q", got.Payload)
+	}
+}
+
+func TestEchoRoundTripProperty(t *testing.T) {
+	f := func(id, seq uint16, payload []byte) bool {
+		e := &Echo{Type: TypeEchoRequest, ID: id, Seq: seq, Payload: payload}
+		got, err := Parse(e.Marshal())
+		if err != nil {
+			return false
+		}
+		return got.ID == id && got.Seq == seq && bytes.Equal(got.Payload, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse([]byte{8, 0, 0}); !errors.Is(err, ErrTruncated) {
+		t.Errorf("short: %v", err)
+	}
+	e := (&Echo{Type: TypeEchoRequest, ID: 1}).Marshal()
+	e[7] ^= 0xFF // corrupt without fixing checksum
+	if _, err := Parse(e); !errors.Is(err, ErrBadChecksum) {
+		t.Errorf("corrupt: %v", err)
+	}
+	// Valid checksum but a non-echo type (3 = dest unreachable).
+	d := (&Echo{Type: 3, ID: 1}).Marshal()
+	if _, err := Parse(d); !errors.Is(err, ErrNotEcho) {
+		t.Errorf("non-echo: %v", err)
+	}
+}
+
+func TestReply(t *testing.T) {
+	req := &Echo{Type: TypeEchoRequest, ID: 5, Seq: 9, Payload: []byte("x")}
+	rep := req.Reply()
+	if rep.Type != TypeEchoReply || rep.ID != 5 || rep.Seq != 9 || !bytes.Equal(rep.Payload, req.Payload) {
+		t.Errorf("reply = %+v", rep)
+	}
+	// Reply parses as a valid packet too.
+	if _, err := Parse(rep.Marshal()); err != nil {
+		t.Errorf("reply parse: %v", err)
+	}
+}
+
+func TestPingerFunc(t *testing.T) {
+	p := PingerFunc(func(ctx context.Context, host string) (time.Duration, error) {
+		if host == "dark.example" {
+			return 0, ErrNoReply
+		}
+		return 25 * time.Millisecond, nil
+	})
+	if d, err := p.Ping(context.Background(), "ok.example"); err != nil || d != 25*time.Millisecond {
+		t.Errorf("ping = %v, %v", d, err)
+	}
+	if _, err := p.Ping(context.Background(), "dark.example"); !errors.Is(err, ErrNoReply) {
+		t.Errorf("dark ping err = %v", err)
+	}
+}

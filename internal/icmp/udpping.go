@@ -1,0 +1,131 @@
+package icmp
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// UDPPinger measures round-trip time by sending ICMP-formatted echo
+// packets over UDP to an EchoServer — the unprivileged stand-in for raw
+// ICMP sockets (which need CAP_NET_RAW and a live network). The wire
+// payload is the real ICMP echo encoding, so the codec and the RTT
+// bookkeeping match what a privileged pinger would do.
+type UDPPinger struct {
+	// Resolve maps a host name to the echo server's UDP address; nil uses
+	// the host string as the address directly.
+	Resolve func(host string) (string, error)
+	// Timeout bounds one echo exchange; zero means 2s.
+	Timeout time.Duration
+
+	id  uint16
+	seq atomic.Uint32
+	mu  sync.Mutex
+}
+
+// NewUDPPinger creates a pinger with a random ICMP identifier.
+func NewUDPPinger() *UDPPinger {
+	var b [2]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("icmp: reading random id: " + err.Error())
+	}
+	return &UDPPinger{id: binary.BigEndian.Uint16(b[:])}
+}
+
+func (p *UDPPinger) timeout() time.Duration {
+	if p.Timeout > 0 {
+		return p.Timeout
+	}
+	return 2 * time.Second
+}
+
+// Ping implements the Pinger interface.
+func (p *UDPPinger) Ping(ctx context.Context, host string) (time.Duration, error) {
+	addr := host
+	if p.Resolve != nil {
+		var err error
+		if addr, err = p.Resolve(host); err != nil {
+			return 0, fmt.Errorf("icmp: resolving %s: %w", host, err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(ctx, p.timeout())
+	defer cancel()
+
+	conn, err := (&net.Dialer{}).DialContext(ctx, "udp", addr)
+	if err != nil {
+		return 0, fmt.Errorf("icmp: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+	if d, ok := ctx.Deadline(); ok {
+		_ = conn.SetDeadline(d)
+	}
+
+	seq := uint16(p.seq.Add(1))
+	req := &Echo{Type: TypeEchoRequest, ID: p.id, Seq: seq, Payload: []byte("encdns-ping")}
+	start := time.Now()
+	if _, err := conn.Write(req.Marshal()); err != nil {
+		return 0, fmt.Errorf("icmp: send: %w", err)
+	}
+	buf := make([]byte, 1500)
+	for {
+		n, err := conn.Read(buf)
+		if err != nil {
+			return 0, ErrNoReply
+		}
+		rep, err := Parse(buf[:n])
+		if err != nil || rep.Type != TypeEchoReply || rep.ID != p.id || rep.Seq != seq {
+			continue // stray or stale datagram
+		}
+		return time.Since(start), nil
+	}
+}
+
+// EchoServer answers ICMP-formatted echo requests over UDP, optionally
+// delaying each reply (to model path latency in tests and demos).
+type EchoServer struct {
+	// Delay postpones each reply.
+	Delay time.Duration
+	// Drop, when set, makes the server ignore every n-th request
+	// (1-based); zero disables.
+	DropEvery int
+
+	pc       net.PacketConn
+	received atomic.Int64
+}
+
+// Serve answers echo requests on pc until it is closed.
+func (s *EchoServer) Serve(pc net.PacketConn) error {
+	s.pc = pc
+	buf := make([]byte, 1500)
+	for {
+		n, from, err := pc.ReadFrom(buf)
+		if err != nil {
+			return nil // closed
+		}
+		req, err := Parse(buf[:n])
+		if err != nil || req.Type != TypeEchoRequest {
+			continue
+		}
+		count := s.received.Add(1)
+		if s.DropEvery > 0 && count%int64(s.DropEvery) == 0 {
+			continue
+		}
+		reply := req.Reply().Marshal()
+		go func(to net.Addr) {
+			if s.Delay > 0 {
+				time.Sleep(s.Delay)
+			}
+			_, _ = pc.WriteTo(reply, to)
+		}(from)
+	}
+}
+
+// Received reports how many well-formed requests arrived.
+func (s *EchoServer) Received() int64 { return s.received.Load() }

@@ -1,0 +1,151 @@
+package icmp
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// startEcho launches an EchoServer on loopback and returns its address.
+func startEcho(t *testing.T, srv *EchoServer) string {
+	t.Helper()
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(pc)
+	t.Cleanup(func() { pc.Close() })
+	return pc.LocalAddr().String()
+}
+
+func TestUDPPingRoundTrip(t *testing.T) {
+	addr := startEcho(t, &EchoServer{})
+	p := NewUDPPinger()
+	rtt, err := p.Ping(context.Background(), addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rtt <= 0 || rtt > time.Second {
+		t.Errorf("rtt = %v", rtt)
+	}
+}
+
+func TestUDPPingMeasuresDelay(t *testing.T) {
+	const delay = 40 * time.Millisecond
+	addr := startEcho(t, &EchoServer{Delay: delay})
+	p := NewUDPPinger()
+	rtt, err := p.Ping(context.Background(), addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rtt < delay {
+		t.Errorf("rtt %v < injected delay %v", rtt, delay)
+	}
+	if rtt > delay*3 {
+		t.Errorf("rtt %v ≫ injected delay %v", rtt, delay)
+	}
+}
+
+func TestUDPPingTimeout(t *testing.T) {
+	// A UDP socket that never replies.
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	p := NewUDPPinger()
+	p.Timeout = 80 * time.Millisecond
+	start := time.Now()
+	_, err = p.Ping(context.Background(), pc.LocalAddr().String())
+	if !errors.Is(err, ErrNoReply) {
+		t.Fatalf("err = %v, want ErrNoReply", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Error("timeout not enforced")
+	}
+}
+
+func TestUDPPingResolveHook(t *testing.T) {
+	addr := startEcho(t, &EchoServer{})
+	p := NewUDPPinger()
+	p.Resolve = func(host string) (string, error) {
+		if host != "resolver.example" {
+			return "", errors.New("unknown host")
+		}
+		return addr, nil
+	}
+	if _, err := p.Ping(context.Background(), "resolver.example"); err != nil {
+		t.Fatalf("resolved ping: %v", err)
+	}
+	if _, err := p.Ping(context.Background(), "other.example"); err == nil {
+		t.Error("unresolvable host pinged")
+	}
+}
+
+func TestUDPPingSequencesDistinct(t *testing.T) {
+	addr := startEcho(t, &EchoServer{})
+	p := NewUDPPinger()
+	for i := 0; i < 5; i++ {
+		if _, err := p.Ping(context.Background(), addr); err != nil {
+			t.Fatalf("ping %d: %v", i, err)
+		}
+	}
+}
+
+func TestEchoServerDrops(t *testing.T) {
+	srv := &EchoServer{DropEvery: 2} // drop every 2nd request
+	addr := startEcho(t, srv)
+	p := NewUDPPinger()
+	p.Timeout = 100 * time.Millisecond
+	okCount, failCount := 0, 0
+	for i := 0; i < 6; i++ {
+		if _, err := p.Ping(context.Background(), addr); err != nil {
+			failCount++
+		} else {
+			okCount++
+		}
+	}
+	if okCount == 0 || failCount == 0 {
+		t.Errorf("ok=%d fail=%d, want a mix with DropEvery=2", okCount, failCount)
+	}
+	if srv.Received() != 6 {
+		t.Errorf("received = %d", srv.Received())
+	}
+}
+
+func TestEchoServerIgnoresGarbage(t *testing.T) {
+	srv := &EchoServer{}
+	addr := startEcho(t, srv)
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	_, _ = conn.Write([]byte("definitely not icmp"))
+	// Server survives; a real ping still works.
+	p := NewUDPPinger()
+	if _, err := p.Ping(context.Background(), addr); err != nil {
+		t.Fatalf("ping after garbage: %v", err)
+	}
+}
+
+func TestUDPPingContextCancel(t *testing.T) {
+	pc, _ := net.ListenPacket("udp", "127.0.0.1:0")
+	defer pc.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	p := NewUDPPinger()
+	p.Timeout = 5 * time.Second
+	start := time.Now()
+	if _, err := p.Ping(ctx, pc.LocalAddr().String()); err == nil {
+		t.Fatal("cancelled ping succeeded")
+	}
+	if time.Since(start) > time.Second {
+		t.Error("cancellation not honoured")
+	}
+}

@@ -1,0 +1,58 @@
+package netsim
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts time for the measurement engine so campaigns can run in
+// virtual time (simulation) or wall-clock time (live measurements).
+type Clock interface {
+	Now() time.Time
+	// Advance moves virtual time forward; a wall clock ignores it (real
+	// time advances on its own).
+	Advance(d time.Duration)
+}
+
+// VirtualClock is a manually advanced clock. The zero value is unusable;
+// use NewVirtualClock. Safe for concurrent use.
+type VirtualClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewVirtualClock starts a virtual clock at the given instant. The campaign
+// reproductions start at the paper's EC2 measurement epoch by convention.
+func NewVirtualClock(start time.Time) *VirtualClock {
+	return &VirtualClock{now: start}
+}
+
+// CampaignEpoch is the start of the paper's EC2 measurement span
+// (September 19, 2023, §3.2), used as the default virtual start time.
+var CampaignEpoch = time.Date(2023, time.September, 19, 0, 0, 0, 0, time.UTC)
+
+// Now returns the current virtual instant.
+func (c *VirtualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves virtual time forward by d (negative d is ignored).
+func (c *VirtualClock) Advance(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// WallClock is the real-time clock used by live measurements.
+type WallClock struct{}
+
+// Now returns time.Now.
+func (WallClock) Now() time.Time { return time.Now() }
+
+// Advance is a no-op; real time advances on its own.
+func (WallClock) Advance(time.Duration) {}

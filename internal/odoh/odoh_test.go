@@ -1,0 +1,451 @@
+package odoh
+
+import (
+	"bytes"
+	"context"
+	"crypto/tls"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"encdns/internal/dns53"
+	"encdns/internal/dnswire"
+)
+
+func TestConfigRoundTrip(t *testing.T) {
+	k, err := NewTargetKey(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := ParseConfig(k.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.ID != 7 {
+		t.Errorf("ID = %d", cfg.ID)
+	}
+}
+
+func TestParseConfigErrors(t *testing.T) {
+	if _, err := ParseConfig([]byte{1, 2, 3}); !errors.Is(err, ErrTruncated) {
+		t.Errorf("short config: %v", err)
+	}
+	if _, err := ParseConfig(make([]byte, 40)); err == nil {
+		t.Error("oversized config accepted")
+	}
+}
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	k, _ := NewTargetKey(1)
+	cfg, _ := ParseConfig(k.Config())
+	query := []byte("pretend this is DNS wire format")
+
+	sealed, qctx, err := cfg.Seal(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, responder, err := k.OpenQuery(sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, query) {
+		t.Fatalf("query round trip: %q", got)
+	}
+	resp := []byte("the answer")
+	sealedResp, err := responder.Seal(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotResp, err := qctx.Open(sealedResp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotResp, resp) {
+		t.Fatalf("response round trip: %q", gotResp)
+	}
+}
+
+func TestSealUnlinkable(t *testing.T) {
+	// The same query sealed twice must produce different ciphertexts
+	// (fresh ephemeral keys), or queries would be linkable at the relay.
+	k, _ := NewTargetKey(1)
+	cfg, _ := ParseConfig(k.Config())
+	a, _, err := cfg.Seal([]byte("same query"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := cfg.Seal([]byte("same query"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a, b) {
+		t.Fatal("two seals of the same query are identical")
+	}
+}
+
+func TestOpenQueryRejects(t *testing.T) {
+	k, _ := NewTargetKey(1)
+	cfg, _ := ParseConfig(k.Config())
+	sealed, _, _ := cfg.Seal([]byte("q"))
+
+	if _, _, err := k.OpenQuery(sealed[:10]); !errors.Is(err, ErrTruncated) {
+		t.Errorf("truncated: %v", err)
+	}
+	wrongID := append([]byte{}, sealed...)
+	wrongID[0] = 99
+	if _, _, err := k.OpenQuery(wrongID); !errors.Is(err, ErrUnknownKey) {
+		t.Errorf("wrong key id: %v", err)
+	}
+	tampered := append([]byte{}, sealed...)
+	tampered[len(tampered)-1] ^= 0xFF
+	if _, _, err := k.OpenQuery(tampered); !errors.Is(err, ErrOpenFailed) {
+		t.Errorf("tampered: %v", err)
+	}
+	// A different target key cannot open it.
+	other, _ := NewTargetKey(1)
+	if _, _, err := other.OpenQuery(sealed); !errors.Is(err, ErrOpenFailed) {
+		t.Errorf("foreign key: %v", err)
+	}
+}
+
+func TestResponseTamperDetected(t *testing.T) {
+	k, _ := NewTargetKey(1)
+	cfg, _ := ParseConfig(k.Config())
+	sealed, qctx, _ := cfg.Seal([]byte("q"))
+	_, responder, err := k.OpenQuery(sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, _ := responder.Seal([]byte("answer"))
+	resp[0] ^= 0xFF
+	if _, err := qctx.Open(resp); !errors.Is(err, ErrOpenFailed) {
+		t.Errorf("tampered response: %v", err)
+	}
+}
+
+func TestSealOpenProperty(t *testing.T) {
+	k, _ := NewTargetKey(3)
+	cfg, _ := ParseConfig(k.Config())
+	f := func(query, response []byte) bool {
+		sealed, qctx, err := cfg.Seal(query)
+		if err != nil {
+			return false
+		}
+		got, responder, err := k.OpenQuery(sealed)
+		if err != nil || !bytes.Equal(got, query) {
+			return false
+		}
+		sr, err := responder.Seal(response)
+		if err != nil {
+			return false
+		}
+		gr, err := qctx.Open(sr)
+		return err == nil && bytes.Equal(gr, response)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// startODoH stands up target and relay servers and a ready client. The
+// relay trusts the target's TLS cert via a shared test transport.
+func startODoH(t *testing.T) (*Client, *httptest.Server, *httptest.Server) {
+	t.Helper()
+	key, err := NewTargetKey(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dnsHandler := dns53.Static(map[string][]net.IP{
+		"google.com.": {net.ParseIP("142.250.64.78")},
+	})
+	targetMux := http.NewServeMux()
+	targetMux.Handle(DefaultPath, &TargetHandler{Key: key, DNS: dnsHandler})
+	target := httptest.NewTLSServer(targetMux)
+	t.Cleanup(target.Close)
+
+	relayMux := http.NewServeMux()
+	relayMux.Handle(DefaultPath, &RelayHandler{Client: target.Client()})
+	relay := httptest.NewTLSServer(relayMux)
+	t.Cleanup(relay.Close)
+
+	cfg, err := FetchConfig(context.Background(), target.Client(), target.URL+DefaultPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targetURL, _ := url.Parse(target.URL)
+	client := &Client{
+		HTTP:       relay.Client(),
+		Relay:      relay.URL + DefaultPath,
+		TargetHost: targetURL.Host,
+		TargetPath: DefaultPath,
+		Config:     cfg,
+	}
+	return client, relay, target
+}
+
+func TestEndToEndThroughRelay(t *testing.T) {
+	client, _, _ := startODoH(t)
+	resp, err := client.Query(context.Background(), "google.com", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Header.RCode != dnswire.RCodeSuccess || len(resp.Answers) != 1 {
+		t.Fatalf("resp = %v", resp)
+	}
+	a := resp.Answers[0].Data.(*dnswire.A)
+	if a.Addr.String() != "142.250.64.78" {
+		t.Errorf("addr = %v", a.Addr)
+	}
+}
+
+func TestRelayNeverSeesPlaintext(t *testing.T) {
+	// Instrument the relay path: capture every body that transits it and
+	// verify the query name never appears.
+	key, _ := NewTargetKey(1)
+	dnsHandler := dns53.Static(map[string][]net.IP{
+		"supersecret.example.": {net.ParseIP("10.9.8.7")},
+	})
+	targetMux := http.NewServeMux()
+	targetMux.Handle(DefaultPath, &TargetHandler{Key: key, DNS: dnsHandler})
+	target := httptest.NewTLSServer(targetMux)
+	defer target.Close()
+
+	var seen [][]byte
+	capture := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		seen = append(seen, body)
+		r.Body = io.NopCloser(bytes.NewReader(body))
+		(&RelayHandler{Client: target.Client()}).ServeHTTP(w, r)
+	})
+	relay := httptest.NewTLSServer(capture)
+	defer relay.Close()
+
+	cfg, err := FetchConfig(context.Background(), target.Client(), target.URL+DefaultPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targetURL, _ := url.Parse(target.URL)
+	client := &Client{
+		HTTP: relay.Client(), Relay: relay.URL + DefaultPath,
+		TargetHost: targetURL.Host, TargetPath: DefaultPath, Config: cfg,
+	}
+	resp, err := client.Query(context.Background(), "supersecret.example", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Answers) != 1 {
+		t.Fatalf("answers = %d", len(resp.Answers))
+	}
+	if len(seen) == 0 {
+		t.Fatal("relay capture empty")
+	}
+	for _, body := range seen {
+		if bytes.Contains(body, []byte("supersecret")) {
+			t.Fatal("query name visible at the relay")
+		}
+	}
+}
+
+func TestRelayRejections(t *testing.T) {
+	relayMux := http.NewServeMux()
+	relayMux.Handle(DefaultPath, &RelayHandler{
+		AllowTarget: func(host string) bool { return host == "allowed.example" },
+	})
+	relay := httptest.NewTLSServer(relayMux)
+	defer relay.Close()
+	client := relay.Client()
+
+	post := func(query string) int {
+		u := relay.URL + DefaultPath + query
+		resp, err := client.Post(u, ContentType, strings.NewReader("x"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post(""); code != http.StatusBadRequest {
+		t.Errorf("no target: %d", code)
+	}
+	if code := post("?targethost=evil.example"); code != http.StatusForbidden {
+		t.Errorf("disallowed target: %d", code)
+	}
+	// GET not allowed.
+	resp, err := client.Get(relay.URL + DefaultPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET: %d", resp.StatusCode)
+	}
+}
+
+func TestTargetRejections(t *testing.T) {
+	key, _ := NewTargetKey(1)
+	mux := http.NewServeMux()
+	mux.Handle(DefaultPath, &TargetHandler{Key: key, DNS: dns53.Static(nil)})
+	target := httptest.NewTLSServer(mux)
+	defer target.Close()
+	client := target.Client()
+
+	// Wrong content type.
+	resp, err := client.Post(target.URL+DefaultPath, "text/plain", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnsupportedMediaType {
+		t.Errorf("wrong ct: %d", resp.StatusCode)
+	}
+	// Garbage body.
+	resp, err = client.Post(target.URL+DefaultPath, ContentType, strings.NewReader("garbage"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("garbage: %d", resp.StatusCode)
+	}
+	// Config fetch works.
+	cfg, err := FetchConfig(context.Background(), client, target.URL+DefaultPath)
+	if err != nil || cfg.ID != 1 {
+		t.Errorf("config fetch: %+v, %v", cfg, err)
+	}
+}
+
+func TestClientWithoutConfig(t *testing.T) {
+	c := &Client{Relay: "https://relay.example/dns-query", TargetHost: "t.example"}
+	if _, err := c.Query(context.Background(), "x.example", dnswire.TypeA); err == nil {
+		t.Error("query without config succeeded")
+	}
+}
+
+func TestRelayTargetUnreachable(t *testing.T) {
+	relayMux := http.NewServeMux()
+	relayMux.Handle(DefaultPath, &RelayHandler{
+		Client: &http.Client{Transport: &http.Transport{
+			TLSClientConfig: &tls.Config{InsecureSkipVerify: true},
+		}},
+	})
+	relay := httptest.NewTLSServer(relayMux)
+	defer relay.Close()
+
+	resp, err := relay.Client().Post(
+		relay.URL+DefaultPath+"?targethost=127.0.0.1:1", ContentType, strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Errorf("unreachable target: %d", resp.StatusCode)
+	}
+}
+
+func TestFetchConfigErrors(t *testing.T) {
+	// Non-200 response.
+	ts := httptest.NewTLSServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", http.StatusNotFound)
+	}))
+	defer ts.Close()
+	if _, err := FetchConfig(context.Background(), ts.Client(), ts.URL); err == nil {
+		t.Error("404 config accepted")
+	}
+	// Garbage body.
+	ts2 := httptest.NewTLSServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("short"))
+	}))
+	defer ts2.Close()
+	if _, err := FetchConfig(context.Background(), ts2.Client(), ts2.URL); err == nil {
+		t.Error("garbage config accepted")
+	}
+	// Unreachable target.
+	if _, err := FetchConfig(context.Background(), &http.Client{}, "https://127.0.0.1:1/x"); err == nil {
+		t.Error("unreachable config fetch succeeded")
+	}
+}
+
+func TestClientQueryErrors(t *testing.T) {
+	key, _ := NewTargetKey(1)
+	cfg, _ := ParseConfig(key.Config())
+	// Relay unreachable.
+	c := &Client{
+		HTTP:   &http.Client{},
+		Relay:  "https://127.0.0.1:1/dns-query",
+		Config: cfg, TargetHost: "t.example",
+		Timeout: 500 * time.Millisecond,
+	}
+	if _, err := c.Query(context.Background(), "x.example", dnswire.TypeA); err == nil {
+		t.Error("unreachable relay succeeded")
+	}
+	// Relay returns non-200.
+	bad := httptest.NewTLSServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "no", http.StatusServiceUnavailable)
+	}))
+	defer bad.Close()
+	c.HTTP = bad.Client()
+	c.Relay = bad.URL + DefaultPath
+	if _, err := c.Query(context.Background(), "x.example", dnswire.TypeA); err == nil {
+		t.Error("503 relay accepted")
+	}
+	// Relay returns garbage the client cannot decrypt.
+	garbage := httptest.NewTLSServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		w.Write([]byte("not a sealed response"))
+	}))
+	defer garbage.Close()
+	c.HTTP = garbage.Client()
+	c.Relay = garbage.URL + DefaultPath
+	if _, err := c.Query(context.Background(), "x.example", dnswire.TypeA); !errors.Is(err, ErrOpenFailed) {
+		t.Errorf("garbage response err = %v, want ErrOpenFailed", err)
+	}
+	// Invalid relay URL.
+	c.Relay = "://bad url"
+	if _, err := c.Query(context.Background(), "x.example", dnswire.TypeA); err == nil {
+		t.Error("bad relay URL accepted")
+	}
+}
+
+func TestTargetHandlerServfail(t *testing.T) {
+	key, _ := NewTargetKey(1)
+	failing := dns53.HandlerFunc(func(context.Context, *dnswire.Message) (*dnswire.Message, error) {
+		return nil, errors.New("resolver down")
+	})
+	mux := http.NewServeMux()
+	mux.Handle(DefaultPath, &TargetHandler{Key: key, DNS: failing})
+	target := httptest.NewTLSServer(mux)
+	defer target.Close()
+
+	cfg, _ := ParseConfig(key.Config())
+	q, _ := dnswire.NewQuery(9, "x.example", dnswire.TypeA).Pack()
+	sealed, qctx, _ := cfg.Seal(q)
+	resp, err := target.Client().Post(target.URL+DefaultPath, ContentType, bytes.NewReader(sealed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	plain, err := qctx.Open(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := dnswire.Unpack(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Header.RCode != dnswire.RCodeServFail {
+		t.Errorf("rcode = %v, want SERVFAIL", m.Header.RCode)
+	}
+}

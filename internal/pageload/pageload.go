@@ -1,0 +1,167 @@
+// Package pageload models how resolver choice affects web page load time
+// — the paper's stated future work (§3.2 limitations: "we do not measure
+// how encrypted DNS affects application performance, such as web page
+// load time") and the reason DNS response time matters at all (§1: "a
+// browser must first resolve the domain names for each object on the
+// page").
+//
+// The model is WProf-shaped (Wang et al., §2.2): a page load is a
+// critical path of dependency levels. Each level introduces domains whose
+// resolution gates that level's object fetches; domains already resolved
+// during this load hit the stub cache and cost nothing. Off-path levels
+// overlap with the next fetch. Wang et al. found uncached DNS can be up
+// to 13% of the critical path; DNSShare reports the model's equivalent.
+package pageload
+
+import (
+	"context"
+	"time"
+
+	"encdns/internal/core"
+	"encdns/internal/netsim"
+)
+
+// Level is one dependency step of a page: the domains that must resolve
+// before its objects can be fetched, and the fetch cost once they have.
+type Level struct {
+	// Domains resolve in parallel; the slowest gates the level.
+	Domains []string
+	// FetchMs is the object transfer time for the level once resolved.
+	FetchMs float64
+}
+
+// Page is a WProf-style dependency chain.
+type Page struct {
+	Name   string
+	Levels []Level
+}
+
+// TypicalPage models a news-site-like page: the main document, then a
+// fan-out of CDN/static domains, then third-party tags — 8 distinct
+// domains over 3 levels, in line with the multi-domain pages that
+// motivated WProf and namehelp.
+func TypicalPage() Page {
+	return Page{
+		Name: "typical-news-page",
+		Levels: []Level{
+			{Domains: []string{"www.news.example.com"}, FetchMs: 80},
+			{Domains: []string{"static.news.example.com", "img.cdn.example.net",
+				"fonts.cdn.example.net"}, FetchMs: 60},
+			{Domains: []string{"ads.tracker.example.org", "tags.tracker.example.org",
+				"cdn.social.example.net", "api.social.example.net"}, FetchMs: 50},
+		},
+	}
+}
+
+// SimplePage models a single-domain page (the best case for DNS).
+func SimplePage() Page {
+	return Page{
+		Name: "single-domain-page",
+		Levels: []Level{
+			{Domains: []string{"blog.example.org"}, FetchMs: 90},
+			{Domains: nil, FetchMs: 70}, // same-domain assets, no new lookups
+		},
+	}
+}
+
+// Result is one simulated page load.
+type Result struct {
+	// TotalMs is the page load time.
+	TotalMs float64
+	// DNSMs is the DNS portion of the critical path.
+	DNSMs float64
+	// Lookups counts resolver queries issued (cache hits excluded).
+	Lookups int
+	// Failed reports an unresolvable critical domain (load aborted; the
+	// durations cover the path up to the failure).
+	Failed bool
+}
+
+// DNSShare is the fraction of the load spent in DNS.
+func (r Result) DNSShare() float64 {
+	if r.TotalMs <= 0 {
+		return 0
+	}
+	return r.DNSMs / r.TotalMs
+}
+
+// Loader simulates page loads against one resolver through the standard
+// prober abstraction.
+type Loader struct {
+	Prober  core.Prober
+	Vantage netsim.Vantage
+	Target  core.Target
+	// Retries is how many times a failed lookup is retried before the
+	// load aborts; zero means 1 retry.
+	Retries int
+}
+
+func (l *Loader) retries() int {
+	if l.Retries > 0 {
+		return l.Retries
+	}
+	return 1
+}
+
+// Load simulates one load of page at the given round index.
+func (l *Loader) Load(ctx context.Context, page Page, round int) Result {
+	var res Result
+	resolved := make(map[string]bool)
+	seq := round * 1000 // distinct RNG streams per lookup within a load
+	for _, level := range page.Levels {
+		// All this level's unresolved domains race in parallel; the level
+		// is gated by the slowest.
+		var gateMs float64
+		for _, domain := range level.Domains {
+			if resolved[domain] {
+				continue // stub cache hit within this load
+			}
+			ms, ok := l.lookup(ctx, domain, &seq)
+			res.Lookups++
+			if !ok {
+				res.Failed = true
+				res.DNSMs += ms
+				res.TotalMs += ms
+				return res
+			}
+			resolved[domain] = true
+			if ms > gateMs {
+				gateMs = ms
+			}
+		}
+		res.DNSMs += gateMs
+		res.TotalMs += gateMs + level.FetchMs
+	}
+	return res
+}
+
+// lookup performs one resolver query with bounded retry, returning the
+// time spent (including failed attempts) and success.
+func (l *Loader) lookup(ctx context.Context, domain string, seq *int) (float64, bool) {
+	var spent float64
+	for attempt := 0; attempt <= l.retries(); attempt++ {
+		q := l.Prober.Query(ctx, l.Vantage, l.Target, domain, *seq)
+		*seq++
+		spent += float64(q.Duration) / float64(time.Millisecond)
+		if q.Err == netsim.OK {
+			return spent, true
+		}
+	}
+	return spent, false
+}
+
+// Compare loads the page n times against each target and returns the
+// per-target load-time samples — the experiment the paper defers to
+// future work, runnable today.
+func Compare(ctx context.Context, prober core.Prober, v netsim.Vantage, targets []core.Target, page Page, n int) map[string][]Result {
+	out := make(map[string][]Result, len(targets))
+	for _, target := range targets {
+		loader := &Loader{Prober: prober, Vantage: v, Target: target}
+		results := make([]Result, 0, n)
+		for i := 0; i < n; i++ {
+			results = append(results, loader.Load(ctx, page, i))
+		}
+		out[target.Host] = results
+	}
+	return out
+}

@@ -1,0 +1,199 @@
+package pageload
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"encdns/internal/core"
+	"encdns/internal/dataset"
+	"encdns/internal/dnswire"
+	"encdns/internal/netsim"
+	"encdns/internal/stats"
+)
+
+func targetFor(t *testing.T, host string) core.Target {
+	t.Helper()
+	r, ok := dataset.ResolverByHost(host)
+	if !ok {
+		t.Fatalf("unknown host %s", host)
+	}
+	return core.Target{Host: r.Host, Endpoint: r.Endpoint, Net: r.Net}
+}
+
+func ohioLoader(t *testing.T, host string, seed uint64) *Loader {
+	t.Helper()
+	v, _ := dataset.VantageByName(dataset.VantageOhio)
+	return &Loader{
+		Prober:  &core.SimProber{Net: netsim.New(netsim.Config{Seed: seed})},
+		Vantage: v,
+		Target:  targetFor(t, host),
+	}
+}
+
+func TestLoadTypicalPage(t *testing.T) {
+	l := ohioLoader(t, "dns.google", 1)
+	res := l.Load(context.Background(), TypicalPage(), 0)
+	if res.Failed {
+		t.Fatal("load failed")
+	}
+	// 8 distinct domains → 8 lookups, no duplicates.
+	if res.Lookups != 8 {
+		t.Errorf("lookups = %d, want 8", res.Lookups)
+	}
+	// Fetch floor: 80+60+50 = 190 ms plus DNS.
+	if res.TotalMs <= 190 {
+		t.Errorf("total = %.1f, must exceed the 190 ms fetch floor", res.TotalMs)
+	}
+	if res.DNSMs <= 0 || res.DNSMs >= res.TotalMs {
+		t.Errorf("dns = %.1f of %.1f", res.DNSMs, res.TotalMs)
+	}
+	if got := res.TotalMs - res.DNSMs; got < 189.99 || got > 190.01 {
+		t.Errorf("fetch time = %.2f, want 190", got)
+	}
+}
+
+func TestStubCacheDedupes(t *testing.T) {
+	page := Page{Levels: []Level{
+		{Domains: []string{"a.example.", "a.example."}, FetchMs: 10},
+		{Domains: []string{"a.example."}, FetchMs: 10},
+	}}
+	l := ohioLoader(t, "dns.google", 1)
+	res := l.Load(context.Background(), page, 0)
+	if res.Lookups != 1 {
+		t.Errorf("lookups = %d, want 1 (cache should dedupe)", res.Lookups)
+	}
+}
+
+func TestParallelLevelGatedBySlowest(t *testing.T) {
+	// A level with many domains costs one gate, not the sum.
+	many := Page{Levels: []Level{{Domains: []string{
+		"a.example", "b.example", "c.example", "d.example", "e.example",
+	}, FetchMs: 0}}}
+	one := Page{Levels: []Level{{Domains: []string{"a.example"}, FetchMs: 0}}}
+	l := ohioLoader(t, "dns.google", 2)
+	mres := l.Load(context.Background(), many, 0)
+	ores := l.Load(context.Background(), one, 1)
+	if mres.DNSMs > 5*ores.DNSMs {
+		t.Errorf("parallel level cost %.1f vs single %.1f; looks serialised", mres.DNSMs, ores.DNSMs)
+	}
+}
+
+func TestFastResolverLoadsFaster(t *testing.T) {
+	// The paper's §1 argument end to end: slow DNS → slow page loads.
+	ctx := context.Background()
+	page := TypicalPage()
+	fast := ohioLoader(t, "dns.google", 3)
+	slow := ohioLoader(t, "doh.ffmuc.net", 3)
+	var fastMs, slowMs []float64
+	for i := 0; i < 40; i++ {
+		if r := fast.Load(ctx, page, i); !r.Failed {
+			fastMs = append(fastMs, r.TotalMs)
+		}
+		if r := slow.Load(ctx, page, i); !r.Failed {
+			slowMs = append(slowMs, r.TotalMs)
+		}
+	}
+	fm, sm := stats.Median(fastMs), stats.Median(slowMs)
+	if fm >= sm {
+		t.Errorf("fast resolver PLT %.1f >= slow %.1f", fm, sm)
+	}
+	// The gap must reflect 3 levels × (ffmuc RTT ≈ 3×RTT Ohio→Nuremberg).
+	if sm-fm < 200 {
+		t.Errorf("PLT gap only %.1f ms; distant resolver should cost much more", sm-fm)
+	}
+}
+
+func TestDNSShareInWProfRange(t *testing.T) {
+	// Wang et al.: DNS up to ~13% of the critical path for uncached
+	// domains. With a fast local resolver the model's share should land
+	// in single digits to low tens of percent, not dominate.
+	l := ohioLoader(t, "dns.google", 4)
+	var shares []float64
+	for i := 0; i < 40; i++ {
+		r := l.Load(context.Background(), TypicalPage(), i)
+		if !r.Failed {
+			shares = append(shares, r.DNSShare())
+		}
+	}
+	med := stats.Median(shares)
+	if med <= 0.01 || med >= 0.5 {
+		t.Errorf("DNS share median = %.3f, want a modest fraction", med)
+	}
+}
+
+func TestSimplePageFewerLookups(t *testing.T) {
+	l := ohioLoader(t, "dns.google", 5)
+	r := l.Load(context.Background(), SimplePage(), 0)
+	if r.Lookups != 1 {
+		t.Errorf("lookups = %d, want 1", r.Lookups)
+	}
+}
+
+func TestFailedLookupAbortsLoad(t *testing.T) {
+	v, _ := dataset.VantageByName(dataset.VantageOhio)
+	target := targetFor(t, "dns.google")
+	target.Net.Down = true
+	l := &Loader{
+		Prober:  &core.SimProber{Net: netsim.New(netsim.Config{Seed: 1})},
+		Vantage: v,
+		Target:  target,
+	}
+	r := l.Load(context.Background(), TypicalPage(), 0)
+	if !r.Failed {
+		t.Fatal("load against a dead resolver succeeded")
+	}
+	// Retry means at least two connect timeouts of spent time.
+	if r.TotalMs < float64(2*3000) {
+		t.Errorf("failed load spent %.1f ms; retries unaccounted", r.TotalMs)
+	}
+}
+
+func TestRetryRecoversTransientFailure(t *testing.T) {
+	// A prober that fails the first attempt and succeeds on retry.
+	v, _ := dataset.VantageByName(dataset.VantageOhio)
+	p := &flaky{fail: 1}
+	l := &Loader{Prober: p, Vantage: v, Target: core.Target{Host: "x"}, Retries: 2}
+	r := l.Load(context.Background(), SimplePage(), 0)
+	if r.Failed {
+		t.Fatal("retry did not recover")
+	}
+	if r.DNSMs < 19.9 { // 10 ms failed attempt + 10 ms success
+		t.Errorf("dns time %.1f should include the failed attempt", r.DNSMs)
+	}
+}
+
+type flaky struct{ fail int }
+
+func (f *flaky) Query(context.Context, netsim.Vantage, core.Target, string, int) core.QueryOutcome {
+	if f.fail > 0 {
+		f.fail--
+		return core.QueryOutcome{Duration: 10 * time.Millisecond, Err: netsim.ErrConnect}
+	}
+	return core.QueryOutcome{Duration: 10 * time.Millisecond, RCode: dnswire.RCodeSuccess}
+}
+
+func (f *flaky) Ping(context.Context, netsim.Vantage, core.Target, int) core.PingOutcome {
+	return core.PingOutcome{}
+}
+
+func TestCompare(t *testing.T) {
+	v, _ := dataset.VantageByName(dataset.VantageOhio)
+	prober := &core.SimProber{Net: netsim.New(netsim.Config{Seed: 6})}
+	targets := []core.Target{targetFor(t, "dns.google"), targetFor(t, "doh.ffmuc.net")}
+	out := Compare(context.Background(), prober, v, targets, TypicalPage(), 10)
+	if len(out) != 2 {
+		t.Fatalf("targets = %d", len(out))
+	}
+	for host, results := range out {
+		if len(results) != 10 {
+			t.Errorf("%s results = %d", host, len(results))
+		}
+	}
+}
+
+func TestDNSShareZeroTotal(t *testing.T) {
+	if (Result{}).DNSShare() != 0 {
+		t.Error("zero-total share should be 0")
+	}
+}

@@ -1,0 +1,191 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"encdns/internal/stats"
+)
+
+func box(t *testing.T, samples ...float64) stats.BoxPlot {
+	t.Helper()
+	b, err := stats.Summarize(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestBoxChartRender(t *testing.T) {
+	c := &BoxChart{
+		Title: "Demo chart",
+		MaxMs: 100,
+		Rows: []BoxRow{
+			{Label: "fast.example", Bold: true,
+				Response: box(t, 10, 12, 14, 16, 18),
+				Ping:     box(t, 3, 4, 5), HasPing: true},
+			{Label: "slow.example",
+				Response: box(t, 60, 70, 80, 90, 95)},
+		},
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Demo chart", "**fast.example**", "slow.example",
+		"(ping)", "(no ICMP reply)", "med=14ms", "med=4ms", "axis: 0 .. 100 ms",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBoxChartSortByMedian(t *testing.T) {
+	c := &BoxChart{Rows: []BoxRow{
+		{Label: "c", Response: box(t, 30)},
+		{Label: "a", Response: box(t, 10)},
+		{Label: "b", Response: box(t, 20)},
+	}}
+	c.SortByMedian()
+	got := []string{c.Rows[0].Label, c.Rows[1].Label, c.Rows[2].Label}
+	if got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Errorf("order = %v", got)
+	}
+}
+
+func TestBoxChartAutoScale(t *testing.T) {
+	c := &BoxChart{Rows: []BoxRow{{Label: "x", Response: box(t, 100, 200, 300)}}}
+	if m := c.maxMs(); m < 300 {
+		t.Errorf("auto max = %v", m)
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoxChartEmptyRow(t *testing.T) {
+	// A row with no samples renders blank rather than panicking.
+	c := &BoxChart{Title: "t", MaxMs: 100, Rows: []BoxRow{{Label: "void"}}}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "void") {
+		t.Error("row label missing")
+	}
+}
+
+func TestRenderBoxGeometry(t *testing.T) {
+	b := box(t, 10, 20, 30, 40, 50)
+	line := renderBox(b, 100, 50)
+	if len([]rune(line)) != 50 {
+		t.Fatalf("line width = %d", len([]rune(line)))
+	}
+	if !strings.ContainsRune(line, '█') || !strings.ContainsRune(line, '├') || !strings.ContainsRune(line, '┤') {
+		t.Errorf("missing glyphs: %q", line)
+	}
+	// Median position ≈ 30% of 50 cells.
+	medIdx := strings.IndexRune(line, '█')
+	runeIdx := len([]rune(line[:medIdx]))
+	if runeIdx < 12 || runeIdx > 18 {
+		t.Errorf("median at cell %d, want ~15", runeIdx)
+	}
+}
+
+func TestRenderBoxOverflowMarker(t *testing.T) {
+	b := box(t, 10, 11, 12, 13, 500) // 500 is an outlier past the axis
+	line := renderBox(b, 100, 40)
+	if !strings.HasSuffix(line, "→") {
+		t.Errorf("no overflow marker: %q", line)
+	}
+}
+
+func TestRenderBoxOutlierGlyph(t *testing.T) {
+	b := box(t, 10, 11, 12, 13, 80)
+	line := renderBox(b, 100, 40)
+	if !strings.ContainsRune(line, '∘') {
+		t.Errorf("no outlier dot: %q", line)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{
+		Title:   "Demo",
+		Headers: []string{"Name", "Value"},
+	}
+	tbl.AddRow("alpha", "1")
+	tbl.AddRow("beta-long-name", "22")
+	var buf bytes.Buffer
+	if err := tbl.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	// Title + underline + blank + header + separator + 2 rows = 7 lines.
+	if len(lines) != 7 {
+		t.Fatalf("lines = %d:\n%s", len(lines), buf.String())
+	}
+	// All table lines equal width (aligned).
+	w := len(lines[3])
+	for _, l := range lines[4:] {
+		if len(l) != w {
+			t.Errorf("misaligned line %q", l)
+		}
+	}
+}
+
+func TestTableAddRowArity(t *testing.T) {
+	tbl := &Table{Headers: []string{"A", "B"}}
+	defer func() {
+		if recover() == nil {
+			t.Error("arity mismatch accepted")
+		}
+	}()
+	tbl.AddRow("only-one")
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := &Table{Headers: []string{"A", "B"}}
+	tbl.AddRow("x", "1")
+	tbl.AddRow("y,comma", "2")
+	var buf bytes.Buffer
+	if err := tbl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "A,B\n") {
+		t.Errorf("csv = %q", out)
+	}
+	if !strings.Contains(out, "\"y,comma\"") {
+		t.Errorf("comma not quoted: %q", out)
+	}
+}
+
+func TestChartCSV(t *testing.T) {
+	c := &BoxChart{Rows: []BoxRow{
+		{Label: "a", Bold: true, Response: box(t, 1, 2, 3), Ping: box(t, 0.5), HasPing: true},
+		{Label: "b", Response: box(t, 4, 5, 6)},
+	}}
+	var buf bytes.Buffer
+	if err := ChartCSV(c, &buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d", len(lines))
+	}
+	if !strings.Contains(lines[0], "resp_median") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "a,true") {
+		t.Errorf("row = %q", lines[1])
+	}
+	// Row without ping has empty final field.
+	if !strings.HasSuffix(lines[2], ",0,") {
+		t.Errorf("no-ping row = %q", lines[2])
+	}
+}

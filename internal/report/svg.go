@@ -1,0 +1,156 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"encdns/internal/stats"
+)
+
+// SVG rendering: publication-style boxplot figures matching the paper's
+// visual layout — one row per resolver with paired DNS-response-time and
+// ping distributions, mainstream resolvers bold, axis truncated like the
+// text renderer. Output is self-contained SVG 1.1 with no external fonts
+// or scripts, viewable in any browser.
+
+const (
+	svgRowH     = 34  // vertical space per resolver row
+	svgBoxH     = 10  // height of one boxplot
+	svgLabelW   = 300 // label gutter
+	svgPlotW    = 640 // plot area width
+	svgMargin   = 20
+	svgAxisH    = 40
+	svgTitleH   = 36
+	respColor   = "#4878a8"
+	respFill    = "#a8c8e8"
+	pingColor   = "#b8860b"
+	pingFill    = "#eed9a2"
+	outlierGrey = "#666666"
+)
+
+// ChartSVG renders the chart as an SVG document.
+func ChartSVG(c *BoxChart, w io.Writer) error {
+	maxMs := c.maxMs()
+	width := svgMargin*2 + svgLabelW + svgPlotW
+	height := svgTitleH + svgAxisH + len(c.Rows)*svgRowH + svgMargin
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	sb.WriteString(`<style>text{font-family:Helvetica,Arial,sans-serif;font-size:12px;fill:#222}.t{font-size:15px;font-weight:bold}.b{font-weight:bold}.ax{font-size:10px;fill:#555}</style>` + "\n")
+	fmt.Fprintf(&sb, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&sb, `<text class="t" x="%d" y="%d">%s</text>`+"\n", svgMargin, svgMargin+4, xmlEscape(c.Title))
+
+	plotX := float64(svgMargin + svgLabelW)
+	scale := func(v float64) float64 {
+		if math.IsNaN(v) || v < 0 {
+			v = 0
+		}
+		if v > maxMs {
+			v = maxMs
+		}
+		return plotX + v/maxMs*float64(svgPlotW)
+	}
+
+	// Axis with gridlines at round intervals.
+	axisY := float64(svgTitleH + svgAxisH - 14)
+	plotBottom := float64(svgTitleH+svgAxisH+len(c.Rows)*svgRowH) - 6
+	step := niceStep(maxMs)
+	for v := 0.0; v <= maxMs+1e-9; v += step {
+		x := scale(v)
+		fmt.Fprintf(&sb, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ddd" stroke-width="1"/>`+"\n",
+			x, axisY, x, plotBottom)
+		fmt.Fprintf(&sb, `<text class="ax" x="%.1f" y="%.1f" text-anchor="middle">%.0f</text>`+"\n",
+			x, axisY-4, v)
+	}
+	fmt.Fprintf(&sb, `<text class="ax" x="%.1f" y="%.1f" text-anchor="end">ms</text>`+"\n",
+		plotX+float64(svgPlotW), axisY-16)
+
+	// Legend.
+	fmt.Fprintf(&sb, `<rect x="%d" y="%d" width="14" height="8" fill="%s" stroke="%s"/><text x="%d" y="%d">DNS response time</text>`+"\n",
+		svgMargin, svgTitleH, respFill, respColor, svgMargin+20, svgTitleH+8)
+	fmt.Fprintf(&sb, `<rect x="%d" y="%d" width="14" height="8" fill="%s" stroke="%s"/><text x="%d" y="%d">ping RTT</text>`+"\n",
+		svgMargin+170, svgTitleH, pingFill, pingColor, svgMargin+190, svgTitleH+8)
+
+	for i, row := range c.Rows {
+		rowTop := float64(svgTitleH + svgAxisH + i*svgRowH)
+		labelClass := ""
+		if row.Bold {
+			labelClass = ` class="b"`
+		}
+		fmt.Fprintf(&sb, `<text%s x="%d" y="%.1f" text-anchor="end">%s</text>`+"\n",
+			labelClass, svgMargin+svgLabelW-10, rowTop+svgBoxH+4, xmlEscape(row.Label))
+		if row.Response.N > 0 {
+			svgBox(&sb, row.Response, scale, rowTop+2, respColor, respFill, maxMs)
+		}
+		if row.HasPing {
+			svgBox(&sb, row.Ping, scale, rowTop+svgBoxH+8, pingColor, pingFill, maxMs)
+		} else {
+			fmt.Fprintf(&sb, `<text class="ax" x="%.1f" y="%.1f">no ICMP reply</text>`+"\n",
+				plotX+4, rowTop+svgBoxH+16)
+		}
+	}
+	sb.WriteString("</svg>\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// svgBox draws one horizontal boxplot at vertical offset y.
+func svgBox(sb *strings.Builder, b stats.BoxPlot, scale func(float64) float64,
+	y float64, stroke, fill string, maxMs float64) {
+	mid := y + svgBoxH/2
+	loX, q1X := scale(b.WhiskerLow), scale(b.Q1)
+	q2X, q3X, hiX := scale(b.Q2), scale(b.Q3), scale(b.WhiskerHigh)
+	// Whiskers.
+	fmt.Fprintf(sb, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s"/>`+"\n",
+		loX, mid, q1X, mid, stroke)
+	fmt.Fprintf(sb, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s"/>`+"\n",
+		q3X, mid, hiX, mid, stroke)
+	for _, x := range []float64{loX, hiX} {
+		fmt.Fprintf(sb, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s"/>`+"\n",
+			x, y, x, y+svgBoxH, stroke)
+	}
+	// IQR box; enforce a 1px minimum so tight distributions stay visible.
+	boxW := q3X - q1X
+	if boxW < 1 {
+		boxW = 1
+	}
+	fmt.Fprintf(sb, `<rect x="%.1f" y="%.1f" width="%.1f" height="%d" fill="%s" stroke="%s"/>`+"\n",
+		q1X, y, boxW, svgBoxH, fill, stroke)
+	// Median tick.
+	fmt.Fprintf(sb, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="2"/>`+"\n",
+		q2X, y-1, q2X, y+svgBoxH+1, stroke)
+	// Outliers (truncated at the axis, like the paper's figures).
+	overflow := false
+	for _, o := range b.Outliers {
+		if o > maxMs {
+			overflow = true
+			continue
+		}
+		fmt.Fprintf(sb, `<circle cx="%.1f" cy="%.1f" r="1.8" fill="none" stroke="%s"/>`+"\n",
+			scale(o), mid, outlierGrey)
+	}
+	if overflow {
+		fmt.Fprintf(sb, `<text class="ax" x="%.1f" y="%.1f">→</text>`+"\n",
+			scale(maxMs)+2, mid+3)
+	}
+}
+
+// niceStep picks a round gridline interval for the axis span.
+func niceStep(maxMs float64) float64 {
+	raw := maxMs / 6
+	mag := math.Pow(10, math.Floor(math.Log10(raw)))
+	for _, m := range []float64{1, 2, 5, 10} {
+		if raw <= m*mag {
+			return m * mag
+		}
+	}
+	return 10 * mag
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,230 @@
+// Package resolver implements the caching recursive resolver that sits
+// behind every encrypted-DNS endpoint the paper measures: a TTL-aware
+// positive cache with an LRU bound, RFC 2308 negative caching, iterative
+// resolution from the root with referral walking, glue use, and CNAME
+// chasing, plus a simple forwarding mode. It implements dns53.Handler, so
+// the same resolver instance serves Do53, DoT, and DoH frontends.
+package resolver
+
+import (
+	"container/list"
+	"sync"
+	"time"
+
+	"encdns/internal/dnswire"
+)
+
+// cacheKey identifies a cached RRset or negative entry.
+type cacheKey struct {
+	name string
+	typ  dnswire.Type
+}
+
+// cacheEntry is one cached item.
+type cacheEntry struct {
+	key     cacheKey
+	expires time.Time
+	// records is the positive RRset; empty for negative entries.
+	records []dnswire.Record
+	// negative marks an NXDOMAIN/NODATA entry (RFC 2308).
+	negative bool
+	// nxdomain distinguishes NXDOMAIN from NODATA within negative entries.
+	nxdomain bool
+	elem     *list.Element
+}
+
+// Cache is a TTL- and LRU-bounded DNS cache, safe for concurrent use.
+type Cache struct {
+	mu    sync.Mutex
+	max   int
+	items map[cacheKey]*cacheEntry
+	lru   *list.List // front = most recent
+	now   func() time.Time
+	// staleFor keeps expired positive entries usable by LookupStale for
+	// this long past expiry (RFC 8767 serve-stale); zero disables.
+	staleFor time.Duration
+
+	hits, misses uint64
+}
+
+// EnableServeStale keeps expired positive RRsets around for window past
+// their TTL so LookupStale can serve them when upstreams are unreachable
+// (RFC 8767 recommends a maximum of 1–3 days).
+func (c *Cache) EnableServeStale(window time.Duration) {
+	c.mu.Lock()
+	c.staleFor = window
+	c.mu.Unlock()
+}
+
+// NewCache creates a cache holding at most maxEntries RRsets (minimum 16).
+// now is the clock; nil means time.Now. Virtual-time campaigns inject the
+// simulation clock so TTLs expire in simulated time.
+func NewCache(maxEntries int, now func() time.Time) *Cache {
+	if maxEntries < 16 {
+		maxEntries = 16
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &Cache{
+		max:   maxEntries,
+		items: make(map[cacheKey]*cacheEntry),
+		lru:   list.New(),
+		now:   now,
+	}
+}
+
+// Stats returns cumulative hit and miss counts.
+func (c *Cache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len returns the number of live entries (including expired-but-unswept).
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}
+
+// PutRRset caches a positive RRset under the TTL of its shortest record.
+func (c *Cache) PutRRset(name string, t dnswire.Type, rrs []dnswire.Record) {
+	if len(rrs) == 0 {
+		return
+	}
+	ttl := rrs[0].TTL
+	for _, rr := range rrs[1:] {
+		if rr.TTL < ttl {
+			ttl = rr.TTL
+		}
+	}
+	cp := make([]dnswire.Record, len(rrs))
+	copy(cp, rrs)
+	c.put(&cacheEntry{
+		key:     cacheKey{name: dnswire.CanonicalName(name), typ: t},
+		expires: c.now().Add(time.Duration(ttl) * time.Second),
+		records: cp,
+	})
+}
+
+// PutNegative caches an NXDOMAIN or NODATA for (name, type) for ttl
+// seconds (the RFC 2308 value: min(SOA TTL, SOA MINIMUM)).
+func (c *Cache) PutNegative(name string, t dnswire.Type, nxdomain bool, ttl uint32) {
+	c.put(&cacheEntry{
+		key:      cacheKey{name: dnswire.CanonicalName(name), typ: t},
+		expires:  c.now().Add(time.Duration(ttl) * time.Second),
+		negative: true,
+		nxdomain: nxdomain,
+	})
+}
+
+func (c *Cache) put(e *cacheEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old, ok := c.items[e.key]; ok {
+		c.lru.Remove(old.elem)
+		delete(c.items, e.key)
+	}
+	e.elem = c.lru.PushFront(e)
+	c.items[e.key] = e
+	for len(c.items) > c.max {
+		back := c.lru.Back()
+		if back == nil {
+			break
+		}
+		victim := back.Value.(*cacheEntry)
+		c.lru.Remove(back)
+		delete(c.items, victim.key)
+	}
+}
+
+// LookupResult reports what the cache knows about a (name, type).
+type LookupResult struct {
+	// Records is the positive RRset with TTLs aged to the remaining
+	// lifetime; nil for negative results.
+	Records []dnswire.Record
+	// Negative is true for a cached NXDOMAIN/NODATA.
+	Negative bool
+	// NXDomain is true when the negative entry is an NXDOMAIN.
+	NXDomain bool
+}
+
+// Lookup returns the cached state for (name, type), expiring stale
+// entries. ok is false on a miss.
+func (c *Cache) Lookup(name string, t dnswire.Type) (LookupResult, bool) {
+	key := cacheKey{name: dnswire.CanonicalName(name), typ: t}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return LookupResult{}, false
+	}
+	now := c.now()
+	remaining := e.expires.Sub(now)
+	if remaining <= 0 {
+		// Keep expired positive entries within the serve-stale window for
+		// LookupStale; evict everything else.
+		if c.staleFor <= 0 || e.negative || now.Sub(e.expires) > c.staleFor {
+			c.lru.Remove(e.elem)
+			delete(c.items, key)
+		}
+		c.misses++
+		return LookupResult{}, false
+	}
+	c.lru.MoveToFront(e.elem)
+	c.hits++
+	if e.negative {
+		return LookupResult{Negative: true, NXDomain: e.nxdomain}, true
+	}
+	out := make([]dnswire.Record, len(e.records))
+	copy(out, e.records)
+	aged := uint32(remaining / time.Second)
+	for i := range out {
+		if out[i].TTL > aged {
+			out[i].TTL = aged
+		}
+	}
+	return LookupResult{Records: out}, true
+}
+
+// LookupStale returns an expired positive RRset still inside the
+// serve-stale window, with TTLs clamped to the RFC 8767 recommendation of
+// 30 seconds. ok is false when serve-stale is disabled, the entry is
+// missing, negative, fresh (use Lookup), or past the window.
+func (c *Cache) LookupStale(name string, t dnswire.Type) (LookupResult, bool) {
+	key := cacheKey{name: dnswire.CanonicalName(name), typ: t}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.staleFor <= 0 {
+		return LookupResult{}, false
+	}
+	e, ok := c.items[key]
+	if !ok || e.negative {
+		return LookupResult{}, false
+	}
+	now := c.now()
+	if e.expires.After(now) {
+		return LookupResult{}, false // fresh: Lookup handles it
+	}
+	if now.Sub(e.expires) > c.staleFor {
+		c.lru.Remove(e.elem)
+		delete(c.items, key)
+		return LookupResult{}, false
+	}
+	out := make([]dnswire.Record, len(e.records))
+	copy(out, e.records)
+	for i := range out {
+		out[i].TTL = 30 // RFC 8767 §5: stale data served with a short TTL
+	}
+	return LookupResult{Records: out}, true
+}
+
+// Purge drops every entry.
+func (c *Cache) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.items = make(map[cacheKey]*cacheEntry)
+	c.lru.Init()
+}

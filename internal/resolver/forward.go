@@ -1,0 +1,92 @@
+package resolver
+
+import (
+	"context"
+	"errors"
+
+	"encdns/internal/dnswire"
+)
+
+// Forwarder is a caching forwarding resolver: it relays queries to one or
+// more upstream recursive resolvers instead of iterating itself. Many of
+// the paper's smaller non-mainstream deployments are forwarders in front
+// of a mainstream upstream.
+type Forwarder struct {
+	// Exchange performs the upstream queries.
+	Exchange Exchanger
+	// Upstreams are tried in order until one answers.
+	Upstreams []string
+	// Cache is optional.
+	Cache *Cache
+}
+
+// ErrNoUpstreams is returned when no upstream is configured or reachable.
+var ErrNoUpstreams = errors.New("resolver: no upstreams")
+
+// ServeDNS implements dns53.Handler.
+func (f *Forwarder) ServeDNS(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+	q0 := q.Question0()
+	if f.Cache != nil {
+		if res, ok := f.Cache.Lookup(q0.Name, q0.Type); ok {
+			resp := q.Reply()
+			resp.Header.RA = true
+			if res.Negative {
+				if res.NXDomain {
+					resp.Header.RCode = dnswire.RCodeNXDomain
+				}
+				return resp, nil
+			}
+			resp.Answers = res.Records
+			return resp, nil
+		}
+	}
+	if len(f.Upstreams) == 0 {
+		return nil, ErrNoUpstreams
+	}
+	var lastErr error = ErrNoUpstreams
+	for _, up := range f.Upstreams {
+		fq := dnswire.NewQuery(q.Header.ID, q0.Name, q0.Type)
+		resp, err := f.Exchange.Exchange(ctx, fq, up)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		f.cacheResponse(q0, resp)
+		out := q.Reply()
+		out.Header.RA = true
+		out.Header.RCode = resp.Header.RCode
+		out.Answers = resp.Answers
+		return out, nil
+	}
+	return nil, lastErr
+}
+
+func (f *Forwarder) cacheResponse(q0 dnswire.Question, resp *dnswire.Message) {
+	if f.Cache == nil {
+		return
+	}
+	switch {
+	case resp.Header.RCode == dnswire.RCodeNXDomain:
+		f.Cache.PutNegative(q0.Name, q0.Type, true, negativeTTL(resp))
+	case len(resp.Answers) == 0 && resp.Header.RCode == dnswire.RCodeSuccess:
+		f.Cache.PutNegative(q0.Name, q0.Type, false, negativeTTL(resp))
+	case resp.Header.RCode == dnswire.RCodeSuccess:
+		groups := make(map[cacheKey][]dnswire.Record)
+		for _, rr := range resp.Answers {
+			k := cacheKey{name: dnswire.CanonicalName(rr.Name), typ: rr.Type}
+			groups[k] = append(groups[k], rr)
+		}
+		for k, g := range groups {
+			f.Cache.PutRRset(k.name, k.typ, g)
+		}
+	}
+}
+
+func negativeTTL(resp *dnswire.Message) uint32 {
+	for _, rr := range resp.Authority {
+		if soa, ok := rr.Data.(*dnswire.SOA); ok {
+			return min(rr.TTL, soa.Minimum)
+		}
+	}
+	return 300
+}

@@ -1,0 +1,409 @@
+package resolver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"strings"
+	"time"
+
+	"encdns/internal/dnswire"
+)
+
+// Exchanger sends one DNS query to one server and returns the response.
+// dns53.Client satisfies it over real sockets; authdns.Registry satisfies
+// it in memory.
+type Exchanger interface {
+	Exchange(ctx context.Context, q *dnswire.Message, server string) (*dnswire.Message, error)
+}
+
+// Errors returned by the recursive resolver.
+var (
+	ErrLoop        = errors.New("resolver: CNAME or referral loop")
+	ErrNoServers   = errors.New("resolver: no reachable name servers")
+	ErrDepthExceed = errors.New("resolver: resolution depth exceeded")
+)
+
+// Recursive is a caching iterative resolver. It implements dns53.Handler.
+type Recursive struct {
+	// Exchange performs upstream queries.
+	Exchange Exchanger
+	// Roots are the root server addresses ("ip:port") to start from.
+	Roots []string
+	// Cache holds positive and negative entries; nil disables caching.
+	Cache *Cache
+	// MaxIterations bounds referral steps per query; zero means 32.
+	MaxIterations int
+	// MaxCNAME bounds alias chains; zero means 8.
+	MaxCNAME int
+	// ServeStale answers from expired cache entries when upstreams are
+	// unreachable (RFC 8767). The cache must have serve-stale enabled.
+	ServeStale bool
+	// QNAMEMinimize sends only as many labels as each zone needs to
+	// delegate (RFC 9156), so the root and TLD servers never learn the
+	// full query name — the same data-minimisation instinct that
+	// motivates encrypted DNS in the first place.
+	QNAMEMinimize bool
+	// rngSeed, when non-zero, makes server selection deterministic.
+	RNGSeed uint64
+}
+
+func (r *Recursive) maxIter() int {
+	if r.MaxIterations > 0 {
+		return r.MaxIterations
+	}
+	return 32
+}
+
+func (r *Recursive) maxCNAME() int {
+	if r.MaxCNAME > 0 {
+		return r.MaxCNAME
+	}
+	return 8
+}
+
+// ServeDNS answers a stub query by recursive resolution.
+func (r *Recursive) ServeDNS(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+	q0 := q.Question0()
+	if q0.Name == "" {
+		resp := q.Reply()
+		resp.Header.RCode = dnswire.RCodeFormat
+		return resp, nil
+	}
+	resp := q.Reply()
+	resp.Header.RA = true
+
+	answers, rcode, err := r.Resolve(ctx, q0.Name, q0.Type, 0)
+	if err != nil {
+		// Upstreams unreachable: fall back to stale data when allowed
+		// (RFC 8767 — "stale bread is better than no bread").
+		if r.ServeStale && r.Cache != nil {
+			if res, ok := r.Cache.LookupStale(q0.Name, q0.Type); ok {
+				resp.Answers = res.Records
+				return resp, nil
+			}
+		}
+		return nil, err
+	}
+	resp.Header.RCode = rcode
+	resp.Answers = answers
+	return resp, nil
+}
+
+// Resolve resolves (name, type), returning the answer chain (including any
+// CNAMEs) and the final RCODE. depth guards against NS-address recursion.
+func (r *Recursive) Resolve(ctx context.Context, name string, t dnswire.Type, depth int) ([]dnswire.Record, dnswire.RCode, error) {
+	if depth > 6 {
+		return nil, dnswire.RCodeServFail, ErrDepthExceed
+	}
+	name = dnswire.CanonicalName(name)
+	var chain []dnswire.Record
+
+	for hop := 0; hop <= r.maxCNAME(); hop++ {
+		rrs, rcode, err := r.resolveOne(ctx, name, t, depth)
+		if err != nil {
+			return nil, dnswire.RCodeServFail, err
+		}
+		chain = append(chain, rrs...)
+		if rcode != dnswire.RCodeSuccess {
+			return chain, rcode, nil
+		}
+		// Did we get the terminal type or a CNAME to chase?
+		last := lastCNAMETarget(rrs, name)
+		if last == "" || t == dnswire.TypeCNAME {
+			return chain, dnswire.RCodeSuccess, nil
+		}
+		if hasType(chain, t) {
+			return chain, dnswire.RCodeSuccess, nil
+		}
+		name = last
+	}
+	return nil, dnswire.RCodeServFail, ErrLoop
+}
+
+// lastCNAMETarget returns the target of the final CNAME starting the chase
+// from name, or "" when rrs directly answer.
+func lastCNAMETarget(rrs []dnswire.Record, name string) string {
+	target := ""
+	cur := dnswire.CanonicalName(name)
+	for changed := true; changed; {
+		changed = false
+		for _, rr := range rrs {
+			if rr.Type == dnswire.TypeCNAME && dnswire.CanonicalName(rr.Name) == cur {
+				cur = dnswire.CanonicalName(rr.Data.(*dnswire.CNAME).Target)
+				target = cur
+				changed = true
+			}
+		}
+	}
+	return target
+}
+
+func hasType(rrs []dnswire.Record, t dnswire.Type) bool {
+	for _, rr := range rrs {
+		if rr.Type == t {
+			return true
+		}
+	}
+	return false
+}
+
+// resolveOne resolves a single name without CNAME chasing (the caller
+// chases). It walks referrals from the closest cached NS set.
+func (r *Recursive) resolveOne(ctx context.Context, name string, t dnswire.Type, depth int) ([]dnswire.Record, dnswire.RCode, error) {
+	// Cache first.
+	if r.Cache != nil {
+		if res, ok := r.Cache.Lookup(name, t); ok {
+			if res.Negative {
+				if res.NXDomain {
+					return nil, dnswire.RCodeNXDomain, nil
+				}
+				return nil, dnswire.RCodeSuccess, nil // NODATA
+			}
+			return res.Records, dnswire.RCodeSuccess, nil
+		}
+		// A cached CNAME lets us skip a full walk.
+		if res, ok := r.Cache.Lookup(name, dnswire.TypeCNAME); ok && !res.Negative {
+			return res.Records, dnswire.RCodeSuccess, nil
+		}
+	}
+
+	servers := r.startServers(ctx, name, depth)
+	if len(servers) == 0 {
+		return nil, dnswire.RCodeServFail, ErrNoServers
+	}
+	rng := r.newRNG(name, t)
+	// curZone tracks the closest known delegation for QNAME minimization;
+	// queries expose one label beyond it rather than the full name.
+	curZone := "."
+
+	for iter := 0; iter < r.maxIter(); iter++ {
+		if ctx.Err() != nil {
+			return nil, dnswire.RCodeServFail, ctx.Err()
+		}
+		qname := name
+		if r.QNAMEMinimize {
+			qname = minimizedName(name, curZone)
+		}
+		final := qname == name
+		server := servers[rng.IntN(len(servers))]
+		q := dnswire.NewQuery(uint16(rng.Uint32()), qname, t)
+		q.Header.RD = false
+		resp, err := r.Exchange.Exchange(ctx, q, server)
+		if err != nil {
+			// Unreachable or lame: drop this server, try others.
+			servers = remove(servers, server)
+			if len(servers) == 0 {
+				return nil, dnswire.RCodeServFail, fmt.Errorf("%w: last error: %v", ErrNoServers, err)
+			}
+			continue
+		}
+		switch resp.Header.RCode {
+		case dnswire.RCodeSuccess:
+			// fall through to interpretation
+		case dnswire.RCodeNXDomain:
+			// RFC 8020: NXDOMAIN for an ancestor means the full name
+			// cannot exist either.
+			r.cacheNegative(name, t, true, resp)
+			return nil, dnswire.RCodeNXDomain, nil
+		default:
+			servers = remove(servers, server)
+			if len(servers) == 0 {
+				return nil, resp.Header.RCode, nil
+			}
+			continue
+		}
+
+		if len(resp.Answers) > 0 && final {
+			r.cacheAnswers(resp.Answers)
+			return resp.Answers, dnswire.RCodeSuccess, nil
+		}
+
+		// Referral: authority NS records for a subdomain cut.
+		next, cut, glue := referral(resp)
+		if len(next) > 0 {
+			r.cacheReferral(resp)
+			addrs := r.serverAddrs(ctx, next, glue, depth)
+			if len(addrs) == 0 {
+				return nil, dnswire.RCodeServFail, ErrNoServers
+			}
+			servers = addrs
+			if cut != "" {
+				curZone = cut
+			}
+			continue
+		}
+
+		if !final {
+			// Intermediate label exists (answer or empty non-terminal):
+			// expose one more label to the same servers.
+			curZone = qname
+			continue
+		}
+
+		// NODATA.
+		r.cacheNegative(name, t, false, resp)
+		return nil, dnswire.RCodeSuccess, nil
+	}
+	return nil, dnswire.RCodeServFail, ErrDepthExceed
+}
+
+// minimizedName returns zone plus the next label of full (RFC 9156): for
+// full = www.example.com. and zone = com., it returns example.com.
+func minimizedName(full, zone string) string {
+	full, zone = dnswire.CanonicalName(full), dnswire.CanonicalName(zone)
+	if !dnswire.IsSubdomain(full, zone) || full == zone {
+		return full
+	}
+	fullLabels := dnswire.SplitLabels(full)
+	zoneLabels := dnswire.SplitLabels(zone)
+	take := len(zoneLabels) + 1
+	if take >= len(fullLabels) {
+		return full
+	}
+	return strings.Join(fullLabels[len(fullLabels)-take:], ".") + "."
+}
+
+func (r *Recursive) newRNG(name string, t dnswire.Type) *rand.Rand {
+	seed := r.RNGSeed
+	if seed == 0 {
+		seed = uint64(time.Now().UnixNano())
+	}
+	var mix uint64 = 1469598103934665603
+	for _, b := range []byte(name) {
+		mix = (mix ^ uint64(b)) * 1099511628211
+	}
+	return rand.New(rand.NewPCG(seed, mix^uint64(t)))
+}
+
+// startServers finds the closest enclosing NS set in cache, defaulting to
+// the roots.
+func (r *Recursive) startServers(ctx context.Context, name string, depth int) []string {
+	if r.Cache == nil {
+		return append([]string(nil), r.Roots...)
+	}
+	for zone := dnswire.CanonicalName(name); ; zone = dnswire.ParentName(zone) {
+		if res, ok := r.Cache.Lookup(zone, dnswire.TypeNS); ok && !res.Negative {
+			var hosts []string
+			for _, rr := range res.Records {
+				if ns, ok := rr.Data.(*dnswire.NS); ok {
+					hosts = append(hosts, ns.Host)
+				}
+			}
+			if addrs := r.serverAddrs(ctx, hosts, nil, depth); len(addrs) > 0 {
+				return addrs
+			}
+		}
+		if zone == "." {
+			break
+		}
+	}
+	return append([]string(nil), r.Roots...)
+}
+
+// referral extracts the delegation NS hostnames, the cut (delegated zone)
+// name, and glue addresses from a response's authority/additional sections.
+func referral(resp *dnswire.Message) (hosts []string, cut string, glue map[string][]string) {
+	glue = make(map[string][]string)
+	for _, rr := range resp.Authority {
+		if ns, ok := rr.Data.(*dnswire.NS); ok {
+			hosts = append(hosts, dnswire.CanonicalName(ns.Host))
+			cut = dnswire.CanonicalName(rr.Name)
+		}
+	}
+	for _, rr := range resp.Additional {
+		switch d := rr.Data.(type) {
+		case *dnswire.A:
+			n := dnswire.CanonicalName(rr.Name)
+			glue[n] = append(glue[n], d.Addr.String()+":53")
+		case *dnswire.AAAA:
+			n := dnswire.CanonicalName(rr.Name)
+			glue[n] = append(glue[n], "["+d.Addr.String()+"]:53")
+		}
+	}
+	return hosts, cut, glue
+}
+
+// serverAddrs maps NS hostnames to "ip:53" addresses using glue, cache, or
+// (bounded) recursive resolution.
+func (r *Recursive) serverAddrs(ctx context.Context, hosts []string, glue map[string][]string, depth int) []string {
+	var out []string
+	for _, h := range hosts {
+		h = dnswire.CanonicalName(h)
+		if addrs := glue[h]; len(addrs) > 0 {
+			out = append(out, addrs...)
+			continue
+		}
+		if r.Cache != nil {
+			if res, ok := r.Cache.Lookup(h, dnswire.TypeA); ok && !res.Negative {
+				for _, rr := range res.Records {
+					if a, ok := rr.Data.(*dnswire.A); ok {
+						out = append(out, a.Addr.String()+":53")
+					}
+				}
+				continue
+			}
+		}
+		// Glueless delegation: resolve the NS address, guarding depth.
+		rrs, rcode, err := r.Resolve(ctx, h, dnswire.TypeA, depth+1)
+		if err != nil || rcode != dnswire.RCodeSuccess {
+			continue
+		}
+		for _, rr := range rrs {
+			if a, ok := rr.Data.(*dnswire.A); ok {
+				out = append(out, a.Addr.String()+":53")
+			}
+		}
+	}
+	return out
+}
+
+// cacheAnswers stores answer RRsets grouped by (name, type).
+func (r *Recursive) cacheAnswers(rrs []dnswire.Record) {
+	if r.Cache == nil {
+		return
+	}
+	groups := make(map[cacheKey][]dnswire.Record)
+	for _, rr := range rrs {
+		k := cacheKey{name: dnswire.CanonicalName(rr.Name), typ: rr.Type}
+		groups[k] = append(groups[k], rr)
+	}
+	for k, g := range groups {
+		r.Cache.PutRRset(k.name, k.typ, g)
+	}
+}
+
+// cacheReferral stores delegation NS sets and glue addresses.
+func (r *Recursive) cacheReferral(resp *dnswire.Message) {
+	if r.Cache == nil {
+		return
+	}
+	r.cacheAnswers(resp.Authority)
+	r.cacheAnswers(resp.Additional)
+}
+
+// cacheNegative stores an RFC 2308 negative entry using the SOA MINIMUM.
+func (r *Recursive) cacheNegative(name string, t dnswire.Type, nxdomain bool, resp *dnswire.Message) {
+	if r.Cache == nil {
+		return
+	}
+	ttl := uint32(300)
+	for _, rr := range resp.Authority {
+		if soa, ok := rr.Data.(*dnswire.SOA); ok {
+			ttl = min(rr.TTL, soa.Minimum)
+			break
+		}
+	}
+	r.Cache.PutNegative(name, t, nxdomain, ttl)
+}
+
+func remove(s []string, v string) []string {
+	out := s[:0]
+	for _, x := range s {
+		if x != v {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// Distributions used by the network model. Each takes its own *rand.Rand so
+// callers can key independent streams per (vantage, resolver, round) and
+// keep campaigns fully deterministic.
+
+// LogNormal samples a lognormal variate whose underlying normal has the
+// given mu and sigma. Network jitter is classically lognormal-ish: mostly
+// small, occasionally large, never negative.
+func LogNormal(rng *rand.Rand, mu, sigma float64) float64 {
+	return math.Exp(rng.NormFloat64()*sigma + mu)
+}
+
+// LogNormalByMedian parameterises the lognormal by its median (exp(mu)) and
+// sigma, which is the natural way to calibrate "typical jitter X ms with
+// heavy tail".
+func LogNormalByMedian(rng *rand.Rand, median, sigma float64) float64 {
+	if median <= 0 {
+		return 0
+	}
+	return LogNormal(rng, math.Log(median), sigma)
+}
+
+// Gamma samples a gamma variate with the given shape k and scale theta
+// using Marsaglia and Tsang's method (with Ahrens-Dieter boost for k < 1).
+// Server processing time is well modelled as gamma: positive, skewed,
+// tunable tail.
+func Gamma(rng *rand.Rand, shape, scale float64) float64 {
+	if shape <= 0 || scale <= 0 {
+		return 0
+	}
+	if shape < 1 {
+		// Boost: Gamma(k) = Gamma(k+1) * U^(1/k).
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		return Gamma(rng, shape+1, scale) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1.0 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v * scale
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v * scale
+		}
+	}
+}
+
+// Exponential samples an exponential variate with the given mean.
+func Exponential(rng *rand.Rand, mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	return rng.ExpFloat64() * mean
+}
+
+// Bernoulli returns true with probability p.
+func Bernoulli(rng *rand.Rand, p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return rng.Float64() < p
+}
+
+// Pareto samples a bounded Pareto variate in [lo, hi] with tail index alpha.
+// Used for the rare very-slow responses that make the paper's outlier dots.
+func Pareto(rng *rand.Rand, alpha, lo, hi float64) float64 {
+	if lo <= 0 || hi <= lo || alpha <= 0 {
+		return lo
+	}
+	u := rng.Float64()
+	la := math.Pow(lo, alpha)
+	ha := math.Pow(hi, alpha)
+	return math.Pow(-(u*ha-u*la-ha)/(ha*la), -1/alpha)
+}

@@ -1,0 +1,261 @@
+// Package stats provides the statistical machinery used by the measurement
+// analysis pipeline: quantiles, five-number boxplot summaries with IQR
+// outlier detection, empirical CDFs, histograms, and streaming counters.
+//
+// All functions operate on float64 samples (milliseconds throughout this
+// repository) and are careful about the edge cases that show up in real
+// measurement data: empty sets, single samples, ties, NaN rejection.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrNoSamples is returned by summaries that need at least one sample.
+var ErrNoSamples = errors.New("stats: no samples")
+
+// Quantile returns the q-th quantile (0 <= q <= 1) of the samples using the
+// "type 7" linear-interpolation rule (the default in R and NumPy). The input
+// need not be sorted; it is not modified. NaN samples are ignored. It panics
+// if q is outside [0, 1]; it returns NaN for an empty input.
+func Quantile(samples []float64, q float64) float64 {
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		panic("stats: quantile out of range")
+	}
+	s := cleanSorted(samples)
+	return quantileSorted(s, q)
+}
+
+// quantileSorted computes a type-7 quantile of an already clean, sorted
+// slice. Returns NaN when empty.
+func quantileSorted(s []float64, q float64) float64 {
+	n := len(s)
+	switch n {
+	case 0:
+		return math.NaN()
+	case 1:
+		return s[0]
+	}
+	h := q * float64(n-1)
+	lo := int(math.Floor(h))
+	hi := lo + 1
+	if hi >= n {
+		return s[n-1]
+	}
+	frac := h - float64(lo)
+	return s[lo] + frac*(s[hi]-s[lo])
+}
+
+// Median returns the 0.5 quantile, or NaN for an empty input.
+func Median(samples []float64) float64 { return Quantile(samples, 0.5) }
+
+// Mean returns the arithmetic mean, ignoring NaNs; NaN when empty.
+func Mean(samples []float64) float64 {
+	var sum float64
+	var n int
+	for _, v := range samples {
+		if math.IsNaN(v) {
+			continue
+		}
+		sum += v
+		n++
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}
+
+// StdDev returns the sample standard deviation (n-1 denominator), ignoring
+// NaNs. NaN when fewer than two valid samples.
+func StdDev(samples []float64) float64 {
+	m := Mean(samples)
+	if math.IsNaN(m) {
+		return math.NaN()
+	}
+	var ss float64
+	var n int
+	for _, v := range samples {
+		if math.IsNaN(v) {
+			continue
+		}
+		d := v - m
+		ss += d * d
+		n++
+	}
+	if n < 2 {
+		return math.NaN()
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// Min returns the smallest non-NaN sample, or NaN when none exist.
+func Min(samples []float64) float64 {
+	best := math.NaN()
+	for _, v := range samples {
+		if math.IsNaN(v) {
+			continue
+		}
+		if math.IsNaN(best) || v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Max returns the largest non-NaN sample, or NaN when none exist.
+func Max(samples []float64) float64 {
+	best := math.NaN()
+	for _, v := range samples {
+		if math.IsNaN(v) {
+			continue
+		}
+		if math.IsNaN(best) || v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// cleanSorted returns a sorted copy of samples with NaNs removed.
+func cleanSorted(samples []float64) []float64 {
+	s := make([]float64, 0, len(samples))
+	for _, v := range samples {
+		if !math.IsNaN(v) {
+			s = append(s, v)
+		}
+	}
+	sort.Float64s(s)
+	return s
+}
+
+// BoxPlot is the five-number summary drawn by the paper's figures, plus the
+// whisker endpoints under the 1.5×IQR rule and the points beyond them.
+type BoxPlot struct {
+	N  int // number of (non-NaN) samples summarised
+	Q1 float64
+	Q2 float64 // median
+	Q3 float64
+	// WhiskerLow is the smallest sample >= Q1 - 1.5*IQR; WhiskerHigh is the
+	// largest sample <= Q3 + 1.5*IQR (Tukey's convention).
+	WhiskerLow  float64
+	WhiskerHigh float64
+	// Outliers are the samples outside the whiskers, ascending.
+	Outliers []float64
+}
+
+// IQR returns the interquartile range Q3-Q1.
+func (b BoxPlot) IQR() float64 { return b.Q3 - b.Q1 }
+
+// Summarize computes a BoxPlot from samples. It returns ErrNoSamples when no
+// valid samples exist.
+func Summarize(samples []float64) (BoxPlot, error) {
+	s := cleanSorted(samples)
+	if len(s) == 0 {
+		return BoxPlot{}, ErrNoSamples
+	}
+	b := BoxPlot{
+		N:  len(s),
+		Q1: quantileSorted(s, 0.25),
+		Q2: quantileSorted(s, 0.5),
+		Q3: quantileSorted(s, 0.75),
+	}
+	loFence := b.Q1 - 1.5*b.IQR()
+	hiFence := b.Q3 + 1.5*b.IQR()
+	b.WhiskerLow = s[len(s)-1]
+	b.WhiskerHigh = s[0]
+	for _, v := range s {
+		if v >= loFence && v < b.WhiskerLow {
+			b.WhiskerLow = v
+		}
+		if v <= hiFence && v > b.WhiskerHigh {
+			b.WhiskerHigh = v
+		}
+	}
+	for _, v := range s {
+		if v < b.WhiskerLow || v > b.WhiskerHigh {
+			b.Outliers = append(b.Outliers, v)
+		}
+	}
+	return b, nil
+}
+
+// CDF is an empirical cumulative distribution function.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds an empirical CDF over the samples (NaNs dropped).
+func NewCDF(samples []float64) CDF { return CDF{sorted: cleanSorted(samples)} }
+
+// N reports the number of samples behind the CDF.
+func (c CDF) N() int { return len(c.sorted) }
+
+// P returns the fraction of samples <= x. Zero for an empty CDF.
+func (c CDF) P(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	// First index with sorted[i] > x.
+	i := sort.SearchFloat64s(c.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(c.sorted))
+}
+
+// InvP returns the q-th quantile of the samples behind the CDF.
+func (c CDF) InvP(q float64) float64 { return quantileSorted(c.sorted, q) }
+
+// Histogram counts samples into equal-width bins over [lo, hi). Samples
+// below lo land in an underflow count, samples >= hi in overflow.
+type Histogram struct {
+	Lo, Hi    float64
+	Bins      []int
+	Underflow int
+	Overflow  int
+	width     float64
+}
+
+// NewHistogram creates a histogram with nbins equal-width bins spanning
+// [lo, hi). It panics if nbins < 1 or hi <= lo.
+func NewHistogram(lo, hi float64, nbins int) *Histogram {
+	if nbins < 1 {
+		panic("stats: histogram needs at least one bin")
+	}
+	if hi <= lo {
+		panic("stats: histogram range is empty")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Bins: make([]int, nbins), width: (hi - lo) / float64(nbins)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v float64) {
+	switch {
+	case math.IsNaN(v):
+		// dropped
+	case v < h.Lo:
+		h.Underflow++
+	case v >= h.Hi:
+		h.Overflow++
+	default:
+		i := int((v - h.Lo) / h.width)
+		if i >= len(h.Bins) { // guard against float edge at Hi-epsilon
+			i = len(h.Bins) - 1
+		}
+		h.Bins[i]++
+	}
+}
+
+// Total returns the number of recorded samples, including under/overflow.
+func (h *Histogram) Total() int {
+	n := h.Underflow + h.Overflow
+	for _, b := range h.Bins {
+		n += b
+	}
+	return n
+}
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	return h.Lo + (float64(i)+0.5)*h.width
+}

@@ -1,0 +1,494 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.IsNaN(a) == math.IsNaN(b)
+	}
+	return math.Abs(a-b) <= tol
+}
+
+func TestQuantileEmpty(t *testing.T) {
+	if v := Quantile(nil, 0.5); !math.IsNaN(v) {
+		t.Fatalf("quantile of empty = %v, want NaN", v)
+	}
+}
+
+func TestQuantileSingle(t *testing.T) {
+	for _, q := range []float64{0, 0.25, 0.5, 1} {
+		if v := Quantile([]float64{42}, q); v != 42 {
+			t.Fatalf("quantile(%.2f) of single = %v, want 42", q, v)
+		}
+	}
+}
+
+func TestQuantileKnownValues(t *testing.T) {
+	s := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}, {0.1, 1.4},
+	}
+	for _, c := range cases {
+		if v := Quantile(s, c.q); !almostEqual(v, c.want, 1e-12) {
+			t.Errorf("quantile(%v) = %v, want %v", c.q, v, c.want)
+		}
+	}
+}
+
+func TestQuantileUnsortedInputUntouched(t *testing.T) {
+	s := []float64{5, 1, 3, 2, 4}
+	if v := Quantile(s, 0.5); v != 3 {
+		t.Fatalf("median = %v, want 3", v)
+	}
+	want := []float64{5, 1, 3, 2, 4}
+	for i := range s {
+		if s[i] != want[i] {
+			t.Fatalf("input was modified: %v", s)
+		}
+	}
+}
+
+func TestQuantileIgnoresNaN(t *testing.T) {
+	s := []float64{math.NaN(), 1, math.NaN(), 3}
+	if v := Quantile(s, 0.5); v != 2 {
+		t.Fatalf("median with NaNs = %v, want 2", v)
+	}
+}
+
+func TestQuantilePanicsOutOfRange(t *testing.T) {
+	for _, q := range []float64{-0.1, 1.1, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("quantile(%v) did not panic", q)
+				}
+			}()
+			Quantile([]float64{1}, q)
+		}()
+	}
+}
+
+func TestQuantileMonotonic(t *testing.T) {
+	f := func(raw []float64) bool {
+		s := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e12 {
+				s = append(s, v)
+			}
+		}
+		if len(s) == 0 {
+			return true
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			v := Quantile(s, q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantileWithinRange(t *testing.T) {
+	f := func(raw []float64, qseed uint16) bool {
+		s := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e12 {
+				s = append(s, v)
+			}
+		}
+		if len(s) == 0 {
+			return true
+		}
+		q := float64(qseed) / math.MaxUint16
+		v := Quantile(s, q)
+		return v >= Min(s) && v <= Max(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	s := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(s); !almostEqual(m, 5, 1e-12) {
+		t.Errorf("mean = %v, want 5", m)
+	}
+	// Sample stddev of this classic set is sqrt(32/7).
+	if sd := StdDev(s); !almostEqual(sd, math.Sqrt(32.0/7.0), 1e-12) {
+		t.Errorf("stddev = %v, want %v", sd, math.Sqrt(32.0/7.0))
+	}
+}
+
+func TestMeanEmptyAndNaN(t *testing.T) {
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("mean of empty should be NaN")
+	}
+	if !math.IsNaN(Mean([]float64{math.NaN()})) {
+		t.Error("mean of all-NaN should be NaN")
+	}
+	if !math.IsNaN(StdDev([]float64{1})) {
+		t.Error("stddev of single should be NaN")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	s := []float64{3, math.NaN(), -1, 7}
+	if v := Min(s); v != -1 {
+		t.Errorf("min = %v", v)
+	}
+	if v := Max(s); v != 7 {
+		t.Errorf("max = %v", v)
+	}
+	if !math.IsNaN(Min(nil)) || !math.IsNaN(Max(nil)) {
+		t.Error("min/max of empty should be NaN")
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if _, err := Summarize(nil); err != ErrNoSamples {
+		t.Fatalf("err = %v, want ErrNoSamples", err)
+	}
+}
+
+func TestSummarizeBasic(t *testing.T) {
+	// 1..11 plus an outlier at 100.
+	s := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 100}
+	b, err := Summarize(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.N != 12 {
+		t.Errorf("N = %d", b.N)
+	}
+	if b.Q2 != 6.5 {
+		t.Errorf("median = %v, want 6.5", b.Q2)
+	}
+	if len(b.Outliers) != 1 || b.Outliers[0] != 100 {
+		t.Errorf("outliers = %v, want [100]", b.Outliers)
+	}
+	if b.WhiskerHigh != 11 {
+		t.Errorf("whisker high = %v, want 11", b.WhiskerHigh)
+	}
+	if b.WhiskerLow != 1 {
+		t.Errorf("whisker low = %v, want 1", b.WhiskerLow)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	b, err := Summarize([]float64{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Q1 != 5 || b.Q2 != 5 || b.Q3 != 5 || b.WhiskerLow != 5 || b.WhiskerHigh != 5 {
+		t.Errorf("summary of single = %+v", b)
+	}
+	if len(b.Outliers) != 0 {
+		t.Errorf("outliers = %v", b.Outliers)
+	}
+}
+
+func TestSummarizeInvariants(t *testing.T) {
+	f := func(raw []float64) bool {
+		s := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			// Response times are finite and modest; enormous magnitudes
+			// overflow quantile interpolation and are out of domain.
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e12 {
+				s = append(s, v)
+			}
+		}
+		if len(s) == 0 {
+			return true
+		}
+		b, err := Summarize(s)
+		if err != nil {
+			return false
+		}
+		ordered := b.Q1 <= b.Q2 && b.Q2 <= b.Q3 &&
+			b.WhiskerLow <= b.Q1 && b.Q3 <= b.WhiskerHigh
+		// Outliers plus in-whisker samples must account for every sample.
+		inWhisker := 0
+		for _, v := range s {
+			if v >= b.WhiskerLow && v <= b.WhiskerHigh {
+				inWhisker++
+			}
+		}
+		return ordered && inWhisker+len(b.Outliers) == len(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 2, 3})
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {2, 0.75}, {2.5, 0.75}, {3, 1}, {10, 1},
+	}
+	for _, cse := range cases {
+		if p := c.P(cse.x); !almostEqual(p, cse.want, 1e-12) {
+			t.Errorf("P(%v) = %v, want %v", cse.x, p, cse.want)
+		}
+	}
+	if c.N() != 4 {
+		t.Errorf("N = %d", c.N())
+	}
+	if v := c.InvP(0.5); v != 2 {
+		t.Errorf("InvP(0.5) = %v", v)
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	c := NewCDF(nil)
+	if c.P(1) != 0 || c.N() != 0 {
+		t.Error("empty CDF misbehaves")
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	f := func(raw []float64) bool {
+		c := NewCDF(raw)
+		prev := -1.0
+		for x := -100.0; x <= 100; x += 7 {
+			p := c.P(x)
+			if p < prev || p < 0 || p > 1 {
+				return false
+			}
+			prev = p
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, v := range []float64{-1, 0, 1.9, 2, 5, 9.999, 10, 42, math.NaN()} {
+		h.Add(v)
+	}
+	if h.Underflow != 1 {
+		t.Errorf("underflow = %d", h.Underflow)
+	}
+	if h.Overflow != 2 {
+		t.Errorf("overflow = %d", h.Overflow)
+	}
+	want := []int{2, 1, 1, 0, 1}
+	for i, b := range h.Bins {
+		if b != want[i] {
+			t.Errorf("bin %d = %d, want %d (%v)", i, b, want[i], h.Bins)
+		}
+	}
+	if h.Total() != 8 {
+		t.Errorf("total = %d, want 8", h.Total())
+	}
+	if c := h.BinCenter(0); c != 1 {
+		t.Errorf("bin center 0 = %v", c)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewHistogram(0, 10, 0) },
+		func() { NewHistogram(10, 10, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	if !math.IsNaN(c.Mean()) || !math.IsNaN(c.Min()) || !math.IsNaN(c.Max()) {
+		t.Error("empty counter should report NaN")
+	}
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		c.Add(v)
+	}
+	c.Add(math.NaN()) // ignored
+	if c.N() != 8 {
+		t.Errorf("N = %d", c.N())
+	}
+	if !almostEqual(c.Mean(), 5, 1e-12) {
+		t.Errorf("mean = %v", c.Mean())
+	}
+	if !almostEqual(c.StdDev(), math.Sqrt(32.0/7.0), 1e-9) {
+		t.Errorf("stddev = %v", c.StdDev())
+	}
+	if c.Min() != 2 || c.Max() != 9 {
+		t.Errorf("min/max = %v/%v", c.Min(), c.Max())
+	}
+}
+
+func TestCounterMatchesBatch(t *testing.T) {
+	f := func(raw []float64) bool {
+		s := make([]float64, 0, len(raw))
+		var c Counter
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e6 {
+				continue
+			}
+			s = append(s, v)
+			c.Add(v)
+		}
+		if len(s) == 0 {
+			return c.N() == 0
+		}
+		return almostEqual(c.Mean(), Mean(s), 1e-6) &&
+			c.Min() == Min(s) && c.Max() == Max(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReservoirUnderCapacity(t *testing.T) {
+	r := NewReservoir(10, nil)
+	for i := 0; i < 5; i++ {
+		r.Add(float64(i))
+	}
+	got := r.Samples()
+	if len(got) != 5 {
+		t.Fatalf("len = %d", len(got))
+	}
+	if !sort.Float64sAreSorted(got) {
+		t.Error("samples not sorted")
+	}
+	if r.Seen() != 5 {
+		t.Errorf("seen = %d", r.Seen())
+	}
+}
+
+func TestReservoirBounded(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	r := NewReservoir(100, func(n int64) int64 { return rng.Int64N(n) })
+	for i := 0; i < 10000; i++ {
+		r.Add(float64(i))
+	}
+	if len(r.Samples()) != 100 {
+		t.Fatalf("len = %d, want 100", len(r.Samples()))
+	}
+	if r.Seen() != 10000 {
+		t.Errorf("seen = %d", r.Seen())
+	}
+}
+
+func TestReservoirIsRoughlyUniform(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 9))
+	r := NewReservoir(1000, func(n int64) int64 { return rng.Int64N(n) })
+	for i := 0; i < 100000; i++ {
+		r.Add(float64(i))
+	}
+	// The retained sample median should be near the stream median 50000.
+	med := Median(r.Samples())
+	if med < 40000 || med > 60000 {
+		t.Errorf("reservoir median = %v, want near 50000", med)
+	}
+}
+
+func TestReservoirPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewReservoir(0, nil)
+}
+
+func TestDistributionsPositive(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	for i := 0; i < 1000; i++ {
+		if v := LogNormalByMedian(rng, 5, 0.5); v <= 0 {
+			t.Fatalf("lognormal sample %v <= 0", v)
+		}
+		if v := Gamma(rng, 2, 3); v <= 0 {
+			t.Fatalf("gamma sample %v <= 0", v)
+		}
+		if v := Gamma(rng, 0.5, 3); v < 0 {
+			t.Fatalf("gamma(k<1) sample %v < 0", v)
+		}
+		if v := Exponential(rng, 10); v < 0 {
+			t.Fatalf("exponential sample %v < 0", v)
+		}
+		if v := Pareto(rng, 1.5, 100, 600); v < 100 || v > 600+1e-9 {
+			t.Fatalf("pareto sample %v out of [100,600]", v)
+		}
+	}
+}
+
+func TestLogNormalMedianCalibration(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 12))
+	samples := make([]float64, 20000)
+	for i := range samples {
+		samples[i] = LogNormalByMedian(rng, 50, 0.4)
+	}
+	med := Median(samples)
+	if med < 47 || med > 53 {
+		t.Errorf("lognormal median = %v, want ~50", med)
+	}
+}
+
+func TestGammaMeanCalibration(t *testing.T) {
+	rng := rand.New(rand.NewPCG(13, 14))
+	var c Counter
+	for i := 0; i < 20000; i++ {
+		c.Add(Gamma(rng, 4, 2.5)) // mean = k*theta = 10
+	}
+	if m := c.Mean(); m < 9.5 || m > 10.5 {
+		t.Errorf("gamma mean = %v, want ~10", m)
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	if Bernoulli(rng, 0) {
+		t.Error("p=0 returned true")
+	}
+	if !Bernoulli(rng, 1) {
+		t.Error("p=1 returned false")
+	}
+	n := 0
+	for i := 0; i < 10000; i++ {
+		if Bernoulli(rng, 0.3) {
+			n++
+		}
+	}
+	if n < 2700 || n > 3300 {
+		t.Errorf("bernoulli(0.3) hit rate = %d/10000", n)
+	}
+}
+
+func TestDistributionDegenerateParams(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	if v := LogNormalByMedian(rng, 0, 1); v != 0 {
+		t.Errorf("lognormal with median 0 = %v", v)
+	}
+	if v := Gamma(rng, 0, 1); v != 0 {
+		t.Errorf("gamma with shape 0 = %v", v)
+	}
+	if v := Exponential(rng, -1); v != 0 {
+		t.Errorf("exponential with negative mean = %v", v)
+	}
+	if v := Pareto(rng, 0, 1, 2); v != 1 {
+		t.Errorf("pareto with alpha 0 = %v", v)
+	}
+}

@@ -1,0 +1,161 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// Counter accumulates streaming summary statistics without retaining
+// samples. It is safe for concurrent use.
+type Counter struct {
+	mu       sync.Mutex
+	n        int64
+	sum      float64
+	sumSq    float64
+	min, max float64
+}
+
+// Add records one sample; NaNs are ignored.
+func (c *Counter) Add(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.n == 0 {
+		c.min, c.max = v, v
+	} else {
+		if v < c.min {
+			c.min = v
+		}
+		if v > c.max {
+			c.max = v
+		}
+	}
+	c.n++
+	c.sum += v
+	c.sumSq += v * v
+}
+
+// N returns the number of samples recorded.
+func (c *Counter) N() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Mean returns the running mean, NaN when empty.
+func (c *Counter) Mean() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.n == 0 {
+		return math.NaN()
+	}
+	return c.sum / float64(c.n)
+}
+
+// StdDev returns the running sample standard deviation (n-1), NaN when
+// fewer than two samples.
+func (c *Counter) StdDev() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.n < 2 {
+		return math.NaN()
+	}
+	mean := c.sum / float64(c.n)
+	variance := (c.sumSq - float64(c.n)*mean*mean) / float64(c.n-1)
+	if variance < 0 { // numeric guard
+		variance = 0
+	}
+	return math.Sqrt(variance)
+}
+
+// Min returns the smallest sample, NaN when empty.
+func (c *Counter) Min() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.n == 0 {
+		return math.NaN()
+	}
+	return c.min
+}
+
+// Max returns the largest sample, NaN when empty.
+func (c *Counter) Max() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.n == 0 {
+		return math.NaN()
+	}
+	return c.max
+}
+
+// Reservoir keeps a bounded, order-independent sample set using reservoir
+// sampling (Vitter's algorithm R) so distributions can be summarised from
+// unbounded streams with bounded memory. It is safe for concurrent use.
+type Reservoir struct {
+	mu   sync.Mutex
+	cap  int
+	seen int64
+	buf  []float64
+	rnd  func(int64) int64 // returns uniform in [0, n); injectable for tests
+}
+
+// NewReservoir creates a reservoir holding at most capacity samples, using
+// the provided uniform-integer source. rnd must return a value in [0, n)
+// given n > 0; pass nil to use a small deterministic linear congruential
+// source (useful when reproducibility across runs matters more than
+// statistical perfection).
+func NewReservoir(capacity int, rnd func(n int64) int64) *Reservoir {
+	if capacity < 1 {
+		panic("stats: reservoir capacity must be positive")
+	}
+	r := &Reservoir{cap: capacity, rnd: rnd}
+	if r.rnd == nil {
+		state := int64(0x5DEECE66D)
+		r.rnd = func(n int64) int64 {
+			state = state*6364136223846793005 + 1442695040888963407
+			v := state >> 16
+			if v < 0 {
+				v = -v
+			}
+			return v % n
+		}
+	}
+	return r
+}
+
+// Add offers one sample to the reservoir.
+func (r *Reservoir) Add(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seen++
+	if len(r.buf) < r.cap {
+		r.buf = append(r.buf, v)
+		return
+	}
+	if j := r.rnd(r.seen); j < int64(r.cap) {
+		r.buf[j] = v
+	}
+}
+
+// Seen reports how many samples were offered.
+func (r *Reservoir) Seen() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seen
+}
+
+// Samples returns a sorted copy of the retained samples.
+func (r *Reservoir) Samples() []float64 {
+	r.mu.Lock()
+	out := make([]float64, len(r.buf))
+	copy(out, r.buf)
+	r.mu.Unlock()
+	sort.Float64s(out)
+	return out
+}
