@@ -1,10 +1,15 @@
-// Command dnsdig is a dig-style DNS query tool speaking all three
-// measured transports — the client half of the paper's §3.1 methodology
-// ("we performed dig queries to the resolvers").
+// Command dnsdig is a dig-style DNS query tool speaking every measured
+// transport — the client half of the paper's §3.1 methodology ("we
+// performed dig queries to the resolvers").
+//
+// Servers are scheme-addressed transport endpoints: udp:// (default for
+// bare host:port), tcp://, tls://, and https://. The legacy -proto flag
+// still selects the scheme for bare addresses.
 //
 //	dnsdig -server 127.0.0.1:5353 google.com A
-//	dnsdig -proto doh -server https://127.0.0.1:8443/dns-query -cacert /tmp/dohserver-ca.pem google.com
-//	dnsdig -proto dot -server 127.0.0.1:8853 -insecure wikipedia.com AAAA
+//	dnsdig -server https://127.0.0.1:8443/dns-query -cacert /tmp/dohserver-ca.pem google.com
+//	dnsdig -server tls://127.0.0.1:8853 -insecure wikipedia.com AAAA
+//	dnsdig -server tcp://9.9.9.9:53 -retries 1 example.org
 //	dnsdig -trace -roots 198.18.0.1:53,198.18.0.2:53 www.amazon.com
 //
 // -trace resolves iteratively from the given root servers over Do53,
@@ -24,8 +29,7 @@ import (
 
 	"encdns/internal/dns53"
 	"encdns/internal/dnswire"
-	"encdns/internal/doh"
-	"encdns/internal/dot"
+	"encdns/internal/transport"
 )
 
 func main() {
@@ -38,11 +42,12 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("dnsdig", flag.ContinueOnError)
 	var (
-		server   = fs.String("server", "127.0.0.1:53", "server address (host:port, or URL for doh)")
-		proto    = fs.String("proto", "do53", "transport: do53, dot, or doh")
+		server   = fs.String("server", "127.0.0.1:53", "scheme-addressed server endpoint (udp://, tcp://, tls://, https://; bare host:port follows -proto)")
+		proto    = fs.String("proto", "do53", "scheme for bare -server addresses: do53 (udp), dot (tls), or doh (https)")
 		caCert   = fs.String("cacert", "", "PEM file with a CA to trust for TLS transports")
 		insecure = fs.Bool("insecure", false, "skip TLS certificate verification")
 		timeout  = fs.Duration("timeout", 5*time.Second, "query timeout")
+		retries  = fs.Int("retries", 3, "total exchange attempts (shared transport retry policy)")
 		short    = fs.Bool("short", false, "print only the answer RDATA")
 		trace    = fs.Bool("trace", false, "resolve iteratively from the roots, printing each step")
 		roots    = fs.String("roots", "", "comma-separated root server addresses for -trace")
@@ -80,22 +85,23 @@ func run(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	var resp *dnswire.Message
-	start := time.Now()
-	switch *proto {
-	case "do53":
-		c := &dns53.Client{Timeout: *timeout}
-		resp, err = c.Query(ctx, *server, name, qtype)
-	case "dot":
-		c := &dot.Client{TLS: tlsCfg, Timeout: *timeout}
-		resp, err = c.Query(ctx, *server, name, qtype)
-	case "doh":
-		c := doh.NewClient(tlsCfg, nil, false)
-		c.Timeout = *timeout
-		resp, err = c.Query(ctx, *server, name, qtype)
-	default:
-		return fmt.Errorf("unknown proto %q", *proto)
+	endpoint, err := resolveEndpoint(*server, *proto)
+	if err != nil {
+		return err
 	}
+	ex, err := transport.Dial(endpoint.String(), transport.Options{
+		TLS:     tlsCfg,
+		Timeout: *timeout,
+		Retry:   &transport.RetryPolicy{MaxAttempts: *retries},
+	})
+	if err != nil {
+		return err
+	}
+	defer ex.Close()
+
+	q := dnswire.NewQuery(dns53.NewID(), name, qtype)
+	start := time.Now()
+	resp, err := ex.Exchange(ctx, q)
 	elapsed := time.Since(start)
 	if err != nil {
 		return err
@@ -107,8 +113,27 @@ func run(args []string, w io.Writer) error {
 		return nil
 	}
 	fmt.Fprint(w, resp)
-	fmt.Fprintf(w, ";; Query time: %d msec\n;; SERVER: %s (%s)\n", elapsed.Milliseconds(), *server, *proto)
+	fmt.Fprintf(w, ";; Query time: %d msec\n;; SERVER: %s (%s)\n", elapsed.Milliseconds(), endpoint, endpoint.Scheme)
 	return nil
+}
+
+// resolveEndpoint turns -server/-proto into a scheme-addressed endpoint:
+// an explicit scheme on -server wins; a bare address takes its scheme
+// from the legacy -proto flag.
+func resolveEndpoint(server, proto string) (transport.Endpoint, error) {
+	if !strings.Contains(server, "://") {
+		switch proto {
+		case "do53":
+			server = "udp://" + server
+		case "dot":
+			server = "tls://" + server
+		case "doh":
+			server = "https://" + server
+		default:
+			return transport.Endpoint{}, fmt.Errorf("unknown proto %q (want do53, dot, or doh)", proto)
+		}
+	}
+	return transport.ParseEndpoint(server)
 }
 
 func tlsConfig(caCert string, insecure bool) (*tls.Config, error) {

@@ -52,7 +52,22 @@ func TestDo53Query(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"NOERROR", "142.250.64.78", "Query time", "(do53)"} {
+	for _, want := range []string{"NOERROR", "142.250.64.78", "Query time", "(udp)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestSchemeAddressedServer checks that an explicit scheme on -server
+// selects the transport regardless of -proto.
+func TestSchemeAddressedServer(t *testing.T) {
+	addr := startDo53(t, static())
+	out, err := capture(t, "-server", "udp://"+addr, "-proto", "doh", "google.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"142.250.64.78", "(udp)"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("missing %q in:\n%s", want, out)
 		}
@@ -100,6 +115,18 @@ func TestDoTQuery(t *testing.T) {
 	}
 	if !strings.Contains(out, "142.250.64.78") {
 		t.Errorf("answer missing:\n%s", out)
+	}
+
+	// The same server reached through an explicit tls:// scheme.
+	out, err = capture(t, "-server", "tls://"+ln.Addr().String(),
+		"-cacert", caPath, "google.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"142.250.64.78", "(tls)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
 	}
 }
 

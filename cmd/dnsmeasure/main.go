@@ -14,9 +14,14 @@
 //
 // Examples:
 //
+// Live targets are scheme-addressed transport endpoints (udp://, tcp://,
+// tls://, https://); bare dataset hostnames pick their endpoint from the
+// -proto flag.
+//
 //	dnsmeasure -resolvers mainstream -vantage ec2-seoul -rounds 50
 //	dnsmeasure -resolvers dns.google,ordns.he.net -domains google.com -o out.jsonl
 //	dnsmeasure -mode live -resolvers https://127.0.0.1:8443/dns-query -rounds 3
+//	dnsmeasure -mode live -resolvers tls://127.0.0.1:8853,udp://127.0.0.1:5353 -rounds 3
 package main
 
 import (
@@ -31,12 +36,10 @@ import (
 
 	"encdns/internal/core"
 	"encdns/internal/dataset"
-	"encdns/internal/dns53"
-	"encdns/internal/doh"
-	"encdns/internal/dot"
 	"encdns/internal/netsim"
 	"encdns/internal/report"
 	"encdns/internal/stats"
+	"encdns/internal/transport"
 )
 
 func main() {
@@ -123,12 +126,13 @@ func run(args []string, stdout *os.File) error {
 		clock = netsim.NewVirtualClock(netsim.CampaignEpoch)
 	case "live":
 		vantages = []netsim.Vantage{{Name: "local"}}
+		// One scheme-addressed transport pool serves every protocol;
+		// fresh connections per query, like the paper's dig runs. The
+		// -proto flag picks each dataset target's endpoint scheme.
+		targets = liveEndpoints(targets, protocol)
 		prober = &core.LiveProber{
-			Protocol:         protocol,
-			DoH:              doh.NewClient(nil, nil, false),
-			DoT:              &dot.Client{},
-			Do53:             &dns53.Client{},
-			FreshConnections: true,
+			Proto:     protocol,
+			Transport: transport.NewPool(transport.Options{}),
 		}
 		clock = netsim.WallClock{}
 	default:
@@ -175,8 +179,8 @@ func run(args []string, stdout *os.File) error {
 }
 
 // parseTargets resolves the -resolvers flag: known hostnames come from the
-// dataset (with their model parameters); https:// URLs become ad-hoc live
-// targets.
+// dataset (with their model parameters); scheme-prefixed endpoints
+// (udp://, tcp://, tls://, https://) become ad-hoc live targets.
 func parseTargets(spec string) ([]core.Target, error) {
 	switch spec {
 	case "all":
@@ -186,17 +190,17 @@ func parseTargets(spec string) ([]core.Target, error) {
 	}
 	var out []core.Target
 	for _, item := range splitNonEmpty(spec) {
-		if strings.HasPrefix(item, "https://") {
-			host := strings.TrimPrefix(item, "https://")
-			if i := strings.IndexByte(host, '/'); i >= 0 {
-				host = host[:i]
+		if strings.Contains(item, "://") {
+			ep, err := transport.ParseEndpoint(item)
+			if err != nil {
+				return nil, err
 			}
-			out = append(out, core.Target{Host: host, Endpoint: item})
+			out = append(out, core.Target{Host: ep.Host, Endpoint: ep.String()})
 			continue
 		}
 		r, ok := dataset.ResolverByHost(item)
 		if !ok {
-			return nil, fmt.Errorf("unknown resolver %q (try -list-resolvers, or pass a full https:// URL)", item)
+			return nil, fmt.Errorf("unknown resolver %q (try -list-resolvers, or pass a scheme-prefixed endpoint like udp://, tls://, or https://)", item)
 		}
 		out = append(out, core.Target{Host: r.Host, Endpoint: r.Endpoint, Net: r.Net})
 	}
@@ -204,6 +208,28 @@ func parseTargets(spec string) ([]core.Target, error) {
 		return nil, fmt.Errorf("no resolvers given")
 	}
 	return out, nil
+}
+
+// liveEndpoints rewrites dataset targets' endpoints for the selected
+// protocol: dataset entries carry the RFC 8484 URL, so DoT and Do53 runs
+// derive tls:// and udp:// endpoints on the IANA ports. Endpoints that
+// already carry a non-https scheme (ad-hoc targets) pass through.
+func liveEndpoints(targets []core.Target, proto netsim.Protocol) []core.Target {
+	out := make([]core.Target, len(targets))
+	for i, t := range targets {
+		if strings.Contains(t.Endpoint, "://") && !strings.HasPrefix(t.Endpoint, "https://") {
+			out[i] = t
+			continue
+		}
+		switch proto {
+		case netsim.ProtoDoT:
+			t.Endpoint = "tls://" + t.Host + ":853"
+		case netsim.ProtoDo53:
+			t.Endpoint = "udp://" + t.Host + ":53"
+		}
+		out[i] = t
+	}
+	return out
 }
 
 // parseProto maps the -proto flag to a transport.

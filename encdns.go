@@ -21,10 +21,11 @@
 //	chart, _ := runner.Figure(encdns.Fig1)
 //	chart.Render(os.Stdout)
 //
-// Live measurement of one real resolver:
+// Live measurement of one real resolver (endpoints are scheme-addressed:
+// udp://, tcp://, tls://, https://):
 //
-//	client := encdns.NewDoHClient(nil, nil, false)
-//	prober := &encdns.LiveProber{DoH: client, FreshConnections: true}
+//	pool := encdns.NewTransportPool(encdns.TransportOptions{})
+//	prober := &encdns.LiveProber{Transport: pool}
 //	cfg := encdns.CampaignConfig{
 //	    Vantages: []encdns.Vantage{{Name: "here"}},
 //	    Targets:  []encdns.Target{{Host: "dns.example", Endpoint: "https://dns.example/dns-query"}},
@@ -39,6 +40,7 @@ package encdns
 
 import (
 	"crypto/tls"
+	"time"
 
 	"encdns/internal/core"
 	"encdns/internal/dataset"
@@ -48,7 +50,41 @@ import (
 	"encdns/internal/experiment"
 	"encdns/internal/netsim"
 	"encdns/internal/report"
+	"encdns/internal/transport"
 )
+
+// Transport-layer surface: the scheme-addressed exchanger substrate that
+// every live consumer (prober, forwarder, CLIs) shares.
+type (
+	// Exchanger performs DNS exchanges with one dialled endpoint.
+	Exchanger = transport.Exchanger
+	// TransportOptions configures DialEndpoint/NewTransportPool.
+	TransportOptions = transport.Options
+	// TransportPool lazily dials one Exchanger per endpoint.
+	TransportPool = transport.Pool
+	// RetryPolicy is the shared retry/backoff policy.
+	RetryPolicy = transport.RetryPolicy
+	// PoolStats counts connection-pool activity.
+	PoolStats = transport.PoolStats
+)
+
+// DialEndpoint binds an Exchanger to a scheme-addressed endpoint
+// (udp://host:port, tcp://host:port, tls://host:853,
+// https://host/dns-query), wrapping it in the shared retry middleware.
+func DialEndpoint(endpoint string, opts TransportOptions) (Exchanger, error) {
+	return transport.Dial(endpoint, opts)
+}
+
+// NewTransportPool builds the endpoint-addressed transport pool that
+// LiveProber and the forwarder consume.
+func NewTransportPool(opts TransportOptions) *TransportPool { return transport.NewPool(opts) }
+
+// NewHedgedExchanger races the same query against several endpoints,
+// staggered by delay; the first success wins and the losers are
+// cancelled.
+func NewHedgedExchanger(delay time.Duration, exchangers ...Exchanger) Exchanger {
+	return transport.NewHedged(delay, exchangers...)
+}
 
 // Measurement engine surface.
 type (

@@ -69,7 +69,8 @@ func TestFacadeLiveClients(t *testing.T) {
 	ts := httptest.NewTLSServer(mux)
 	defer ts.Close()
 
-	prober := &encdns.LiveProber{DoH: &doh.Client{HTTP: ts.Client()}}
+	prober := &encdns.LiveProber{Transport: encdns.NewTransportPool(
+		encdns.TransportOptions{HTTPClient: ts.Client(), Reuse: true})}
 	cfg := encdns.CampaignConfig{
 		Vantages: []encdns.Vantage{{Name: "local"}},
 		Targets:  []encdns.Target{{Host: "t", Endpoint: ts.URL + doh.DefaultPath}},

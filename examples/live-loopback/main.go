@@ -55,9 +55,11 @@ func main() {
 	endpoint := "https://" + ln.Addr().String() + doh.DefaultPath
 	fmt.Println("serving DoH at", endpoint)
 
-	// 4. Measure it live: fresh connections, wall-clock timing.
-	client := encdns.NewDoHClient(ca.ClientConfig("127.0.0.1"), nil, false)
-	prober := &encdns.LiveProber{DoH: client, FreshConnections: true}
+	// 4. Measure it live: fresh connections, wall-clock timing, through
+	// the scheme-addressed transport layer (the endpoint's https://
+	// scheme selects DoH; no per-protocol wiring here).
+	pool := encdns.NewTransportPool(encdns.TransportOptions{TLS: ca.ClientConfig("127.0.0.1")})
+	prober := &encdns.LiveProber{Transport: pool}
 	cfg := encdns.CampaignConfig{
 		Vantages: []encdns.Vantage{{Name: "loopback"}},
 		Targets:  []encdns.Target{{Host: "loopback-resolver", Endpoint: endpoint}},

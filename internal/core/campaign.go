@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"encdns/internal/netsim"
+	"encdns/internal/transport"
 )
 
 // CampaignConfig describes one measurement campaign: which vantage points
@@ -154,7 +155,7 @@ func (c *Campaign) probeVantage(ctx context.Context, v netsim.Vantage, round int
 				Vantage:      v.Name,
 				Resolver:     t.Host,
 				Kind:         KindQuery,
-				Protocol:     protoName(c.prober),
+				Protocol:     protoName(c.prober, t),
 				Domain:       domain,
 				Round:        round,
 				Milliseconds: float64(q.Duration) / float64(time.Millisecond),
@@ -188,13 +189,26 @@ func (c *Campaign) probeVantage(ctx context.Context, v netsim.Vantage, round int
 	return out
 }
 
-// protoName extracts a protocol label from the prober for the records.
-func protoName(p Prober) string {
+// protoName extracts a protocol label for the records. Live targets are
+// scheme-addressed, so the label follows each target's endpoint (a
+// campaign can mix udp:// and https:// targets); the prober's Proto
+// field is the fallback for unparsable endpoints.
+func protoName(p Prober, t Target) string {
 	switch sp := p.(type) {
 	case *SimProber:
 		return sp.Protocol.String()
 	case *LiveProber:
-		return sp.Protocol.String()
+		if ep, err := transport.ParseEndpoint(t.Endpoint); err == nil {
+			switch ep.Scheme {
+			case transport.SchemeUDP, transport.SchemeTCP:
+				return "do53"
+			case transport.SchemeTLS:
+				return "dot"
+			case transport.SchemeHTTPS:
+				return "doh"
+			}
+		}
+		return sp.Proto.String()
 	default:
 		return "doh"
 	}

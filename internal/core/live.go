@@ -2,47 +2,36 @@ package core
 
 import (
 	"context"
-	"errors"
-	"net"
-	"os"
-	"strings"
 	"time"
 
+	"encdns/internal/dns53"
 	"encdns/internal/dnswire"
-	"encdns/internal/doh"
-	"encdns/internal/dot"
 	"encdns/internal/icmp"
 	"encdns/internal/netsim"
+	"encdns/internal/transport"
 )
 
-// LiveProber measures real resolvers with the real protocol clients,
+// LiveProber measures real resolvers through the shared transport layer,
 // timing each exchange end to end — the §3.1 definition of DNS query
 // response time ("the end-to-end time it takes for a client to initiate a
-// query and receive a response").
+// query and receive a response"). Protocol selection happens entirely in
+// the target's scheme-addressed endpoint (udp://, tcp://, tls://,
+// https://), so one prober measures all transports with one policy.
 type LiveProber struct {
-	// Protocol selects which client is used; default DoH.
-	Protocol netsim.Protocol
-	// DoH issues RFC 8484 queries; required for ProtoDoH.
-	DoH *doh.Client
-	// DoT issues RFC 7858 queries; required for ProtoDoT.
-	DoT *dot.Client
-	// Do53 issues conventional queries; required for ProtoDo53.
-	Do53 Exchanger53
+	// Transport performs the exchanges; a transport.Pool configured with
+	// the campaign's TLS/timeout/retry options is the usual value.
+	Transport transport.Multi
 	// Pinger measures ICMP RTT; nil makes every ping fail (no raw-socket
 	// privileges), matching resolvers "that did not respond to our ICMP
 	// ping probes".
 	Pinger icmp.Pinger
-	// FreshConnections closes idle connections before each DoH query so
-	// every measurement pays the full TCP+TLS establishment cost, like
-	// the paper's dig runs.
-	FreshConnections bool
 	// QueryType is the record type queried; default A.
 	QueryType dnswire.Type
-}
-
-// Exchanger53 is the Do53 client surface LiveProber needs.
-type Exchanger53 interface {
-	Query(ctx context.Context, server, name string, t dnswire.Type) (*dnswire.Message, error)
+	// EDNSSize advertises an EDNS0 buffer size on queries when non-zero.
+	EDNSSize uint16
+	// Proto labels this prober's records (the campaign's protocol
+	// column); it does not affect the exchange path.
+	Proto netsim.Protocol
 }
 
 func (p *LiveProber) qtype() dnswire.Type {
@@ -52,34 +41,21 @@ func (p *LiveProber) qtype() dnswire.Type {
 	return dnswire.TypeA
 }
 
-// Query implements Prober with a wall-clock-timed live exchange.
+// Query implements Prober with a wall-clock-timed live exchange against
+// the target's endpoint.
 func (p *LiveProber) Query(ctx context.Context, _ netsim.Vantage, t Target, domain string, _ int) QueryOutcome {
-	start := time.Now()
-	var resp *dnswire.Message
-	var err error
-	switch p.Protocol {
-	case netsim.ProtoDoT:
-		if p.DoT == nil {
-			return QueryOutcome{Err: netsim.ErrConnect}
-		}
-		resp, err = p.DoT.Query(ctx, t.Endpoint, domain, p.qtype())
-	case netsim.ProtoDo53:
-		if p.Do53 == nil {
-			return QueryOutcome{Err: netsim.ErrConnect}
-		}
-		resp, err = p.Do53.Query(ctx, t.Endpoint, domain, p.qtype())
-	default:
-		if p.DoH == nil {
-			return QueryOutcome{Err: netsim.ErrConnect}
-		}
-		if p.FreshConnections {
-			p.DoH.CloseIdle()
-		}
-		resp, err = p.DoH.Query(ctx, t.Endpoint, domain, p.qtype())
+	if p.Transport == nil {
+		return QueryOutcome{Err: netsim.ErrConnect}
 	}
+	q := dnswire.NewQuery(dns53.NewID(), domain, p.qtype())
+	if p.EDNSSize > 0 {
+		q.SetEDNS(p.EDNSSize, false)
+	}
+	start := time.Now()
+	resp, err := p.Transport.Exchange(ctx, q, t.Endpoint)
 	elapsed := time.Since(start)
 	if err != nil {
-		return QueryOutcome{Duration: elapsed, Err: ClassifyError(err)}
+		return QueryOutcome{Duration: elapsed, Err: transport.Classify(err)}
 	}
 	out := QueryOutcome{Duration: elapsed, RCode: resp.Header.RCode}
 	if resp.Header.RCode != dnswire.RCodeSuccess && resp.Header.RCode != dnswire.RCodeNXDomain {
@@ -102,36 +78,10 @@ func (p *LiveProber) Ping(ctx context.Context, _ netsim.Vantage, t Target, _ int
 }
 
 // ClassifyError maps live transport errors onto the model's error
-// taxonomy, mirroring the availability analysis categories ("The most
-// common errors ... were related to a failure to establish a connection").
+// taxonomy. The implementation moved to the transport layer
+// (transport.Classify) so the measurement engine, the forwarder, and the
+// CLIs share one taxonomy; this wrapper remains for the engine's public
+// surface.
 func ClassifyError(err error) netsim.ErrClass {
-	if err == nil {
-		return netsim.OK
-	}
-	var httpErr *doh.HTTPError
-	if errors.As(err, &httpErr) {
-		return netsim.ErrHTTP
-	}
-	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, os.ErrDeadlineExceeded) {
-		return netsim.ErrTimeout
-	}
-	var netErr net.Error
-	if errors.As(err, &netErr) && netErr.Timeout() {
-		return netsim.ErrTimeout
-	}
-	msg := err.Error()
-	switch {
-	case strings.Contains(msg, "tls:") || strings.Contains(msg, "x509:") ||
-		strings.Contains(msg, "certificate"):
-		return netsim.ErrTLS
-	case strings.Contains(msg, "connection refused") ||
-		strings.Contains(msg, "no such host") ||
-		strings.Contains(msg, "network is unreachable") ||
-		strings.Contains(msg, "connection reset"):
-		return netsim.ErrConnect
-	case strings.Contains(msg, "timeout") || strings.Contains(msg, "deadline"):
-		return netsim.ErrTimeout
-	default:
-		return netsim.ErrConnect
-	}
+	return transport.Classify(err)
 }

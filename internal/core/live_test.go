@@ -19,6 +19,7 @@ import (
 	"encdns/internal/icmp"
 	"encdns/internal/netsim"
 	"encdns/internal/resolver"
+	"encdns/internal/transport"
 )
 
 // delayDialer injects a fixed latency before each connection establishes,
@@ -58,10 +59,16 @@ func startLiveStack(t *testing.T) (string, *httptest.Server) {
 	return ts.URL + doh.DefaultPath, ts
 }
 
+// poolWith builds a transport pool whose https exchanges go through the
+// given HTTP client (the httptest server's trusting client).
+func poolWith(hc *http.Client, reuse bool) *transport.Pool {
+	return transport.NewPool(transport.Options{HTTPClient: hc, Reuse: reuse, Retry: &transport.RetryPolicy{MaxAttempts: 1}})
+}
+
 func TestLiveProberEndToEnd(t *testing.T) {
 	endpoint, ts := startLiveStack(t)
 	prober := &LiveProber{
-		DoH: &doh.Client{HTTP: ts.Client()},
+		Transport: poolWith(ts.Client(), true),
 		Pinger: icmp.PingerFunc(func(ctx context.Context, host string) (time.Duration, error) {
 			return 12 * time.Millisecond, nil
 		}),
@@ -100,8 +107,7 @@ func TestLiveProberMeasuresInjectedLatency(t *testing.T) {
 	tr.DisableKeepAlives = true
 
 	prober := &LiveProber{
-		DoH:              &doh.Client{HTTP: &http.Client{Transport: tr}},
-		FreshConnections: true,
+		Transport: poolWith(&http.Client{Transport: tr}, false),
 	}
 	target := Target{Host: "live.test", Endpoint: endpoint}
 	v := netsim.Vantage{Name: "loopback"}
@@ -128,13 +134,13 @@ func TestLiveProberFreshVsReusedConnections(t *testing.T) {
 	dd := &delayDialer{delay: injected}
 	tr := baseTr.Clone()
 	tr.DialContext = dd.DialContext
+	hc := &http.Client{Transport: tr}
 
-	client := &doh.Client{HTTP: &http.Client{Transport: tr}}
 	v := netsim.Vantage{Name: "loopback"}
 	target := Target{Host: "live.test", Endpoint: endpoint}
 
 	// Reused connections: only the first query pays the dial delay.
-	reused := &LiveProber{DoH: client}
+	reused := &LiveProber{Transport: poolWith(hc, true)}
 	_ = reused.Query(context.Background(), v, target, "google.com", 0) // warm up
 	warm := reused.Query(context.Background(), v, target, "google.com", 1)
 	if warm.Err != netsim.OK {
@@ -144,8 +150,9 @@ func TestLiveProberFreshVsReusedConnections(t *testing.T) {
 		t.Errorf("reused-connection query took %v, should avoid the %v dial", warm.Duration, injected)
 	}
 
-	// Fresh connections pay it every time.
-	fresh := &LiveProber{DoH: client, FreshConnections: true}
+	// Fresh connections pay it every time: Reuse off drains the idle
+	// pool before each exchange.
+	fresh := &LiveProber{Transport: poolWith(hc, false)}
 	cold := fresh.Query(context.Background(), v, target, "google.com", 2)
 	if cold.Err != netsim.OK {
 		t.Fatalf("cold query failed: %v", cold.Err)
@@ -164,7 +171,10 @@ func TestLiveProberClassifiesDeadEndpoint(t *testing.T) {
 	deadURL := "https://" + ln.Addr().String() + "/dns-query"
 	ln.Close()
 
-	prober := &LiveProber{DoH: &doh.Client{Timeout: 500 * time.Millisecond}}
+	prober := &LiveProber{Transport: transport.NewPool(transport.Options{
+		Timeout: 500 * time.Millisecond,
+		Retry:   &transport.RetryPolicy{MaxAttempts: 1},
+	})}
 	out := prober.Query(context.Background(), netsim.Vantage{}, Target{Host: "dead", Endpoint: deadURL}, "google.com", 0)
 	if out.Err != netsim.ErrConnect && out.Err != netsim.ErrTimeout {
 		t.Errorf("err = %v, want connect-failure or timeout", out.Err)
@@ -176,30 +186,32 @@ func TestLiveProberHTTPErrorClass(t *testing.T) {
 		http.Error(w, "no", http.StatusBadGateway)
 	}))
 	defer ts.Close()
-	prober := &LiveProber{DoH: &doh.Client{HTTP: ts.Client()}}
+	prober := &LiveProber{Transport: poolWith(ts.Client(), true)}
 	out := prober.Query(context.Background(), netsim.Vantage{}, Target{Host: "x", Endpoint: ts.URL}, "google.com", 0)
 	if out.Err != netsim.ErrHTTP {
 		t.Errorf("err = %v, want http-error", out.Err)
 	}
 }
 
-func TestLiveProberNilClients(t *testing.T) {
+func TestLiveProberNilTransport(t *testing.T) {
 	v := netsim.Vantage{}
 	target := Target{Host: "x", Endpoint: "https://x/dns-query"}
-	for _, p := range []*LiveProber{
-		{Protocol: netsim.ProtoDoH},
-		{Protocol: netsim.ProtoDoT},
-		{Protocol: netsim.ProtoDo53},
-	} {
-		out := p.Query(context.Background(), v, target, "google.com", 0)
-		if out.Err != netsim.ErrConnect {
-			t.Errorf("proto %v: err = %v", p.Protocol, out.Err)
-		}
+	p := &LiveProber{}
+	out := p.Query(context.Background(), v, target, "google.com", 0)
+	if out.Err != netsim.ErrConnect {
+		t.Errorf("nil transport: err = %v", out.Err)
 	}
 	// Nil pinger: ping fails cleanly.
-	p := &LiveProber{}
 	if out := p.Ping(context.Background(), v, target, 0); out.OK {
 		t.Error("nil pinger reported success")
+	}
+}
+
+func TestLiveProberBadEndpoint(t *testing.T) {
+	p := &LiveProber{Transport: transport.NewPool(transport.Options{})}
+	out := p.Query(context.Background(), netsim.Vantage{}, Target{Host: "x", Endpoint: "gopher://x"}, "google.com", 0)
+	if out.Err == netsim.OK {
+		t.Error("unknown scheme succeeded")
 	}
 }
 
@@ -209,7 +221,7 @@ func TestLiveCampaign(t *testing.T) {
 	// consumes the records exactly as it does simulated ones.
 	endpoint, ts := startLiveStack(t)
 	prober := &LiveProber{
-		DoH: &doh.Client{HTTP: ts.Client()},
+		Transport: poolWith(ts.Client(), true),
 		Pinger: icmp.PingerFunc(func(ctx context.Context, host string) (time.Duration, error) {
 			return 3 * time.Millisecond, nil
 		}),
@@ -264,11 +276,11 @@ func TestLiveProberDoT(t *testing.T) {
 	t.Cleanup(func() { ln.Close(); inner.Shutdown() })
 
 	prober := &LiveProber{
-		Protocol: netsim.ProtoDoT,
-		DoT:      &dot.Client{TLS: ca.ClientConfig("127.0.0.1")},
+		Proto:     netsim.ProtoDoT,
+		Transport: transport.NewPool(transport.Options{TLS: ca.ClientConfig("127.0.0.1")}),
 	}
 	out := prober.Query(context.Background(), netsim.Vantage{},
-		Target{Host: "dot.test", Endpoint: ln.Addr().String()}, "google.com", 0)
+		Target{Host: "dot.test", Endpoint: "tls://" + ln.Addr().String()}, "google.com", 0)
 	if out.Err != netsim.OK || out.RCode != dnswire.RCodeSuccess {
 		t.Fatalf("outcome = %+v", out)
 	}
@@ -289,9 +301,10 @@ func TestLiveProberDo53(t *testing.T) {
 	t.Cleanup(inner.Shutdown)
 
 	prober := &LiveProber{
-		Protocol: netsim.ProtoDo53,
-		Do53:     &dns53.Client{},
+		Proto:     netsim.ProtoDo53,
+		Transport: transport.NewPool(transport.Options{}),
 	}
+	// A bare host:port endpoint defaults to the udp scheme.
 	out := prober.Query(context.Background(), netsim.Vantage{},
 		Target{Host: "udp.test", Endpoint: pc.LocalAddr().String()}, "google.com", 0)
 	if out.Err != netsim.OK || out.RCode != dnswire.RCodeSuccess {

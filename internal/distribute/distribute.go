@@ -25,6 +25,7 @@ import (
 
 	"encdns/internal/core"
 	"encdns/internal/netsim"
+	"encdns/internal/transport"
 )
 
 // Strategy selects which resolver(s) answer a query.
@@ -153,16 +154,32 @@ type Distributor struct {
 	Vantage  netsim.Vantage
 	Prober   core.Prober
 	Strategy Strategy
+	// Concurrent races multi-pick queries in real time through the
+	// transport layer's hedging primitive (transport.Race): all picks
+	// are queried at once, the first success wins, and the losers'
+	// contexts are cancelled. Leave it off for simulated probers, whose
+	// standalone per-attempt durations make the sequential min() below
+	// the deterministic race winner.
+	Concurrent bool
+	// HedgeDelay staggers concurrent attempts (0 = ask everyone at
+	// once, the pure race-K strategy).
+	HedgeDelay time.Duration
 }
 
 // Resolve performs the seq-th lookup of domain.
 func (d *Distributor) Resolve(ctx context.Context, domain string, seq int) Outcome {
 	picks := d.Strategy.Select(domain, seq)
 	out := Outcome{Resolver: -1, Attempts: len(picks)}
+	valid := picks[:0:0]
 	for _, idx := range picks {
-		if idx < 0 || idx >= len(d.Targets) {
-			continue
+		if idx >= 0 && idx < len(d.Targets) {
+			valid = append(valid, idx)
 		}
+	}
+	if d.Concurrent && len(valid) > 1 {
+		return d.resolveRacing(ctx, domain, seq, valid, out)
+	}
+	for _, idx := range valid {
 		q := d.Prober.Query(ctx, d.Vantage, d.Targets[idx], domain, seq)
 		if q.Err != netsim.OK {
 			continue
@@ -175,5 +192,38 @@ func (d *Distributor) Resolve(ctx context.Context, domain string, seq int) Outco
 			out.Resolver = idx
 		}
 	}
+	return out
+}
+
+// raceErr marks a query outcome that failed at the transport or DNS
+// level, so transport.Race moves on to the next pick.
+type raceErr struct{ class netsim.ErrClass }
+
+func (e raceErr) Error() string { return "distribute: query failed: " + e.class.String() }
+
+// resolveRacing queries every pick concurrently through the shared
+// hedging primitive; the wall-clock winner is the outcome.
+func (d *Distributor) resolveRacing(ctx context.Context, domain string, seq int, picks []int, out Outcome) Outcome {
+	type attempt struct {
+		idx int
+		q   core.QueryOutcome
+	}
+	fns := make([]func(context.Context) (attempt, error), len(picks))
+	for i, idx := range picks {
+		fns[i] = func(raceCtx context.Context) (attempt, error) {
+			q := d.Prober.Query(raceCtx, d.Vantage, d.Targets[idx], domain, seq)
+			if q.Err != netsim.OK {
+				return attempt{}, raceErr{class: q.Err}
+			}
+			return attempt{idx: idx, q: q}, nil
+		}
+	}
+	winner, _, err := transport.Race(ctx, d.HedgeDelay, fns)
+	if err != nil {
+		return out
+	}
+	out.OK = true
+	out.Duration = winner.q.Duration
+	out.Resolver = winner.idx
 	return out
 }

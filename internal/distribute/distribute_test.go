@@ -2,8 +2,11 @@ package distribute
 
 import (
 	"context"
+	"fmt"
 	"math"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"encdns/internal/core"
 	"encdns/internal/dataset"
@@ -256,5 +259,101 @@ func TestEvaluateEmptyWorkload(t *testing.T) {
 	r := Evaluate(context.Background(), d, Workload{})
 	if r.FailureRate != 0 || r.QueriesSent != 0 {
 		t.Errorf("empty workload report = %+v", r)
+	}
+}
+
+// stubProber answers after a per-target-index delay (or fails), and
+// records whether a racing loser observed its context being cancelled.
+type stubProber struct {
+	delays    []time.Duration
+	fail      []bool
+	cancelled [5]atomic.Bool
+}
+
+func (p *stubProber) Query(ctx context.Context, _ netsim.Vantage, t core.Target, _ string, _ int) core.QueryOutcome {
+	idx := 0
+	fmt.Sscanf(t.Host, "r%d", &idx)
+	select {
+	case <-time.After(p.delays[idx]):
+		if p.fail[idx] {
+			return core.QueryOutcome{Err: netsim.ErrDNS}
+		}
+		return core.QueryOutcome{Duration: p.delays[idx], Err: netsim.OK}
+	case <-ctx.Done():
+		p.cancelled[idx].Store(true)
+		return core.QueryOutcome{Err: netsim.ErrTimeout}
+	}
+}
+
+func (p *stubProber) Ping(context.Context, netsim.Vantage, core.Target, int) core.PingOutcome {
+	return core.PingOutcome{OK: true}
+}
+
+type pickAll struct{ n int }
+
+func (s pickAll) Select(string, int) []int {
+	picks := make([]int, s.n)
+	for i := range picks {
+		picks[i] = i
+	}
+	return picks
+}
+
+func (s pickAll) Name() string { return "pick-all" }
+
+// TestConcurrentRacing: with Concurrent set, every pick runs in real
+// time through transport.Race — the wall-clock fastest resolver wins
+// and the slower attempts are cancelled rather than run to completion.
+func TestConcurrentRacing(t *testing.T) {
+	prober := &stubProber{
+		delays: []time.Duration{200 * time.Millisecond, 5 * time.Millisecond, 100 * time.Millisecond},
+		fail:   []bool{false, false, false},
+	}
+	d := &Distributor{
+		Targets:    []core.Target{{Host: "r0"}, {Host: "r1"}, {Host: "r2"}},
+		Prober:     prober,
+		Strategy:   pickAll{n: 3},
+		Concurrent: true,
+	}
+	start := time.Now()
+	out := d.Resolve(context.Background(), "example.com", 0)
+	elapsed := time.Since(start)
+	if !out.OK || out.Resolver != 1 {
+		t.Fatalf("outcome = %+v, want resolver 1 winning", out)
+	}
+	if out.Attempts != 3 {
+		t.Errorf("attempts = %d", out.Attempts)
+	}
+	// Sequentially this takes 305ms; racing finishes with the fastest.
+	if elapsed > 150*time.Millisecond {
+		t.Errorf("racing took %v, sequential-like", elapsed)
+	}
+	// Losers observe cancellation promptly.
+	deadline := time.Now().Add(time.Second)
+	for time.Now().Before(deadline) {
+		if prober.cancelled[0].Load() && prober.cancelled[2].Load() {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if !prober.cancelled[0].Load() || !prober.cancelled[2].Load() {
+		t.Error("losing attempts were not cancelled")
+	}
+}
+
+func TestConcurrentRacingAllFail(t *testing.T) {
+	prober := &stubProber{
+		delays: []time.Duration{time.Millisecond, time.Millisecond},
+		fail:   []bool{true, true},
+	}
+	d := &Distributor{
+		Targets:    []core.Target{{Host: "r0"}, {Host: "r1"}},
+		Prober:     prober,
+		Strategy:   pickAll{n: 2},
+		Concurrent: true,
+	}
+	out := d.Resolve(context.Background(), "example.com", 0)
+	if out.OK || out.Resolver != -1 {
+		t.Errorf("outcome = %+v, want total failure", out)
 	}
 }

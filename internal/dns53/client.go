@@ -25,6 +25,9 @@ type Client struct {
 	Timeout time.Duration
 	// Retries is the number of extra UDP attempts after the first; zero
 	// means 2 (three attempts total), the classic stub-resolver default.
+	// Negative disables the built-in loop entirely (one attempt) — the
+	// transport layer's shared retry middleware sets this so policy is
+	// not applied twice.
 	Retries int
 	// Dialer is used for both "udp" and "tcp" connections; nil uses a
 	// net.Dialer. Injecting a dialer is how tests and the live prober run
@@ -48,8 +51,11 @@ func (c *Client) timeout() time.Duration {
 }
 
 func (c *Client) retries() int {
-	if c.Retries > 0 {
+	switch {
+	case c.Retries > 0:
 		return c.Retries
+	case c.Retries < 0:
+		return 0
 	}
 	return 2
 }

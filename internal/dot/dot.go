@@ -31,14 +31,41 @@ type Client struct {
 	Timeout time.Duration
 	// Dialer provides the underlying TCP connection; nil uses net.Dialer.
 	Dialer dns53.ContextDialer
-	// Reuse keeps the TLS session open between queries. The paper's
+	// Reuse keeps TLS sessions open between queries. The paper's
 	// related work (Zhu et al., Böttger et al.) found connection reuse
 	// amortises most of the encryption overhead.
 	Reuse bool
+	// MaxIdleConns bounds the connection cache across servers; zero
+	// means 4. The oldest idle connection is evicted when full.
+	MaxIdleConns int
+	// IdleTimeout evicts cached connections idle longer than this; zero
+	// means 60 seconds (matching the DoH transport's idle timeout).
+	IdleTimeout time.Duration
 
-	mu   sync.Mutex
-	conn *tls.Conn // cached connection when Reuse is set
-	addr string
+	mu    sync.Mutex
+	conns map[string]*idleConn // cached connections when Reuse is set
+	stats PoolStats
+	now   func() time.Time // test hook; nil means time.Now
+}
+
+// idleConn is one cached TLS session and when it was last used.
+type idleConn struct {
+	conn *tls.Conn
+	last time.Time
+}
+
+// PoolStats counts connection-cache activity; the transport layer
+// surfaces it as transport.PoolStats.
+type PoolStats struct {
+	// Hits counts queries served over a cached connection.
+	Hits uint64
+	// Misses counts queries that had to dial and handshake.
+	Misses uint64
+	// Evictions counts cached connections dropped for staleness or to
+	// respect MaxIdleConns.
+	Evictions uint64
+	// Idle is the number of currently cached connections.
+	Idle int
 }
 
 func (c *Client) timeout() time.Duration {
@@ -55,6 +82,27 @@ func (c *Client) dialer() dns53.ContextDialer {
 	return &net.Dialer{}
 }
 
+func (c *Client) maxIdle() int {
+	if c.MaxIdleConns > 0 {
+		return c.MaxIdleConns
+	}
+	return 4
+}
+
+func (c *Client) idleTimeout() time.Duration {
+	if c.IdleTimeout > 0 {
+		return c.IdleTimeout
+	}
+	return 60 * time.Second
+}
+
+func (c *Client) clock() time.Time {
+	if c.now != nil {
+		return c.now()
+	}
+	return time.Now()
+}
+
 // Query exchanges a single question with the server ("host:port").
 func (c *Client) Query(ctx context.Context, server, name string, t dnswire.Type) (*dnswire.Message, error) {
 	return c.Exchange(ctx, dnswire.NewQuery(dns53.NewID(), name, t), server)
@@ -69,8 +117,13 @@ func (c *Client) Exchange(ctx context.Context, query *dnswire.Message, server st
 		if resp, err := c.exchangeCached(ctx, query, server); err == nil {
 			return resp, nil
 		}
-		// Cached path failed (stale connection); fall through to a fresh
-		// one — exactly what stub resolvers do.
+		// Cached path failed (no connection, or a stale one); fall
+		// through to a fresh dial — exactly what stub resolvers do.
+	}
+	if c.Reuse {
+		c.mu.Lock()
+		c.stats.Misses++
+		c.mu.Unlock()
 	}
 	conn, err := c.dial(ctx, server)
 	if err != nil {
@@ -89,45 +142,100 @@ func (c *Client) Exchange(ctx context.Context, query *dnswire.Message, server st
 	return resp, nil
 }
 
-// exchangeCached tries the stored connection.
+// exchangeCached tries the cached connection for server, evicting stale
+// entries first.
 func (c *Client) exchangeCached(ctx context.Context, query *dnswire.Message, server string) (*dnswire.Message, error) {
 	c.mu.Lock()
-	conn := c.conn
-	if conn == nil || c.addr != server {
+	c.evictStaleLocked()
+	ic := c.conns[server]
+	if ic == nil {
 		c.mu.Unlock()
 		return nil, errors.New("dot: no cached connection")
 	}
-	c.conn = nil // claim it; returned on success
+	delete(c.conns, server) // claim it; returned on success
+	c.stats.Hits++
 	c.mu.Unlock()
-	resp, err := exchangeOn(ctx, conn, query)
+	resp, err := exchangeOn(ctx, ic.conn, query)
 	if err != nil {
-		conn.Close()
+		ic.conn.Close()
 		return nil, err
 	}
-	c.store(conn, server)
+	c.store(ic.conn, server)
 	return resp, nil
 }
 
+// store caches conn for server, enforcing the idle bound.
 func (c *Client) store(conn *tls.Conn, server string) {
+	var closing []*tls.Conn
 	c.mu.Lock()
-	old := c.conn
-	c.conn, c.addr = conn, server
+	if c.conns == nil {
+		c.conns = make(map[string]*idleConn)
+	}
+	if old := c.conns[server]; old != nil && old.conn != conn {
+		closing = append(closing, old.conn)
+		c.stats.Evictions++
+	}
+	c.conns[server] = &idleConn{conn: conn, last: c.clock()}
+	// Over the bound: evict the least recently used other entry.
+	for len(c.conns) > c.maxIdle() {
+		var oldestKey string
+		var oldest *idleConn
+		for k, ic := range c.conns {
+			if k == server {
+				continue
+			}
+			if oldest == nil || ic.last.Before(oldest.last) {
+				oldestKey, oldest = k, ic
+			}
+		}
+		if oldest == nil {
+			break
+		}
+		delete(c.conns, oldestKey)
+		closing = append(closing, oldest.conn)
+		c.stats.Evictions++
+	}
 	c.mu.Unlock()
-	if old != nil && old != conn {
-		old.Close()
+	for _, cc := range closing {
+		cc.Close()
 	}
 }
 
-// Close drops any cached connection.
+// evictStaleLocked drops connections idle past IdleTimeout. Callers hold
+// c.mu.
+func (c *Client) evictStaleLocked() {
+	cutoff := c.clock().Add(-c.idleTimeout())
+	for k, ic := range c.conns {
+		if ic.last.Before(cutoff) {
+			delete(c.conns, k)
+			ic.conn.Close()
+			c.stats.Evictions++
+		}
+	}
+}
+
+// Stats reports connection-cache counters.
+func (c *Client) Stats() PoolStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Idle = len(c.conns)
+	return s
+}
+
+// Close drops every cached connection.
 func (c *Client) Close() error {
 	c.mu.Lock()
-	conn := c.conn
-	c.conn = nil
+	conns := c.conns
+	c.conns = nil
 	c.mu.Unlock()
-	if conn != nil {
-		return conn.Close()
+	var firstErr error
+	for _, ic := range conns {
+		if err := ic.conn.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
 	}
-	return nil
+	return firstErr
 }
 
 // dial establishes and handshakes a TLS connection.

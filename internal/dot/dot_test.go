@@ -161,3 +161,65 @@ func TestDoTClientCloseIdempotent(t *testing.T) {
 		t.Errorf("double close: %v", err)
 	}
 }
+
+func TestDoTPoolStatsCounters(t *testing.T) {
+	addr, cliTLS := startDoT(t, static())
+	c := &Client{TLS: cliTLS, Reuse: true}
+	defer c.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := c.Query(context.Background(), addr, "google.com", dnswire.TypeA); err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+	}
+	s := c.Stats()
+	if s.Misses != 1 || s.Hits != 2 || s.Idle != 1 || s.Evictions != 0 {
+		t.Errorf("stats = %+v, want 1 miss, 2 hits, 1 idle, 0 evictions", s)
+	}
+}
+
+func TestDoTPoolBoundedEviction(t *testing.T) {
+	// Two servers under one client bounded to a single cached
+	// connection: alternating queries evict the other server's session
+	// every time.
+	addrA, _ := startDoT(t, static())
+	addrB, _ := startDoT(t, static())
+	// One CA per startDoT call; trust both by skipping verification.
+	c := &Client{TLS: &tls.Config{InsecureSkipVerify: true}, Reuse: true, MaxIdleConns: 1}
+	defer c.Close()
+	for i, addr := range []string{addrA, addrB, addrA} {
+		if _, err := c.Query(context.Background(), addr, "google.com", dnswire.TypeA); err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+	}
+	s := c.Stats()
+	if s.Idle != 1 {
+		t.Errorf("idle = %d, want the bound of 1", s.Idle)
+	}
+	if s.Evictions != 2 || s.Misses != 3 || s.Hits != 0 {
+		t.Errorf("stats = %+v, want 3 misses, 0 hits, 2 evictions", s)
+	}
+}
+
+func TestDoTPoolStaleEviction(t *testing.T) {
+	addr, cliTLS := startDoT(t, static())
+	clock := time.Now()
+	c := &Client{TLS: cliTLS, Reuse: true, IdleTimeout: time.Minute}
+	c.now = func() time.Time { return clock }
+	defer c.Close()
+	if _, err := c.Query(context.Background(), addr, "google.com", dnswire.TypeA); err != nil {
+		t.Fatal(err)
+	}
+	if s := c.Stats(); s.Idle != 1 {
+		t.Fatalf("idle = %d after first query", s.Idle)
+	}
+	// Two minutes pass: the cached session is stale, so the next query
+	// evicts it and dials fresh.
+	clock = clock.Add(2 * time.Minute)
+	if _, err := c.Query(context.Background(), addr, "google.com", dnswire.TypeA); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Stats()
+	if s.Evictions != 1 || s.Hits != 0 || s.Misses != 2 || s.Idle != 1 {
+		t.Errorf("stats = %+v, want 2 misses, 0 hits, 1 eviction, 1 idle", s)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"encdns/internal/netsim"
 	"encdns/internal/resolver"
 	"encdns/internal/stats"
+	"encdns/internal/transport"
 )
 
 // latencyDialer delays every new connection by half the configured RTT on
@@ -91,8 +92,11 @@ func TestLiveVsSimAgreement(t *testing.T) {
 	tr.DisableKeepAlives = true
 
 	liveProber := &core.LiveProber{
-		DoH:              &doh.Client{HTTP: &http.Client{Transport: tr}, Timeout: 10 * time.Second},
-		FreshConnections: true,
+		Transport: transport.NewPool(transport.Options{
+			HTTPClient: &http.Client{Transport: tr},
+			Timeout:    10 * time.Second,
+			Retry:      &transport.RetryPolicy{MaxAttempts: 1},
+		}),
 	}
 	liveCfg := core.CampaignConfig{
 		Vantages: []netsim.Vantage{{Name: v.Name}},

@@ -9,14 +9,15 @@ import (
 	"time"
 
 	"encdns/internal/dnswire"
+	"encdns/internal/transport"
 )
 
 // Exchanger sends one DNS query to one server and returns the response.
-// dns53.Client satisfies it over real sockets; authdns.Registry satisfies
-// it in memory.
-type Exchanger interface {
-	Exchange(ctx context.Context, q *dnswire.Message, server string) (*dnswire.Message, error)
-}
+// It is the transport layer's endpoint-addressed interface: a
+// transport.Pool satisfies it over real sockets for any scheme (udp://,
+// tcp://, tls://, https://), so a forwarder can forward over encrypted
+// transports; authdns.Registry satisfies it in memory.
+type Exchanger = transport.Multi
 
 // Errors returned by the recursive resolver.
 var (

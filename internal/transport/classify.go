@@ -1,0 +1,49 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"net"
+	"os"
+	"strings"
+
+	"encdns/internal/doh"
+	"encdns/internal/netsim"
+)
+
+// Classify maps a live transport error onto the model's error taxonomy,
+// mirroring the paper's §4 availability analysis categories ("The most
+// common errors ... were related to a failure to establish a
+// connection"). It lives in the transport layer so the measurement
+// engine, the forwarder, and the CLIs all bucket failures identically.
+func Classify(err error) netsim.ErrClass {
+	if err == nil {
+		return netsim.OK
+	}
+	var httpErr *doh.HTTPError
+	if errors.As(err, &httpErr) {
+		return netsim.ErrHTTP
+	}
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, os.ErrDeadlineExceeded) {
+		return netsim.ErrTimeout
+	}
+	var netErr net.Error
+	if errors.As(err, &netErr) && netErr.Timeout() {
+		return netsim.ErrTimeout
+	}
+	msg := err.Error()
+	switch {
+	case strings.Contains(msg, "tls:") || strings.Contains(msg, "x509:") ||
+		strings.Contains(msg, "certificate"):
+		return netsim.ErrTLS
+	case strings.Contains(msg, "connection refused") ||
+		strings.Contains(msg, "no such host") ||
+		strings.Contains(msg, "network is unreachable") ||
+		strings.Contains(msg, "connection reset"):
+		return netsim.ErrConnect
+	case strings.Contains(msg, "timeout") || strings.Contains(msg, "deadline"):
+		return netsim.ErrTimeout
+	default:
+		return netsim.ErrConnect
+	}
+}

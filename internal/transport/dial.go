@@ -1,0 +1,225 @@
+package transport
+
+import (
+	"context"
+	"crypto/tls"
+	"net/http"
+	"sync"
+	"time"
+
+	"encdns/internal/dns53"
+	"encdns/internal/dnswire"
+	"encdns/internal/doh"
+	"encdns/internal/dot"
+)
+
+// Options configures Dial. The zero value is usable: system TLS roots,
+// fresh connections, and the default retry policy.
+type Options struct {
+	// Timeout bounds each individual attempt; zero uses the protocol
+	// client's default (2s udp, 5s stream).
+	Timeout time.Duration
+	// TLS configures certificate verification for tls:// and https://
+	// endpoints; nil uses the system roots.
+	TLS *tls.Config
+	// Dialer provides the underlying connections; nil uses net.Dialer.
+	// Injecting a dialer is how tests run over in-process transports.
+	Dialer dns53.ContextDialer
+	// Reuse keeps connections (TLS sessions, HTTP keep-alives) open
+	// between exchanges. The paper's dig-style probes measure with fresh
+	// connections, so the default is off.
+	Reuse bool
+	// HTTPClient overrides the https transport entirely (tests inject an
+	// httptest client); TLS/Dialer/Reuse are ignored for https when set.
+	// With Reuse off the client's idle pool is still drained before each
+	// exchange so every measurement pays connection establishment.
+	HTTPClient *http.Client
+	// UserAgent is sent on https exchanges when non-empty.
+	UserAgent string
+	// Retry is the shared retry policy applied to every scheme; nil
+	// applies DefaultRetryPolicy. Pass NoRetry() for single attempts.
+	Retry *RetryPolicy
+}
+
+func (o Options) retry() RetryPolicy {
+	if o.Retry != nil {
+		return *o.Retry
+	}
+	return DefaultRetryPolicy()
+}
+
+// Dial parses a scheme-addressed endpoint and binds an Exchanger to it,
+// wrapping the protocol client in the shared retry middleware. This is
+// the one place protocol selection happens; every consumer above speaks
+// Exchanger.
+func Dial(endpoint string, opts Options) (Exchanger, error) {
+	ep, err := ParseEndpoint(endpoint)
+	if err != nil {
+		return nil, err
+	}
+	var ex Exchanger
+	switch ep.Scheme {
+	case SchemeUDP:
+		// Retries: -1 turns off the client's built-in retry loop — the
+		// shared middleware owns retry policy for every scheme.
+		ex = &udpExchanger{
+			client: &dns53.Client{Timeout: opts.Timeout, Retries: -1, Dialer: opts.Dialer},
+			addr:   ep.Addr(),
+		}
+	case SchemeTCP:
+		ex = &tcpExchanger{
+			client: &dns53.Client{Timeout: opts.Timeout, Dialer: opts.Dialer},
+			addr:   ep.Addr(),
+		}
+	case SchemeTLS:
+		ex = &dotExchanger{
+			client: &dot.Client{TLS: opts.TLS, Timeout: opts.Timeout, Dialer: opts.Dialer, Reuse: opts.Reuse},
+			addr:   ep.Addr(),
+		}
+	case SchemeHTTPS:
+		c := doh.NewClient(opts.TLS, opts.Dialer, opts.Reuse)
+		if opts.HTTPClient != nil {
+			c = &doh.Client{HTTP: opts.HTTPClient}
+		}
+		c.Timeout = opts.Timeout
+		c.UserAgent = opts.UserAgent
+		ex = &dohExchanger{client: c, url: ep.String(), fresh: !opts.Reuse}
+	}
+	return WithRetry(ex, opts.retry()), nil
+}
+
+// udpExchanger adapts dns53.Client (UDP with TCP truncation fallback).
+type udpExchanger struct {
+	client *dns53.Client
+	addr   string
+}
+
+func (e *udpExchanger) Exchange(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+	return e.client.Exchange(ctx, q, e.addr)
+}
+
+func (e *udpExchanger) Close() error { return nil }
+
+// tcpExchanger adapts dns53.Client's TCP path.
+type tcpExchanger struct {
+	client *dns53.Client
+	addr   string
+}
+
+func (e *tcpExchanger) Exchange(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+	return e.client.ExchangeTCP(ctx, q, e.addr)
+}
+
+func (e *tcpExchanger) Close() error { return nil }
+
+// dotExchanger adapts dot.Client and surfaces its connection-pool
+// counters.
+type dotExchanger struct {
+	client *dot.Client
+	addr   string
+}
+
+func (e *dotExchanger) Exchange(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+	return e.client.Exchange(ctx, q, e.addr)
+}
+
+func (e *dotExchanger) Close() error { return e.client.Close() }
+
+func (e *dotExchanger) PoolStats() PoolStats {
+	s := e.client.Stats()
+	return PoolStats{Hits: s.Hits, Misses: s.Misses, Evictions: s.Evictions, Idle: s.Idle}
+}
+
+// dohExchanger adapts doh.Client. With fresh set it drains the idle pool
+// before each exchange so every measurement pays the full TCP+TLS
+// establishment cost, like the paper's dig runs.
+type dohExchanger struct {
+	client *doh.Client
+	url    string
+	fresh  bool
+}
+
+func (e *dohExchanger) Exchange(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+	if e.fresh {
+		e.client.CloseIdle()
+	}
+	return e.client.Exchange(ctx, q, e.url)
+}
+
+func (e *dohExchanger) Close() error {
+	e.client.CloseIdle()
+	return nil
+}
+
+// Pool is the endpoint-addressed exchanger: it dials one Exchanger per
+// distinct endpoint on first use and reuses it afterwards. It implements
+// Multi, so it plugs directly into the forwarder and the live prober,
+// both of which address many endpoints through one value.
+type Pool struct {
+	opts Options
+
+	mu  sync.Mutex
+	exs map[string]Exchanger
+}
+
+// NewPool builds an empty pool dialling with opts.
+func NewPool(opts Options) *Pool {
+	return &Pool{opts: opts, exs: make(map[string]Exchanger)}
+}
+
+// Get returns the pool's exchanger for endpoint, dialling on first use.
+func (p *Pool) Get(endpoint string) (Exchanger, error) {
+	ep, err := ParseEndpoint(endpoint)
+	if err != nil {
+		return nil, err
+	}
+	key := ep.String()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if ex, ok := p.exs[key]; ok {
+		return ex, nil
+	}
+	ex, err := Dial(key, p.opts)
+	if err != nil {
+		return nil, err
+	}
+	p.exs[key] = ex
+	return ex, nil
+}
+
+// Exchange implements Multi.
+func (p *Pool) Exchange(ctx context.Context, q *dnswire.Message, endpoint string) (*dnswire.Message, error) {
+	ex, err := p.Get(endpoint)
+	if err != nil {
+		return nil, err
+	}
+	return ex.Exchange(ctx, q)
+}
+
+// Stats aggregates pool counters across every dialled exchanger that
+// exposes them.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var total PoolStats
+	for _, ex := range p.exs {
+		if s, ok := Stats(ex); ok {
+			total.add(s)
+		}
+	}
+	return total
+}
+
+// Close closes every dialled exchanger, returning the first error.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var firstErr error
+	for key, ex := range p.exs {
+		if err := ex.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		delete(p.exs, key)
+	}
+	return firstErr
+}

@@ -1,0 +1,144 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"encdns/internal/doh"
+)
+
+// Schemes understood by ParseEndpoint and Dial.
+const (
+	SchemeUDP   = "udp"
+	SchemeTCP   = "tcp"
+	SchemeTLS   = "tls"
+	SchemeHTTPS = "https"
+)
+
+// Default ports per scheme (IANA: DNS 53, DoT 853, HTTPS 443).
+const (
+	defaultPortDNS   = "53"
+	defaultPortDoT   = "853"
+	defaultPortHTTPS = "443"
+)
+
+// Endpoint is a parsed scheme-addressed resolver address.
+type Endpoint struct {
+	// Scheme is one of udp, tcp, tls, https.
+	Scheme string
+	// Host is the hostname or IP literal (IPv6 without brackets).
+	Host string
+	// Port is always populated (scheme default when unspecified).
+	Port string
+	// Path is the HTTP path for https endpoints ("/dns-query" default);
+	// empty for the socket schemes.
+	Path string
+}
+
+// Addr returns the dialable "host:port" form.
+func (e Endpoint) Addr() string { return net.JoinHostPort(e.Host, e.Port) }
+
+// String reassembles the canonical endpoint string.
+func (e Endpoint) String() string {
+	if e.Scheme == SchemeHTTPS {
+		host := e.Host
+		if strings.Contains(host, ":") {
+			host = "[" + host + "]"
+		}
+		if e.Port != defaultPortHTTPS {
+			host = net.JoinHostPort(e.Host, e.Port)
+		}
+		return "https://" + host + e.Path
+	}
+	return e.Scheme + "://" + e.Addr()
+}
+
+// ParseEndpoint parses a scheme-addressed endpoint string. A string with
+// no scheme defaults to udp (the dig convention). Missing ports take the
+// scheme default; an https URL with an empty path gets "/dns-query".
+func ParseEndpoint(s string) (Endpoint, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return Endpoint{}, fmt.Errorf("transport: empty endpoint")
+	}
+	scheme, rest := SchemeUDP, s
+	if i := strings.Index(s, "://"); i >= 0 {
+		scheme, rest = s[:i], s[i+len("://"):]
+	}
+	switch scheme {
+	case SchemeHTTPS:
+		return parseHTTPS(s)
+	case SchemeUDP, SchemeTCP, SchemeTLS:
+	default:
+		return Endpoint{}, fmt.Errorf("transport: unknown scheme %q in %q (want udp, tcp, tls, or https)", scheme, s)
+	}
+	if rest == "" {
+		return Endpoint{}, fmt.Errorf("transport: endpoint %q has no host", s)
+	}
+	if strings.ContainsAny(rest, "/?#") {
+		return Endpoint{}, fmt.Errorf("transport: %s endpoint %q must be host:port, not a URL", scheme, s)
+	}
+	host, port, err := splitHostPort(rest)
+	if err != nil {
+		return Endpoint{}, fmt.Errorf("transport: endpoint %q: %w", s, err)
+	}
+	if port == "" {
+		port = defaultPortDNS
+		if scheme == SchemeTLS {
+			port = defaultPortDoT
+		}
+	}
+	return Endpoint{Scheme: scheme, Host: host, Port: port}, nil
+}
+
+// parseHTTPS parses a DoH URL endpoint.
+func parseHTTPS(s string) (Endpoint, error) {
+	u, err := url.Parse(s)
+	if err != nil {
+		return Endpoint{}, fmt.Errorf("transport: endpoint %q: %w", s, err)
+	}
+	if u.Hostname() == "" {
+		return Endpoint{}, fmt.Errorf("transport: endpoint %q has no host", s)
+	}
+	port := u.Port()
+	if port == "" {
+		port = defaultPortHTTPS
+	}
+	path := u.Path
+	if path == "" {
+		path = doh.DefaultPath
+	}
+	if u.RawQuery != "" {
+		path += "?" + u.RawQuery
+	}
+	return Endpoint{Scheme: SchemeHTTPS, Host: u.Hostname(), Port: port, Path: path}, nil
+}
+
+// splitHostPort splits host[:port], tolerating a bare host, a bracketed
+// IPv6 literal without a port, and a bare IPv6 literal.
+func splitHostPort(s string) (host, port string, err error) {
+	if h, p, splitErr := net.SplitHostPort(s); splitErr == nil {
+		if h == "" {
+			return "", "", fmt.Errorf("no host before port")
+		}
+		if _, convErr := strconv.ParseUint(p, 10, 16); convErr != nil {
+			return "", "", fmt.Errorf("invalid port %q", p)
+		}
+		return h, p, nil
+	}
+	// No port. Unwrap a bracketed IPv6 literal; a bare one (more than one
+	// colon) passes through whole.
+	if strings.HasPrefix(s, "[") && strings.HasSuffix(s, "]") {
+		s = s[1 : len(s)-1]
+	} else if strings.Count(s, ":") == 1 {
+		// One colon but SplitHostPort failed: malformed (e.g. trailing colon).
+		return "", "", fmt.Errorf("malformed host:port %q", s)
+	}
+	if s == "" {
+		return "", "", fmt.Errorf("empty host")
+	}
+	return s, "", nil
+}

@@ -1,0 +1,100 @@
+package transport
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseEndpoint(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Endpoint
+	}{
+		// Bare addresses default to udp, like dig.
+		{"9.9.9.9", Endpoint{Scheme: "udp", Host: "9.9.9.9", Port: "53"}},
+		{"9.9.9.9:5353", Endpoint{Scheme: "udp", Host: "9.9.9.9", Port: "5353"}},
+		{"dns.quad9.net", Endpoint{Scheme: "udp", Host: "dns.quad9.net", Port: "53"}},
+		// Explicit socket schemes, with and without ports.
+		{"udp://1.1.1.1", Endpoint{Scheme: "udp", Host: "1.1.1.1", Port: "53"}},
+		{"tcp://1.1.1.1:5300", Endpoint{Scheme: "tcp", Host: "1.1.1.1", Port: "5300"}},
+		{"tls://dns.quad9.net", Endpoint{Scheme: "tls", Host: "dns.quad9.net", Port: "853"}},
+		{"tls://dns.quad9.net:8853", Endpoint{Scheme: "tls", Host: "dns.quad9.net", Port: "8853"}},
+		// IPv6 literals: bracketed with port, bracketed bare, and raw.
+		{"[::1]:5353", Endpoint{Scheme: "udp", Host: "::1", Port: "5353"}},
+		{"udp://[::1]", Endpoint{Scheme: "udp", Host: "::1", Port: "53"}},
+		{"tls://2620:fe::fe", Endpoint{Scheme: "tls", Host: "2620:fe::fe", Port: "853"}},
+		// DoH URLs: default port 443, default path /dns-query, query kept.
+		{"https://dns.google/dns-query", Endpoint{Scheme: "https", Host: "dns.google", Port: "443", Path: "/dns-query"}},
+		{"https://dns.google", Endpoint{Scheme: "https", Host: "dns.google", Port: "443", Path: "/dns-query"}},
+		{"https://127.0.0.1:8443/custom", Endpoint{Scheme: "https", Host: "127.0.0.1", Port: "8443", Path: "/custom"}},
+		{"https://dns.example/q?ct=application/dns-message", Endpoint{Scheme: "https", Host: "dns.example", Port: "443", Path: "/q?ct=application/dns-message"}},
+		{" udp://8.8.8.8:53 ", Endpoint{Scheme: "udp", Host: "8.8.8.8", Port: "53"}},
+	}
+	for _, tc := range cases {
+		got, err := ParseEndpoint(tc.in)
+		if err != nil {
+			t.Errorf("ParseEndpoint(%q): %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseEndpoint(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestParseEndpointErrors(t *testing.T) {
+	cases := []struct {
+		in      string
+		wantSub string
+	}{
+		{"", "empty endpoint"},
+		{"   ", "empty endpoint"},
+		{"gopher://example.com", "unknown scheme"},
+		{"doh://dns.google", "unknown scheme"},
+		{"udp://", "no host"},
+		{"https://", "no host"},
+		{"udp://host/path", "must be host:port"},
+		{"tls://host?x=1", "must be host:port"},
+		{"udp://host:99999", "invalid port"},
+		{"udp://host:abc", "invalid port"},
+		{"udp://:53", "no host"},
+		{"example.com:", "invalid port"},
+	}
+	for _, tc := range cases {
+		_, err := ParseEndpoint(tc.in)
+		if err == nil {
+			t.Errorf("ParseEndpoint(%q) accepted", tc.in)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("ParseEndpoint(%q) error %q, want substring %q", tc.in, err, tc.wantSub)
+		}
+	}
+}
+
+// TestEndpointStringRoundTrip checks String() produces a canonical form
+// that reparses to the same endpoint — Pool uses it as the cache key.
+func TestEndpointStringRoundTrip(t *testing.T) {
+	for _, in := range []string{
+		"9.9.9.9", "udp://8.8.8.8:5353", "tcp://1.1.1.1:53",
+		"tls://dns.quad9.net", "tls://[::1]:8853",
+		"https://dns.google", "https://127.0.0.1:8443/custom",
+	} {
+		ep, err := ParseEndpoint(in)
+		if err != nil {
+			t.Fatalf("ParseEndpoint(%q): %v", in, err)
+		}
+		again, err := ParseEndpoint(ep.String())
+		if err != nil {
+			t.Fatalf("reparse %q (from %q): %v", ep.String(), in, err)
+		}
+		if again != ep {
+			t.Errorf("round trip %q: %+v -> %q -> %+v", in, ep, ep.String(), again)
+		}
+	}
+	// The canonical https form omits the default port.
+	ep, _ := ParseEndpoint("https://dns.google:443/dns-query")
+	if got := ep.String(); got != "https://dns.google/dns-query" {
+		t.Errorf("canonical https = %q", got)
+	}
+}

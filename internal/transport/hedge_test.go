@@ -1,0 +1,184 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"encdns/internal/dnswire"
+)
+
+func TestRaceFirstSuccessWins(t *testing.T) {
+	attempts := []func(context.Context) (int, error){
+		func(ctx context.Context) (int, error) {
+			select {
+			case <-time.After(5 * time.Second):
+				return 0, nil
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			}
+		},
+		func(ctx context.Context) (int, error) { return 42, nil },
+	}
+	v, idx, err := Race(context.Background(), 0, attempts)
+	if err != nil || v != 42 || idx != 1 {
+		t.Fatalf("Race = (%d, %d, %v), want (42, 1, nil)", v, idx, err)
+	}
+}
+
+func TestRaceAllFailJoinsErrors(t *testing.T) {
+	e0, e1 := errors.New("first down"), errors.New("second down")
+	attempts := []func(context.Context) (int, error){
+		func(context.Context) (int, error) { return 0, e0 },
+		func(context.Context) (int, error) { return 0, e1 },
+	}
+	_, idx, err := Race(context.Background(), 0, attempts)
+	if idx != -1 {
+		t.Errorf("idx = %d, want -1", idx)
+	}
+	if !errors.Is(err, e0) || !errors.Is(err, e1) {
+		t.Errorf("joined error %v missing an attempt error", err)
+	}
+}
+
+func TestRaceStaggerSkipsHedgeOnFastSuccess(t *testing.T) {
+	var launched atomic.Int32
+	attempts := []func(context.Context) (int, error){
+		func(context.Context) (int, error) { launched.Add(1); return 1, nil },
+		func(context.Context) (int, error) { launched.Add(1); return 2, nil },
+	}
+	v, idx, err := Race(context.Background(), time.Hour, attempts)
+	if err != nil || v != 1 || idx != 0 {
+		t.Fatalf("Race = (%d, %d, %v), want (1, 0, nil)", v, idx, err)
+	}
+	if launched.Load() != 1 {
+		t.Errorf("launched = %d attempts, hedge should never start", launched.Load())
+	}
+}
+
+func TestRaceFailureReleasesHedgeEarly(t *testing.T) {
+	start := time.Now()
+	attempts := []func(context.Context) (int, error){
+		func(context.Context) (int, error) { return 0, errors.New("down") },
+		func(context.Context) (int, error) { return 2, nil },
+	}
+	v, idx, err := Race(context.Background(), time.Hour, attempts)
+	if err != nil || v != 2 || idx != 1 {
+		t.Fatalf("Race = (%d, %d, %v), want (2, 1, nil)", v, idx, err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("hedge waited %v; a failure should release it immediately", elapsed)
+	}
+}
+
+func TestRaceParentCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { time.Sleep(10 * time.Millisecond); cancel() }()
+	attempts := []func(context.Context) (int, error){
+		func(ctx context.Context) (int, error) { <-ctx.Done(); return 0, ctx.Err() },
+	}
+	_, _, err := Race(ctx, 0, attempts)
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRaceNoAttempts(t *testing.T) {
+	if _, _, err := Race[int](context.Background(), 0, nil); err == nil {
+		t.Error("empty race succeeded")
+	}
+}
+
+// delayExchanger answers msg after delay, or reports cancellation.
+type delayExchanger struct {
+	delay     time.Duration
+	msg       *dnswire.Message
+	cancelled atomic.Bool
+	calls     atomic.Int32
+	closed    atomic.Bool
+}
+
+func (d *delayExchanger) Exchange(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+	d.calls.Add(1)
+	select {
+	case <-time.After(d.delay):
+		return d.msg, nil
+	case <-ctx.Done():
+		d.cancelled.Store(true)
+		return nil, ctx.Err()
+	}
+}
+
+func (d *delayExchanger) Close() error { d.closed.Store(true); return nil }
+
+func waitForGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<16)
+	t.Errorf("goroutines leaked: %d > baseline %d\n%s",
+		runtime.NumGoroutine(), baseline, buf[:runtime.Stack(buf, true)])
+}
+
+// TestHedgedLoserDiscarded is the hedged-exchange acceptance test: the
+// fast endpoint's answer is returned, the slow endpoint's context is
+// cancelled, and no goroutine outlives the exchange.
+func TestHedgedLoserDiscarded(t *testing.T) {
+	fastMsg := dnswire.NewQuery(7, "fast.example", dnswire.TypeA)
+	slowMsg := dnswire.NewQuery(8, "slow.example", dnswire.TypeA)
+	slow := &delayExchanger{delay: time.Hour, msg: slowMsg}
+	fast := &delayExchanger{delay: 0, msg: fastMsg}
+
+	baseline := runtime.NumGoroutine()
+	ex := NewHedged(0, slow, fast)
+	resp, err := ex.Exchange(context.Background(), query())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp != fastMsg {
+		t.Errorf("winner = %v, want the fast exchanger's answer", resp.Questions)
+	}
+	waitForGoroutines(t, baseline)
+	if !slow.cancelled.Load() {
+		t.Error("loser's context was not cancelled")
+	}
+	if err := ex.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !slow.closed.Load() || !fast.closed.Load() {
+		t.Error("Close did not reach every hedged exchanger")
+	}
+}
+
+// TestHedgedStagger: with a long hedge delay and a fast first endpoint,
+// the second endpoint is never consulted.
+func TestHedgedStagger(t *testing.T) {
+	first := &delayExchanger{msg: dnswire.NewQuery(1, "a.example", dnswire.TypeA)}
+	second := &delayExchanger{msg: dnswire.NewQuery(2, "b.example", dnswire.TypeA)}
+	ex := NewHedged(time.Hour, first, second)
+	if _, err := ex.Exchange(context.Background(), query()); err != nil {
+		t.Fatal(err)
+	}
+	if second.calls.Load() != 0 {
+		t.Error("hedge fired despite fast primary")
+	}
+}
+
+func TestHedgedAllFail(t *testing.T) {
+	ex := NewHedged(0,
+		WithRetry(&scriptedExchanger{failures: 99}, NoRetry()),
+		WithRetry(&scriptedExchanger{failures: 99}, NoRetry()))
+	_, err := ex.Exchange(context.Background(), query())
+	if err == nil || !strings.Contains(err.Error(), "attempt") {
+		t.Errorf("err = %v", err)
+	}
+}
