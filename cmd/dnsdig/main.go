@@ -10,10 +10,14 @@
 //	dnsdig -server https://127.0.0.1:8443/dns-query -cacert /tmp/dohserver-ca.pem google.com
 //	dnsdig -server tls://127.0.0.1:8853 -insecure wikipedia.com AAAA
 //	dnsdig -server tcp://9.9.9.9:53 -retries 1 example.org
+//	dnsdig -trace -server tls://127.0.0.1:8853 -insecure example.org
 //	dnsdig -trace -roots 198.18.0.1:53,198.18.0.2:53 www.amazon.com
 //
-// -trace resolves iteratively from the given root servers over Do53,
-// printing each referral step like dig +trace.
+// -trace has two modes. With -roots it resolves iteratively from the
+// given root servers over Do53, printing each referral step like dig
+// +trace. Without -roots it queries -server normally and prints the
+// per-attempt span tree (dial, TLS handshake, write, first byte) the
+// transport recorded for the exchange.
 package main
 
 import (
@@ -29,6 +33,7 @@ import (
 
 	"encdns/internal/dns53"
 	"encdns/internal/dnswire"
+	"encdns/internal/obs"
 	"encdns/internal/transport"
 )
 
@@ -49,8 +54,8 @@ func run(args []string, w io.Writer) error {
 		timeout  = fs.Duration("timeout", 5*time.Second, "query timeout")
 		retries  = fs.Int("retries", 3, "total exchange attempts (shared transport retry policy)")
 		short    = fs.Bool("short", false, "print only the answer RDATA")
-		trace    = fs.Bool("trace", false, "resolve iteratively from the roots, printing each step")
-		roots    = fs.String("roots", "", "comma-separated root server addresses for -trace")
+		trace    = fs.Bool("trace", false, "with -roots: iterate from the roots printing each step; without: print the query's span tree")
+		roots    = fs.String("roots", "", "comma-separated root server addresses for referral -trace")
 		gluePort = fs.Int("glue-port", 53, "port appended to glue addresses during -trace")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -74,10 +79,7 @@ func run(args []string, w io.Writer) error {
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 
-	if *trace {
-		if *roots == "" {
-			return fmt.Errorf("-trace needs -roots")
-		}
+	if *trace && *roots != "" {
 		return runTrace(ctx, w, name, qtype, strings.Split(*roots, ","), *timeout, *gluePort)
 	}
 
@@ -99,11 +101,21 @@ func run(args []string, w io.Writer) error {
 	}
 	defer ex.Close()
 
+	var tr *obs.Trace
+	if *trace {
+		ctx, tr = obs.StartTrace(ctx, fmt.Sprintf("dnsdig %s %s via %s", name, qtype, endpoint))
+	}
 	q := dnswire.NewQuery(dns53.NewID(), name, qtype)
 	start := time.Now()
 	resp, err := ex.Exchange(ctx, q)
 	elapsed := time.Since(start)
+	if tr != nil {
+		tr.Finish()
+	}
 	if err != nil {
+		if tr != nil {
+			fmt.Fprint(w, tr.String())
+		}
 		return err
 	}
 	if *short {
@@ -114,6 +126,10 @@ func run(args []string, w io.Writer) error {
 	}
 	fmt.Fprint(w, resp)
 	fmt.Fprintf(w, ";; Query time: %d msec\n;; SERVER: %s (%s)\n", elapsed.Milliseconds(), endpoint, endpoint.Scheme)
+	if tr != nil {
+		fmt.Fprintln(w, ";; Trace:")
+		fmt.Fprint(w, tr.String())
+	}
 	return nil
 }
 

@@ -219,13 +219,57 @@ func TestTraceOverRealUDP(t *testing.T) {
 	}
 }
 
+// TestSpanTrace queries an in-process DoT server with -trace (and no
+// -roots): the output must carry the span tree with the dial, TLS
+// handshake, and exchange phases the transport recorded.
+func TestSpanTrace(t *testing.T) {
+	ca, err := certs.NewCA(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvTLS, err := ca.ServerConfig(nil, []net.IP{net.ParseIP("127.0.0.1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := &dns53.Server{Handler: static()}
+	srv := &dot.Server{DNS: inner, TLS: srvTLS}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { ln.Close(); inner.Shutdown() })
+	caPath := filepath.Join(t.TempDir(), "ca.pem")
+	if err := os.WriteFile(caPath, pemEncode(ca), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := capture(t, "-trace", "-server", "tls://"+ln.Addr().String(),
+		"-cacert", caPath, "google.com")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"142.250.64.78",
+		";; Trace:",
+		"dnsdig google.com A via tls://",
+		"attempt (scheme=tls)",
+		"dial",
+		"tls-handshake",
+		"exchange",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("span trace missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestArgErrors(t *testing.T) {
 	cases := [][]string{
 		{},                                // no name
 		{"-proto", "carrier-pigeon", "x"}, // bad proto... needs server? checked after parse
 		{"bad..name"},
 		{"example.com", "WAT"},
-		{"-trace", "example.com"}, // trace without roots
 		{"-cacert", "/nonexistent/ca.pem", "example.com"},
 	}
 	for _, args := range cases {

@@ -37,9 +37,15 @@ import (
 	"encdns/internal/core"
 	"encdns/internal/dataset"
 	"encdns/internal/netsim"
+	"encdns/internal/obs"
 	"encdns/internal/report"
 	"encdns/internal/stats"
 	"encdns/internal/transport"
+
+	// Registered for the -metrics-addr series set: the resolver cache
+	// gauges show up on every scrape, zeroed until a resolver runs in
+	// this process.
+	_ "encdns/internal/resolver"
 )
 
 func main() {
@@ -65,10 +71,17 @@ func run(args []string, stdout *os.File) error {
 		listV     = fs.Bool("list-vantages", false, "list vantage point names and exit")
 		listR     = fs.Bool("list-resolvers", false, "list known resolver hosts and exit")
 		confPath  = fs.String("config", "", "JSON config file (flags override its values)")
+		metrics   = fs.String("metrics-addr", "", "serve /metrics (Prometheus) and /debug/obs on this address during the run")
+		verbose   = fs.Bool("v", false, "debug-level logging")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	level := obs.LevelInfo
+	if *verbose {
+		level = obs.LevelDebug
+	}
+	logger := obs.NewLogger(os.Stderr, level)
 	if *confPath != "" {
 		conf, err := LoadConfig(*confPath)
 		if err != nil {
@@ -139,6 +152,18 @@ func run(args []string, stdout *os.File) error {
 		return fmt.Errorf("unknown mode %q", *mode)
 	}
 
+	if *metrics != "" {
+		bound, shutdown, err := obs.Serve(*metrics, obs.Default())
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		defer shutdown()
+		logger.Info("serving introspection endpoints", "addr", bound,
+			"paths", "/metrics,/debug/obs")
+	}
+	logger.Debug("campaign configured", "mode", *mode, "targets", len(targets),
+		"domains", len(domainList), "rounds", *rounds)
+
 	cfg := core.CampaignConfig{
 		Vantages: vantages,
 		Targets:  targets,
@@ -147,6 +172,7 @@ func run(args []string, stdout *os.File) error {
 		Interval: *interval,
 		Clock:    clock,
 		Progress: func(round, total int) {
+			logger.Debug("round complete", "round", round, "total", total)
 			if total >= 10 && round%(total/10) == 0 {
 				fmt.Fprintf(os.Stderr, "round %d/%d\n", round, total)
 			}

@@ -14,11 +14,9 @@ package main
 
 import (
 	"context"
-	"encdns/internal/dnswire"
 	"encoding/pem"
 	"flag"
 	"fmt"
-	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -28,8 +26,10 @@ import (
 	"encdns/internal/authdns"
 	"encdns/internal/certs"
 	"encdns/internal/dns53"
+	"encdns/internal/dnswire"
 	"encdns/internal/doh"
 	"encdns/internal/dot"
+	"encdns/internal/obs"
 	"encdns/internal/resolver"
 )
 
@@ -50,9 +50,14 @@ func run() error {
 		zoneFile = flag.String("zone", "", "serve this RFC 1035 zone file authoritatively instead of resolving")
 		zoneOrig = flag.String("zone-origin", ".", "origin of -zone")
 		cacheN   = flag.Int("cache", 65536, "cache entries")
+		verbose  = flag.Bool("v", false, "debug-level logging")
 	)
 	flag.Parse()
-	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	level := obs.LevelInfo
+	if *verbose {
+		level = obs.LevelDebug
+	}
+	logger := obs.NewLogger(os.Stderr, level)
 
 	handler, err := buildHandler(*upstream, *zoneFile, *zoneOrig, *cacheN)
 	if err != nil {
@@ -107,6 +112,10 @@ func run() error {
 	if *dohAddr != "" {
 		mux := http.NewServeMux()
 		mux.Handle(doh.DefaultPath, &doh.Handler{DNS: handler})
+		// Introspection rides the same mux: /metrics (Prometheus text) and
+		// /debug/obs (JSON snapshot).
+		mux.Handle("/metrics", obs.NewHTTPHandler(obs.Default()))
+		mux.Handle("/debug/obs", obs.NewHTTPHandler(obs.Default()))
 		httpSrv = &http.Server{
 			Addr:      *dohAddr,
 			Handler:   mux,

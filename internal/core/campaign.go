@@ -7,7 +7,20 @@ import (
 	"time"
 
 	"encdns/internal/netsim"
+	"encdns/internal/obs"
 	"encdns/internal/transport"
+)
+
+// Campaign-level instruments: round/record throughput and the number of
+// vantage probes in flight, so a long-running campaign's progress reads
+// live at /metrics instead of only on the Progress callback.
+var (
+	campaignRounds = obs.Default().Counter("campaign_rounds_total",
+		"Measurement rounds completed across campaigns.")
+	campaignRecords = obs.Default().Counter("campaign_records_total",
+		"Records emitted across campaigns (queries and pings).")
+	campaignInflight = obs.Default().Gauge("campaign_inflight_vantages",
+		"Vantage probe batches currently executing.")
 )
 
 // CampaignConfig describes one measurement campaign: which vantage points
@@ -53,6 +66,11 @@ type CampaignConfig struct {
 type Campaign struct {
 	cfg    CampaignConfig
 	prober Prober
+	// probes counts issued queries per target host — the per-target
+	// progress reading at /metrics.
+	probes map[string]*obs.Counter
+	// failures counts failed queries per target host.
+	failures map[string]*obs.Counter
 }
 
 // NewCampaign validates the configuration and builds a campaign.
@@ -81,7 +99,19 @@ func NewCampaign(cfg CampaignConfig, prober Prober) (*Campaign, error) {
 	if cfg.DiscardResults && cfg.Sink == nil {
 		return nil, fmt.Errorf("core: DiscardResults needs a Sink")
 	}
-	return &Campaign{cfg: cfg, prober: prober}, nil
+	c := &Campaign{
+		cfg:      cfg,
+		prober:   prober,
+		probes:   make(map[string]*obs.Counter, len(cfg.Targets)),
+		failures: make(map[string]*obs.Counter, len(cfg.Targets)),
+	}
+	for _, t := range cfg.Targets {
+		c.probes[t.Host] = obs.Default().Counter("campaign_probes_total",
+			"Queries issued per target resolver.", "resolver", t.Host)
+		c.failures[t.Host] = obs.Default().Counter("campaign_probe_failures_total",
+			"Failed queries per target resolver.", "resolver", t.Host)
+	}
+	return c, nil
 }
 
 // Run executes every round, following the paper's §3.2 measurement
@@ -96,6 +126,7 @@ func (c *Campaign) Run(ctx context.Context) (*ResultSet, error) {
 		}
 		now := c.cfg.Clock.Now()
 		emit := func(rec Record) error {
+			campaignRecords.Inc()
 			if c.cfg.Sink != nil {
 				if err := c.cfg.Sink(rec); err != nil {
 					return fmt.Errorf("core: sink: %w", err)
@@ -136,6 +167,7 @@ func (c *Campaign) Run(ctx context.Context) (*ResultSet, error) {
 			}
 		}
 		c.cfg.Clock.Advance(c.cfg.Interval)
+		campaignRounds.Inc()
 		if c.cfg.Progress != nil {
 			c.cfg.Progress(round+1, c.cfg.Rounds)
 		}
@@ -146,10 +178,16 @@ func (c *Campaign) Run(ctx context.Context) (*ResultSet, error) {
 // probeVantage runs one round's probes from one vantage point, following
 // the §3.2 procedure per resolver.
 func (c *Campaign) probeVantage(ctx context.Context, v netsim.Vantage, round int, now time.Time) []Record {
+	campaignInflight.Inc()
+	defer campaignInflight.Dec()
 	out := make([]Record, 0, len(c.cfg.Targets)*(len(c.cfg.Domains)+1))
 	for _, t := range c.cfg.Targets {
 		for _, domain := range c.cfg.Domains {
 			q := c.prober.Query(ctx, v, t, domain, round)
+			c.probes[t.Host].Inc()
+			if q.Err != netsim.OK {
+				c.failures[t.Host].Inc()
+			}
 			rec := Record{
 				Time:         now,
 				Vantage:      v.Name,

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"encdns/internal/dnswire"
+	"encdns/internal/obs"
 )
 
 // Errors returned by the client.
@@ -117,7 +118,9 @@ func (c *Client) Exchange(ctx context.Context, query *dnswire.Message, server st
 func (c *Client) exchangeUDP(ctx context.Context, wire []byte, id uint16, server string) (*dnswire.Message, error) {
 	attemptCtx, cancel := context.WithTimeout(ctx, c.timeout())
 	defer cancel()
+	dialSp := obs.SpanFromContext(ctx).Start("dial")
 	conn, err := c.dialer().DialContext(attemptCtx, "udp", server)
+	dialSp.End()
 	if err != nil {
 		return nil, fmt.Errorf("dns53: dial udp %s: %w", server, err)
 	}
@@ -128,15 +131,21 @@ func (c *Client) exchangeUDP(ctx context.Context, wire []byte, id uint16, server
 	if d, ok := attemptCtx.Deadline(); ok {
 		_ = conn.SetDeadline(d)
 	}
+	writeSp := obs.SpanFromContext(ctx).Start("write")
 	if _, err := conn.Write(wire); err != nil {
+		writeSp.End()
 		return nil, fmt.Errorf("dns53: send: %w", err)
 	}
+	writeSp.End()
+	readSp := obs.SpanFromContext(ctx).Start("first-byte")
+	defer readSp.End()
 	buf := make([]byte, 64*1024)
 	for {
 		n, err := conn.Read(buf)
 		if err != nil {
 			return nil, fmt.Errorf("dns53: receive: %w", err)
 		}
+		readSp.End()
 		resp, err := dnswire.Unpack(buf[:n])
 		if err != nil {
 			// Malformed or spoofed datagram; keep waiting for the real one.
@@ -160,7 +169,9 @@ func (c *Client) ExchangeTCP(ctx context.Context, query *dnswire.Message, server
 	}
 	attemptCtx, cancel := context.WithTimeout(ctx, c.timeout())
 	defer cancel()
+	dialSp := obs.SpanFromContext(ctx).Start("dial")
 	conn, err := c.dialer().DialContext(attemptCtx, "tcp", server)
+	dialSp.End()
 	if err != nil {
 		return nil, fmt.Errorf("dns53: dial tcp %s: %w", server, err)
 	}
@@ -170,6 +181,8 @@ func (c *Client) ExchangeTCP(ctx context.Context, query *dnswire.Message, server
 	if d, ok := attemptCtx.Deadline(); ok {
 		_ = conn.SetDeadline(d)
 	}
+	exSp := obs.SpanFromContext(ctx).Start("exchange")
+	defer exSp.End()
 	return ExchangeConn(conn, query, wire)
 }
 

@@ -3,12 +3,25 @@ package dns53
 import (
 	"context"
 	"errors"
-	"log/slog"
 	"net"
 	"sync"
 	"time"
 
 	"encdns/internal/dnswire"
+	"encdns/internal/obs"
+)
+
+// Server-side instruments shared by every frontend that dispatches
+// through respond (Do53 UDP/TCP, DoT via ServeStream, DoH via Respond).
+var (
+	serverRequests = obs.Default().Counter("dns53_server_requests_total",
+		"Queries dispatched to the server's handler.")
+	serverFailures = obs.Default().Counter("dns53_server_failures_total",
+		"Handler errors, panics, and nil responses (answered SERVFAIL).")
+	serverLatency = obs.Default().Histogram("dns53_server_seconds",
+		"Handler latency per dispatched query.", nil)
+	serverMalformed = obs.Default().Counter("dns53_server_malformed_total",
+		"Dropped queries that failed wire parsing.")
 )
 
 // Server serves DNS over UDP and TCP. Configure Handler, then pass
@@ -17,8 +30,8 @@ import (
 type Server struct {
 	Handler Handler
 	// Logger receives malformed-packet and handler-failure notices; nil
-	// discards them.
-	Logger *slog.Logger
+	// discards them (the obs.Logger convention: quiet by default).
+	Logger *obs.Logger
 	// ReadTimeout bounds each TCP read; zero means 10 seconds.
 	ReadTimeout time.Duration
 	// MaxUDPResponse truncates UDP responses longer than this (TC bit set);
@@ -33,12 +46,9 @@ type Server struct {
 	wg       sync.WaitGroup
 }
 
-func (s *Server) logger() *slog.Logger {
-	if s.Logger != nil {
-		return s.Logger
-	}
-	return slog.New(slog.DiscardHandler)
-}
+// logger returns the configured logger; a nil *obs.Logger discards, so
+// no fallback construction is needed.
+func (s *Server) logger() *obs.Logger { return s.Logger }
 
 func (s *Server) readTimeout() time.Duration {
 	if s.ReadTimeout > 0 {
@@ -127,6 +137,7 @@ func (s *Server) isClosed() bool {
 func (s *Server) handleUDP(pc net.PacketConn, from net.Addr, pkt []byte) {
 	query, err := dnswire.Unpack(pkt)
 	if err != nil {
+		serverMalformed.Inc()
 		s.logger().Debug("dropping malformed UDP query", "from", from, "err", err)
 		return
 	}
@@ -208,6 +219,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		query, err := dnswire.Unpack(pkt)
 		if err != nil {
+			serverMalformed.Inc()
 			s.logger().Debug("dropping malformed TCP query", "err", err)
 			return
 		}
@@ -236,8 +248,11 @@ func (s *Server) ServeStream(conn net.Conn) {
 	s.serveConn(conn)
 }
 
-// respond runs the handler with panic and error containment.
+// respond runs the handler with panic and error containment, recording
+// the request count and handler latency.
 func (s *Server) respond(query *dnswire.Message) *dnswire.Message {
+	serverRequests.Inc()
+	start := time.Now()
 	resp, err := func() (m *dnswire.Message, err error) {
 		defer func() {
 			if r := recover(); r != nil {
@@ -247,7 +262,9 @@ func (s *Server) respond(query *dnswire.Message) *dnswire.Message {
 		}()
 		return s.Handler.ServeDNS(context.Background(), query)
 	}()
+	serverLatency.ObserveDuration(time.Since(start))
 	if err != nil || resp == nil {
+		serverFailures.Inc()
 		if err != nil {
 			s.logger().Warn("handler failed", "q", query.Question0().Name, "err", err)
 		}

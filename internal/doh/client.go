@@ -8,11 +8,13 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/httptrace"
 	"net/url"
 	"time"
 
 	"encdns/internal/dns53"
 	"encdns/internal/dnswire"
+	"encdns/internal/obs"
 )
 
 // Method selects how the client sends queries (RFC 8484 allows both).
@@ -108,6 +110,7 @@ func (c *Client) Exchange(ctx context.Context, query *dnswire.Message, endpoint 
 	}
 	ctx, cancel := context.WithTimeout(ctx, c.timeout())
 	defer cancel()
+	ctx = withClientTrace(ctx)
 
 	var req *http.Request
 	if c.Method == MethodGET {
@@ -158,4 +161,30 @@ func (c *Client) Exchange(ctx context.Context, query *dnswire.Message, endpoint 
 		return nil, dns53.ErrIDMismatch
 	}
 	return resp, nil
+}
+
+// withClientTrace attaches an httptrace hook that records dial, TLS
+// handshake, and first-byte spans on the context's current obs span.
+// With no trace in ctx it returns ctx unchanged, so untraced queries pay
+// nothing. The HTTP transport invokes the callbacks sequentially for a
+// single request, so the captured span variables need no locking.
+func withClientTrace(ctx context.Context) context.Context {
+	sp := obs.SpanFromContext(ctx)
+	if sp == nil {
+		return ctx
+	}
+	var dialSp, tlsSp, fbSp *obs.Span
+	return httptrace.WithClientTrace(ctx, &httptrace.ClientTrace{
+		ConnectStart:      func(_, _ string) { dialSp = sp.Start("dial") },
+		ConnectDone:       func(_, _ string, _ error) { dialSp.End() },
+		TLSHandshakeStart: func() { tlsSp = sp.Start("tls-handshake") },
+		TLSHandshakeDone:  func(_ tls.ConnectionState, _ error) { tlsSp.End() },
+		GotConn: func(info httptrace.GotConnInfo) {
+			if info.Reused {
+				sp.Annotate("doh: reused pooled connection")
+			}
+		},
+		WroteRequest:         func(_ httptrace.WroteRequestInfo) { fbSp = sp.Start("first-byte") },
+		GotFirstResponseByte: func() { fbSp.End() },
+	})
 }

@@ -15,9 +15,11 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"encdns/internal/dns53"
 	"encdns/internal/dnswire"
+	"encdns/internal/obs"
 )
 
 // DefaultPath is the conventional DoH endpoint path from RFC 8484.
@@ -41,17 +43,52 @@ type Handler struct {
 	DisableJSON bool
 }
 
+// Server-side DoH instruments, split by HTTP method so GET (cacheable)
+// and POST traffic read separately at /metrics.
+var (
+	serverRequestsGET = obs.Default().Counter("doh_server_requests_total",
+		"DoH requests served.", "method", "GET")
+	serverRequestsPOST = obs.Default().Counter("doh_server_requests_total",
+		"DoH requests served.", "method", "POST")
+	serverErrors = obs.Default().Counter("doh_server_errors_total",
+		"DoH requests answered with an HTTP error status.")
+	serverLatency = obs.Default().Histogram("doh_server_seconds",
+		"DoH request latency end to end (decode, resolve, encode).", nil)
+)
+
+// statusRecorder captures the response status for the error counter.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
 // ServeHTTP implements http.Handler per RFC 8484 §4.1 (and the JSON
 // dialect when the request asks for it via Accept or the ct parameter).
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+	w = rec
+	start := time.Now()
+	defer func() {
+		serverLatency.ObserveDuration(time.Since(start))
+		if rec.status >= http.StatusBadRequest {
+			serverErrors.Inc()
+		}
+	}()
 	switch r.Method {
 	case http.MethodGet:
+		serverRequestsGET.Inc()
 		if h.wantsJSON(r) {
 			h.serveJSON(w, r)
 			return
 		}
 		h.serveGET(w, r)
 	case http.MethodPost:
+		serverRequestsPOST.Inc()
 		h.servePOST(w, r)
 	default:
 		w.Header().Set("Allow", "GET, POST")

@@ -17,6 +17,21 @@ import (
 
 	"encdns/internal/dns53"
 	"encdns/internal/dnswire"
+	"encdns/internal/obs"
+)
+
+// Process-wide pool instruments. The typed Stats accessor remains the
+// per-client view; these fold the same events into the obs registry so
+// the DoT connection cache shows up at /metrics.
+var (
+	poolHits = obs.Default().Counter("transport_dot_pool_hits_total",
+		"DoT exchanges served over a cached TLS session.")
+	poolMisses = obs.Default().Counter("transport_dot_pool_misses_total",
+		"DoT exchanges that had to dial and handshake.")
+	poolEvictions = obs.Default().Counter("transport_dot_pool_evictions_total",
+		"Cached DoT sessions dropped for staleness or bound.")
+	poolIdle = obs.Default().Gauge("transport_dot_pool_idle",
+		"Currently cached DoT sessions across clients.")
 )
 
 // DefaultPort is the IANA-assigned DoT port.
@@ -124,12 +139,15 @@ func (c *Client) Exchange(ctx context.Context, query *dnswire.Message, server st
 		c.mu.Lock()
 		c.stats.Misses++
 		c.mu.Unlock()
+		poolMisses.Inc()
 	}
 	conn, err := c.dial(ctx, server)
 	if err != nil {
 		return nil, err
 	}
+	exSp := obs.SpanFromContext(ctx).Start("exchange")
 	resp, err := exchangeOn(ctx, conn, query)
+	exSp.End()
 	if err != nil {
 		conn.Close()
 		return nil, err
@@ -154,7 +172,10 @@ func (c *Client) exchangeCached(ctx context.Context, query *dnswire.Message, ser
 	}
 	delete(c.conns, server) // claim it; returned on success
 	c.stats.Hits++
+	poolIdle.Dec()
 	c.mu.Unlock()
+	poolHits.Inc()
+	obs.Annotate(ctx, "dot: reusing cached session to %s", server)
 	resp, err := exchangeOn(ctx, ic.conn, query)
 	if err != nil {
 		ic.conn.Close()
@@ -172,8 +193,12 @@ func (c *Client) store(conn *tls.Conn, server string) {
 		c.conns = make(map[string]*idleConn)
 	}
 	if old := c.conns[server]; old != nil && old.conn != conn {
+		// Replacement: the idle count is unchanged (one out, one in).
 		closing = append(closing, old.conn)
 		c.stats.Evictions++
+		poolEvictions.Inc()
+	} else if old == nil {
+		poolIdle.Inc()
 	}
 	c.conns[server] = &idleConn{conn: conn, last: c.clock()}
 	// Over the bound: evict the least recently used other entry.
@@ -194,6 +219,8 @@ func (c *Client) store(conn *tls.Conn, server string) {
 		delete(c.conns, oldestKey)
 		closing = append(closing, oldest.conn)
 		c.stats.Evictions++
+		poolEvictions.Inc()
+		poolIdle.Dec()
 	}
 	c.mu.Unlock()
 	for _, cc := range closing {
@@ -210,6 +237,8 @@ func (c *Client) evictStaleLocked() {
 			delete(c.conns, k)
 			ic.conn.Close()
 			c.stats.Evictions++
+			poolEvictions.Inc()
+			poolIdle.Dec()
 		}
 	}
 }
@@ -228,6 +257,7 @@ func (c *Client) Close() error {
 	c.mu.Lock()
 	conns := c.conns
 	c.conns = nil
+	poolIdle.Add(-int64(len(conns)))
 	c.mu.Unlock()
 	var firstErr error
 	for _, ic := range conns {
@@ -240,7 +270,9 @@ func (c *Client) Close() error {
 
 // dial establishes and handshakes a TLS connection.
 func (c *Client) dial(ctx context.Context, server string) (*tls.Conn, error) {
+	dialSp := obs.SpanFromContext(ctx).Start("dial")
 	raw, err := c.dialer().DialContext(ctx, "tcp", server)
+	dialSp.End()
 	if err != nil {
 		return nil, fmt.Errorf("dot: dial %s: %w", server, err)
 	}
@@ -258,10 +290,13 @@ func (c *Client) dial(ctx context.Context, server string) (*tls.Conn, error) {
 		cfg.ServerName = host
 	}
 	conn := tls.Client(raw, cfg)
+	hsSp := obs.SpanFromContext(ctx).Start("tls-handshake")
 	if err := conn.HandshakeContext(ctx); err != nil {
+		hsSp.End()
 		raw.Close()
 		return nil, fmt.Errorf("dot: TLS handshake with %s: %w", server, err)
 	}
+	hsSp.End()
 	return conn, nil
 }
 

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestDefaultRTTBounds(t *testing.T) {
+	if len(DefaultRTTBounds) != 16 {
+		t.Fatalf("len(DefaultRTTBounds) = %d, want 16", len(DefaultRTTBounds))
+	}
+	if DefaultRTTBounds[0] != 0.001 {
+		t.Errorf("first bound = %v, want 0.001 (1ms)", DefaultRTTBounds[0])
+	}
+	for i := 1; i < len(DefaultRTTBounds); i++ {
+		if DefaultRTTBounds[i] != DefaultRTTBounds[i-1]*2 {
+			t.Errorf("bound[%d] = %v, want double of %v", i, DefaultRTTBounds[i], DefaultRTTBounds[i-1])
+		}
+	}
+	if last := DefaultRTTBounds[15]; last != 32.768 {
+		t.Errorf("last bound = %v, want 32.768", last)
+	}
+}
+
+// TestHistogramBucketBoundaries pins the le semantics: a value equal to
+// a bound lands in that bound's bucket; the next representable value
+// spills into the following one.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewRegistry().Histogram("b_seconds", "help", []float64{0.001, 0.01, 0.1})
+	cases := []struct {
+		v      float64
+		bucket int
+	}{
+		{0, 0},
+		{0.0005, 0},
+		{0.001, 0}, // exactly on the bound: le includes it
+		{math.Nextafter(0.001, 1), 1},
+		{0.01, 1},
+		{0.05, 2},
+		{0.1, 2},
+		{0.2, 3}, // +Inf
+		{1000, 3},
+	}
+	for _, tc := range cases {
+		before := make([]uint64, len(h.buckets))
+		for i := range h.buckets {
+			before[i] = h.buckets[i].Load()
+		}
+		h.Observe(tc.v)
+		for i := range h.buckets {
+			want := before[i]
+			if i == tc.bucket {
+				want++
+			}
+			if got := h.buckets[i].Load(); got != want {
+				t.Errorf("Observe(%v): bucket[%d] = %d, want %d", tc.v, i, got, want)
+			}
+		}
+	}
+	if got, want := h.Count(), uint64(len(cases)); got != want {
+		t.Errorf("count = %d, want %d", got, want)
+	}
+}
+
+func TestHistogramSumAndDuration(t *testing.T) {
+	h := NewRegistry().Histogram("s_seconds", "help", nil)
+	h.Observe(0.25)
+	h.ObserveDuration(250 * time.Millisecond)
+	if got := h.Sum(); got != 0.5 {
+		t.Errorf("sum = %v, want 0.5", got)
+	}
+	if got := h.Count(); got != 2 {
+		t.Errorf("count = %d, want 2", got)
+	}
+}
+
+func TestHistogramSnapshotCumulative(t *testing.T) {
+	h := NewRegistry().Histogram("c_seconds", "help", []float64{0.001, 0.01})
+	for _, v := range []float64{0.0005, 0.005, 0.005, 5} {
+		h.Observe(v)
+	}
+	cumulative, count, sum := h.snapshot()
+	want := []uint64{1, 3, 4}
+	for i, c := range cumulative {
+		if c != want[i] {
+			t.Errorf("cumulative[%d] = %d, want %d", i, c, want[i])
+		}
+	}
+	if count != 4 {
+		t.Errorf("count = %d, want 4", count)
+	}
+	if math.Abs(sum-5.0105) > 1e-9 {
+		t.Errorf("sum = %v, want 5.0105", sum)
+	}
+}

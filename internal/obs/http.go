@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+)
+
+// NewHTTPHandler returns the live introspection endpoint for r:
+//
+//	/metrics    Prometheus text exposition format
+//	/debug/obs  JSON snapshot of every instrument
+//
+// Mount it on any mux (dohserver mounts it next to /dns-query) or serve
+// it standalone with Serve.
+func NewHTTPHandler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/obs", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(r.Snapshot())
+	})
+	return mux
+}
+
+// Serve listens on addr (":0" picks a free port) and serves the
+// introspection endpoints for r over plain HTTP. It returns the bound
+// address and a shutdown function. This backs the -metrics-addr flag in
+// dnsmeasure and repro.
+func Serve(addr string, r *Registry) (bound string, shutdown func() error, err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: NewHTTPHandler(r)}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv.Close, nil
+}

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHTTPHandlerMetrics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("h_total", "help", "scheme", "udp").Add(9)
+	srv := httptest.NewServer(NewHTTPHandler(r))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("content type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), `h_total{scheme="udp"} 9`) {
+		t.Errorf("scrape missing series:\n%s", body)
+	}
+}
+
+func TestHTTPHandlerDebugObs(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("h_gauge", "help").Set(4)
+	h := r.Histogram("h_seconds", "help", []float64{0.1})
+	h.Observe(0.05)
+	srv := httptest.NewServer(NewHTTPHandler(r))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/debug/obs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type = %q", ct)
+	}
+	var snap map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if string(snap["h_gauge"]) != "4" {
+		t.Errorf("h_gauge = %s, want 4", snap["h_gauge"])
+	}
+	var hs HistogramSnapshot
+	if err := json.Unmarshal(snap["h_seconds"], &hs); err != nil {
+		t.Fatal(err)
+	}
+	if hs.Count != 1 || hs.Sum != 0.05 {
+		t.Errorf("h_seconds = %+v, want count 1 sum 0.05", hs)
+	}
+}
+
+func TestServe(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("srv_total", "help").Inc()
+	bound, shutdown, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+	resp, err := http.Get("http://" + bound + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "srv_total 1") {
+		t.Errorf("scrape via Serve missing series:\n%s", body)
+	}
+}

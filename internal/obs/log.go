@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Level orders log severities.
+type Level int32
+
+// Levels, least to most severe.
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+	// LevelOff suppresses everything.
+	LevelOff
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "DEBUG"
+	case LevelInfo:
+		return "INFO"
+	case LevelWarn:
+		return "WARN"
+	case LevelError:
+		return "ERROR"
+	default:
+		return "OFF"
+	}
+}
+
+// Logger is a small leveled structured logger: one line per event,
+// `HH:MM:SS.mmm LEVEL message key=value ...`. A nil *Logger discards
+// everything, which is the library default — packages log only when a
+// command wires a logger in (quiet by default, -v where a cmd exists).
+type Logger struct {
+	mu    sync.Mutex
+	w     io.Writer
+	level Level
+	now   func() time.Time // test hook; nil means time.Now
+}
+
+// NewLogger writes events at or above level to w.
+func NewLogger(w io.Writer, level Level) *Logger {
+	return &Logger{w: w, level: level}
+}
+
+// Enabled reports whether events at level would be written.
+func (l *Logger) Enabled(level Level) bool {
+	return l != nil && level >= l.level && l.level < LevelOff
+}
+
+// Debug logs at LevelDebug. kv are alternating key, value pairs.
+func (l *Logger) Debug(msg string, kv ...any) { l.log(LevelDebug, msg, kv) }
+
+// Info logs at LevelInfo.
+func (l *Logger) Info(msg string, kv ...any) { l.log(LevelInfo, msg, kv) }
+
+// Warn logs at LevelWarn.
+func (l *Logger) Warn(msg string, kv ...any) { l.log(LevelWarn, msg, kv) }
+
+// Error logs at LevelError.
+func (l *Logger) Error(msg string, kv ...any) { l.log(LevelError, msg, kv) }
+
+func (l *Logger) log(level Level, msg string, kv []any) {
+	if !l.Enabled(level) {
+		return
+	}
+	now := time.Now
+	if l.now != nil {
+		now = l.now
+	}
+	var b strings.Builder
+	b.WriteString(now().Format("15:04:05.000"))
+	b.WriteByte(' ')
+	b.WriteString(level.String())
+	b.WriteByte(' ')
+	b.WriteString(msg)
+	for i := 0; i+1 < len(kv); i += 2 {
+		b.WriteByte(' ')
+		fmt.Fprintf(&b, "%v=%s", kv[i], formatValue(kv[i+1]))
+	}
+	if len(kv)%2 != 0 {
+		fmt.Fprintf(&b, " !BADKEY=%s", formatValue(kv[len(kv)-1]))
+	}
+	b.WriteByte('\n')
+	l.mu.Lock()
+	_, _ = io.WriteString(l.w, b.String())
+	l.mu.Unlock()
+}
+
+// formatValue renders one value, quoting anything with spaces so lines
+// stay machine-splittable.
+func formatValue(v any) string {
+	s := fmt.Sprint(v)
+	if strings.ContainsAny(s, " \t\n\"") {
+		return fmt.Sprintf("%q", s)
+	}
+	return s
+}

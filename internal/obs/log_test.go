@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func fixedNow() time.Time {
+	return time.Date(2023, 6, 1, 12, 34, 56, 789e6, time.UTC)
+}
+
+func TestLoggerFormat(t *testing.T) {
+	var b strings.Builder
+	l := NewLogger(&b, LevelDebug)
+	l.now = fixedNow
+	l.Info("query answered", "resolver", "dns.google", "ms", 12.5)
+	want := "12:34:56.789 INFO query answered resolver=dns.google ms=12.5\n"
+	if got := b.String(); got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+func TestLoggerLevelFilter(t *testing.T) {
+	var b strings.Builder
+	l := NewLogger(&b, LevelWarn)
+	l.now = fixedNow
+	l.Debug("hidden")
+	l.Info("hidden")
+	l.Warn("shown")
+	l.Error("shown too")
+	out := b.String()
+	if strings.Contains(out, "hidden") {
+		t.Errorf("below-level events written:\n%s", out)
+	}
+	if !strings.Contains(out, "WARN shown") || !strings.Contains(out, "ERROR shown") {
+		t.Errorf("at-level events missing:\n%s", out)
+	}
+	if l.Enabled(LevelInfo) {
+		t.Error("Enabled(Info) true at LevelWarn")
+	}
+	if !l.Enabled(LevelError) {
+		t.Error("Enabled(Error) false at LevelWarn")
+	}
+}
+
+func TestLoggerNilDiscards(t *testing.T) {
+	var l *Logger
+	// Must not panic; the library default is a nil logger.
+	l.Debug("x")
+	l.Info("x", "k", "v")
+	l.Warn("x")
+	l.Error("x")
+	if l.Enabled(LevelError) {
+		t.Error("nil logger reports enabled")
+	}
+}
+
+func TestLoggerOff(t *testing.T) {
+	var b strings.Builder
+	l := NewLogger(&b, LevelOff)
+	l.Error("nope")
+	if b.Len() != 0 {
+		t.Errorf("LevelOff wrote %q", b.String())
+	}
+}
+
+func TestLoggerQuotingAndBadKey(t *testing.T) {
+	var b strings.Builder
+	l := NewLogger(&b, LevelDebug)
+	l.now = fixedNow
+	l.Info("msg", "path", "/tmp/a b", "dangling")
+	out := b.String()
+	if !strings.Contains(out, `path="/tmp/a b"`) {
+		t.Errorf("value with space not quoted: %q", out)
+	}
+	if !strings.Contains(out, "!BADKEY=dangling") {
+		t.Errorf("odd kv not flagged: %q", out)
+	}
+}

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusGolden pins the exposition format byte for byte.
+// Every observed value is an exact binary fraction so the float
+// rendering is deterministic.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("t_counter", "Things counted.", "scheme", "udp")
+	c.Add(3)
+	g := r.Gauge("t_gauge", "Current things.")
+	g.Set(2)
+	h := r.Histogram("t_hist", "Latency.", []float64{0.001, 0.01})
+	h.Observe(0.0009765625) // 2^-10
+	h.Observe(0.0078125)    // 2^-7
+	h.Observe(0.25)
+	s := r.Summary("t_sum", "Latency summary.")
+	s.Observe(0.25)
+
+	want := strings.Join([]string{
+		"# HELP t_counter Things counted.",
+		"# TYPE t_counter counter",
+		`t_counter{scheme="udp"} 3`,
+		"# HELP t_gauge Current things.",
+		"# TYPE t_gauge gauge",
+		"t_gauge 2",
+		"# HELP t_hist Latency.",
+		"# TYPE t_hist histogram",
+		`t_hist_bucket{le="0.001"} 1`,
+		`t_hist_bucket{le="0.01"} 2`,
+		`t_hist_bucket{le="+Inf"} 3`,
+		"t_hist_sum 0.2587890625",
+		"t_hist_count 3",
+		"# HELP t_sum Latency summary.",
+		"# TYPE t_sum summary",
+		`t_sum{quantile="0.5"} 0.25`,
+		`t_sum{quantile="0.9"} 0.25`,
+		`t_sum{quantile="0.99"} 0.25`,
+		"t_sum_sum 0.25",
+		"t_sum_count 1",
+		"",
+	}, "\n")
+
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestWritePrometheusOneHeaderPerFamily: labelled series of one family
+// share a single HELP/TYPE header.
+func TestWritePrometheusOneHeaderPerFamily(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("fam_total", "A family.", "scheme", "tcp").Inc()
+	r.Counter("fam_total", "A family.", "scheme", "udp").Add(2)
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	if n := strings.Count(out, "# HELP fam_total"); n != 1 {
+		t.Errorf("HELP appears %d times, want 1:\n%s", n, out)
+	}
+	// Series sort by label string within the family.
+	tcp := strings.Index(out, `fam_total{scheme="tcp"} 1`)
+	udp := strings.Index(out, `fam_total{scheme="udp"} 2`)
+	if tcp < 0 || udp < 0 || tcp > udp {
+		t.Errorf("labelled series missing or misordered:\n%s", out)
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("snap_total", "help").Add(7)
+	h := r.Histogram("snap_seconds", "help", []float64{0.5})
+	h.Observe(0.25)
+	h.Observe(1)
+	snap := r.Snapshot()
+	if got := snap["snap_total"]; got != uint64(7) {
+		t.Errorf("snap_total = %v, want 7", got)
+	}
+	hs, ok := snap["snap_seconds"].(HistogramSnapshot)
+	if !ok {
+		t.Fatalf("snap_seconds is %T, want HistogramSnapshot", snap["snap_seconds"])
+	}
+	if hs.Count != 2 || hs.Sum != 1.25 {
+		t.Errorf("histogram snapshot = %+v, want count 2 sum 1.25", hs)
+	}
+	if len(hs.Buckets) != 1 || hs.Buckets[0].Count != 1 || hs.Buckets[0].LE != 0.5 {
+		t.Errorf("buckets = %+v, want one bucket le=0.5 count=1", hs.Buckets)
+	}
+}

@@ -1,0 +1,175 @@
+package obs
+
+import "sync"
+
+// SummaryQuantiles are the quantiles every Summary tracks.
+var SummaryQuantiles = []float64{0.5, 0.9, 0.99}
+
+// Summary is a streaming quantile estimator: one P² estimator (Jain &
+// Chlamtac 1985) per tracked quantile, plus count and sum. It holds
+// constant memory regardless of stream length — five markers per
+// quantile — which is what lets a months-long campaign report its p99
+// without retaining months of samples. Observe takes a mutex (the
+// estimator mutates five markers), so Summary is a step behind the
+// lock-free Counter/Histogram hot path; use it where quantile readouts
+// matter more than the last nanosecond.
+type Summary struct {
+	desc
+	mu    sync.Mutex
+	est   []p2
+	count uint64
+	sum   float64
+}
+
+// Summary registers (or retrieves) a summary tracking SummaryQuantiles.
+func (r *Registry) Summary(name, help string, labels ...string) *Summary {
+	s := &Summary{desc: desc{name: name, help: help, typ: "summary", labels: labelString(labels)}}
+	s.est = make([]p2, len(SummaryQuantiles))
+	for i, q := range SummaryQuantiles {
+		s.est[i].init(q)
+	}
+	return r.register(s).(*Summary)
+}
+
+// Observe records one value (in seconds).
+func (s *Summary) Observe(v float64) {
+	s.mu.Lock()
+	s.count++
+	s.sum += v
+	for i := range s.est {
+		s.est[i].observe(v)
+	}
+	s.mu.Unlock()
+}
+
+// Quantile returns the current estimate for q, which must be one of
+// SummaryQuantiles; ok is false otherwise or before any observation.
+func (s *Summary) Quantile(q float64) (v float64, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.count == 0 {
+		return 0, false
+	}
+	for i, tracked := range SummaryQuantiles {
+		if tracked == q {
+			return s.est[i].value(), true
+		}
+	}
+	return 0, false
+}
+
+// stats returns count, sum, and the tracked quantile estimates.
+func (s *Summary) stats() (count uint64, sum float64, quantiles []float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	quantiles = make([]float64, len(s.est))
+	for i := range s.est {
+		quantiles[i] = s.est[i].value()
+	}
+	return s.count, s.sum, quantiles
+}
+
+// p2 is the P² single-quantile estimator: five markers whose heights
+// approximate the quantile curve, adjusted towards ideal positions with
+// a piecewise-parabolic fit.
+type p2 struct {
+	q     float64    // target quantile
+	h     [5]float64 // marker heights
+	pos   [5]float64 // marker positions (1-based)
+	want  [5]float64 // desired positions
+	dWant [5]float64 // desired position increments per observation
+	n     int        // observations so far
+}
+
+func (e *p2) init(q float64) {
+	e.q = q
+	e.dWant = [5]float64{0, q / 2, q, (1 + q) / 2, 1}
+}
+
+func (e *p2) observe(x float64) {
+	if e.n < 5 {
+		// Insertion-sort the first five observations into the markers.
+		i := e.n
+		for i > 0 && e.h[i-1] > x {
+			e.h[i] = e.h[i-1]
+			i--
+		}
+		e.h[i] = x
+		e.n++
+		if e.n == 5 {
+			for j := range e.pos {
+				e.pos[j] = float64(j + 1)
+				e.want[j] = 1 + 4*e.dWant[j]
+			}
+		}
+		return
+	}
+	e.n++
+
+	// Locate the cell containing x, extending the extremes.
+	var k int
+	switch {
+	case x < e.h[0]:
+		e.h[0] = x
+		k = 0
+	case x >= e.h[4]:
+		e.h[4] = x
+		k = 3
+	default:
+		for k = 0; k < 3; k++ {
+			if x < e.h[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		e.pos[i]++
+	}
+	for i := range e.want {
+		e.want[i] += e.dWant[i]
+	}
+
+	// Adjust the three interior markers towards their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := e.want[i] - e.pos[i]
+		if (d >= 1 && e.pos[i+1]-e.pos[i] > 1) || (d <= -1 && e.pos[i-1]-e.pos[i] < -1) {
+			sign := 1.0
+			if d < 0 {
+				sign = -1.0
+			}
+			h := e.parabolic(i, sign)
+			if e.h[i-1] < h && h < e.h[i+1] {
+				e.h[i] = h
+			} else {
+				e.h[i] = e.linear(i, sign)
+			}
+			e.pos[i] += sign
+		}
+	}
+}
+
+// parabolic is the P² piecewise-parabolic height prediction.
+func (e *p2) parabolic(i int, d float64) float64 {
+	return e.h[i] + d/(e.pos[i+1]-e.pos[i-1])*
+		((e.pos[i]-e.pos[i-1]+d)*(e.h[i+1]-e.h[i])/(e.pos[i+1]-e.pos[i])+
+			(e.pos[i+1]-e.pos[i]-d)*(e.h[i]-e.h[i-1])/(e.pos[i]-e.pos[i-1]))
+}
+
+// linear is the fallback when the parabolic prediction leaves the cell.
+func (e *p2) linear(i int, d float64) float64 {
+	j := i + int(d)
+	return e.h[i] + d*(e.h[j]-e.h[i])/(e.pos[j]-e.pos[i])
+}
+
+// value returns the current quantile estimate. With fewer than five
+// observations it reads the sorted prefix directly.
+func (e *p2) value() float64 {
+	if e.n == 0 {
+		return 0
+	}
+	if e.n < 5 {
+		idx := int(e.q * float64(e.n-1))
+		return e.h[idx]
+	}
+	return e.h[2]
+}

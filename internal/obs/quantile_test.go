@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// lcg is a tiny deterministic shuffler so the quantile stream is not
+// sorted (P² degrades on sorted input much less than random, but the
+// test should reflect real arrival order).
+type lcg uint64
+
+func (l *lcg) next() uint64 {
+	*l = *l*6364136223846793005 + 1442695040888963407
+	return uint64(*l)
+}
+
+func TestSummaryQuantileEstimates(t *testing.T) {
+	s := NewRegistry().Summary("q_seconds", "help")
+	const n = 10000
+	var rng lcg = 42
+	// Uniform values on (0, 1]: value i/n appears exactly once, in
+	// pseudo-random order via an in-place Fisher-Yates.
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = float64(i+1) / n
+	}
+	for i := n - 1; i > 0; i-- {
+		j := int(rng.next() % uint64(i+1))
+		vals[i], vals[j] = vals[j], vals[i]
+	}
+	for _, v := range vals {
+		s.Observe(v)
+	}
+	for _, tc := range []struct{ q, want, tol float64 }{
+		{0.5, 0.5, 0.02},
+		{0.9, 0.9, 0.02},
+		{0.99, 0.99, 0.01},
+	} {
+		got, ok := s.Quantile(tc.q)
+		if !ok {
+			t.Fatalf("Quantile(%v) not tracked", tc.q)
+		}
+		if math.Abs(got-tc.want) > tc.tol {
+			t.Errorf("p%v = %v, want %v ± %v", tc.q*100, got, tc.want, tc.tol)
+		}
+	}
+	count, sum, _ := s.stats()
+	if count != n {
+		t.Errorf("count = %d, want %d", count, n)
+	}
+	if math.Abs(sum-(n+1)/2.0) > 1e-6 {
+		t.Errorf("sum = %v, want %v", sum, (n+1)/2.0)
+	}
+}
+
+func TestSummaryEdgeCases(t *testing.T) {
+	s := NewRegistry().Summary("edge_seconds", "help")
+	if _, ok := s.Quantile(0.5); ok {
+		t.Error("Quantile reported ok before any observation")
+	}
+	s.Observe(3)
+	if v, ok := s.Quantile(0.5); !ok || v != 3 {
+		t.Errorf("single-sample median = %v, %v; want 3, true", v, ok)
+	}
+	if _, ok := s.Quantile(0.75); ok {
+		t.Error("untracked quantile reported ok")
+	}
+	// Fewer than five samples read the sorted prefix.
+	for _, v := range []float64{1, 2, 5} {
+		s.Observe(v)
+	}
+	if v, _ := s.Quantile(0.5); v < 1 || v > 5 {
+		t.Errorf("small-sample median = %v outside observed range", v)
+	}
+}

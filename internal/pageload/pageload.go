@@ -19,6 +19,18 @@ import (
 
 	"encdns/internal/core"
 	"encdns/internal/netsim"
+	"encdns/internal/obs"
+)
+
+// Page-load instruments: how often simulated loads complete, fail, and
+// retry — the application-level view over the per-query metrics below.
+var (
+	loadsTotal = obs.Default().Counter("pageload_loads_total",
+		"Simulated page loads started.")
+	loadFailures = obs.Default().Counter("pageload_failures_total",
+		"Page loads aborted on an unresolvable critical domain.")
+	lookupRetries = obs.Default().Counter("pageload_lookup_retries_total",
+		"Per-domain lookup retries during page loads.")
 )
 
 // Level is one dependency step of a page: the domains that must resolve
@@ -94,6 +106,9 @@ type Loader struct {
 	// Retries is how many times a failed lookup is retried before the
 	// load aborts; zero means 1 retry.
 	Retries int
+	// Logger receives per-lookup retry and abort notices; nil discards
+	// them (quiet by default).
+	Logger *obs.Logger
 }
 
 func (l *Loader) retries() int {
@@ -105,6 +120,7 @@ func (l *Loader) retries() int {
 
 // Load simulates one load of page at the given round index.
 func (l *Loader) Load(ctx context.Context, page Page, round int) Result {
+	loadsTotal.Inc()
 	var res Result
 	resolved := make(map[string]bool)
 	seq := round * 1000 // distinct RNG streams per lookup within a load
@@ -119,6 +135,9 @@ func (l *Loader) Load(ctx context.Context, page Page, round int) Result {
 			ms, ok := l.lookup(ctx, domain, &seq)
 			res.Lookups++
 			if !ok {
+				loadFailures.Inc()
+				l.Logger.Warn("page load aborted on unresolvable domain",
+					"page", page.Name, "domain", domain, "resolver", l.Target.Host)
 				res.Failed = true
 				res.DNSMs += ms
 				res.TotalMs += ms
@@ -145,6 +164,11 @@ func (l *Loader) lookup(ctx context.Context, domain string, seq *int) (float64, 
 		spent += float64(q.Duration) / float64(time.Millisecond)
 		if q.Err == netsim.OK {
 			return spent, true
+		}
+		if attempt < l.retries() {
+			lookupRetries.Inc()
+			l.Logger.Debug("lookup failed, retrying",
+				"domain", domain, "attempt", attempt+1, "err", q.Err)
 		}
 	}
 	return spent, false

@@ -12,6 +12,20 @@ import (
 	"time"
 
 	"encdns/internal/dnswire"
+	"encdns/internal/obs"
+)
+
+// Process-wide cache instruments; every Cache instance folds into them
+// so the resolver cache reads at /metrics alongside its typed accessors.
+var (
+	cacheHits = obs.Default().Counter("resolver_cache_hits_total",
+		"Lookups answered from the cache (fresh entries).")
+	cacheMisses = obs.Default().Counter("resolver_cache_misses_total",
+		"Lookups that found no usable entry.")
+	cacheEvictions = obs.Default().Counter("resolver_cache_evictions_total",
+		"Entries dropped for expiry, LRU bound, or replacement.")
+	cacheEntries = obs.Default().Gauge("resolver_cache_entries",
+		"Live cache entries across resolver caches (expired-but-unswept included).")
 )
 
 // cacheKey identifies a cached RRset or negative entry.
@@ -44,7 +58,20 @@ type Cache struct {
 	// this long past expiry (RFC 8767 serve-stale); zero disables.
 	staleFor time.Duration
 
-	hits, misses uint64
+	hits, misses, evictions uint64
+}
+
+// CacheStats is a point-in-time view of one cache's counters.
+type CacheStats struct {
+	// Hits counts lookups answered from the cache.
+	Hits uint64
+	// Misses counts lookups that found no usable entry.
+	Misses uint64
+	// Evictions counts entries dropped for expiry, LRU bound, or
+	// replacement.
+	Evictions uint64
+	// Entries is the current number of live entries.
+	Entries int
 }
 
 // EnableServeStale keeps expired positive RRsets around for window past
@@ -74,11 +101,28 @@ func NewCache(maxEntries int, now func() time.Time) *Cache {
 	}
 }
 
-// Stats returns cumulative hit and miss counts.
+// Stats returns cumulative hit and miss counts. It remains as a thin
+// shim over Metrics for existing callers.
 func (c *Cache) Stats() (hits, misses uint64) {
+	m := c.Metrics()
+	return m.Hits, m.Misses
+}
+
+// Metrics returns the cache's full counter set.
+func (c *Cache) Metrics() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.hits, c.misses
+	return CacheStats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Entries: len(c.items)}
+}
+
+// evictLocked removes e from the cache, counting the eviction. Callers
+// hold c.mu.
+func (c *Cache) evictLocked(e *cacheEntry) {
+	c.lru.Remove(e.elem)
+	delete(c.items, e.key)
+	c.evictions++
+	cacheEvictions.Inc()
+	cacheEntries.Dec()
 }
 
 // Len returns the number of live entries (including expired-but-unswept).
@@ -123,19 +167,17 @@ func (c *Cache) put(e *cacheEntry) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if old, ok := c.items[e.key]; ok {
-		c.lru.Remove(old.elem)
-		delete(c.items, e.key)
+		c.evictLocked(old)
 	}
 	e.elem = c.lru.PushFront(e)
 	c.items[e.key] = e
+	cacheEntries.Inc()
 	for len(c.items) > c.max {
 		back := c.lru.Back()
 		if back == nil {
 			break
 		}
-		victim := back.Value.(*cacheEntry)
-		c.lru.Remove(back)
-		delete(c.items, victim.key)
+		c.evictLocked(back.Value.(*cacheEntry))
 	}
 }
 
@@ -159,6 +201,7 @@ func (c *Cache) Lookup(name string, t dnswire.Type) (LookupResult, bool) {
 	e, ok := c.items[key]
 	if !ok {
 		c.misses++
+		cacheMisses.Inc()
 		return LookupResult{}, false
 	}
 	now := c.now()
@@ -167,14 +210,15 @@ func (c *Cache) Lookup(name string, t dnswire.Type) (LookupResult, bool) {
 		// Keep expired positive entries within the serve-stale window for
 		// LookupStale; evict everything else.
 		if c.staleFor <= 0 || e.negative || now.Sub(e.expires) > c.staleFor {
-			c.lru.Remove(e.elem)
-			delete(c.items, key)
+			c.evictLocked(e)
 		}
 		c.misses++
+		cacheMisses.Inc()
 		return LookupResult{}, false
 	}
 	c.lru.MoveToFront(e.elem)
 	c.hits++
+	cacheHits.Inc()
 	if e.negative {
 		return LookupResult{Negative: true, NXDomain: e.nxdomain}, true
 	}
@@ -209,8 +253,7 @@ func (c *Cache) LookupStale(name string, t dnswire.Type) (LookupResult, bool) {
 		return LookupResult{}, false // fresh: Lookup handles it
 	}
 	if now.Sub(e.expires) > c.staleFor {
-		c.lru.Remove(e.elem)
-		delete(c.items, key)
+		c.evictLocked(e)
 		return LookupResult{}, false
 	}
 	out := make([]dnswire.Record, len(e.records))
@@ -225,6 +268,10 @@ func (c *Cache) LookupStale(name string, t dnswire.Type) (LookupResult, bool) {
 func (c *Cache) Purge() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	dropped := len(c.items)
+	c.evictions += uint64(dropped)
+	cacheEvictions.Add(uint64(dropped))
+	cacheEntries.Add(-int64(dropped))
 	c.items = make(map[cacheKey]*cacheEntry)
 	c.lru.Init()
 }

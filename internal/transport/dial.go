@@ -85,7 +85,7 @@ func Dial(endpoint string, opts Options) (Exchanger, error) {
 		c.UserAgent = opts.UserAgent
 		ex = &dohExchanger{client: c, url: ep.String(), fresh: !opts.Reuse}
 	}
-	return WithRetry(ex, opts.retry()), nil
+	return WithRetry(instrument(ex, ep.Scheme), opts.retry()), nil
 }
 
 // udpExchanger adapts dns53.Client (UDP with TCP truncation fallback).
@@ -184,6 +184,7 @@ func (p *Pool) Get(endpoint string) (Exchanger, error) {
 		return nil, err
 	}
 	p.exs[key] = ex
+	poolEndpoints.Inc()
 	return ex, nil
 }
 
@@ -220,6 +221,7 @@ func (p *Pool) Close() error {
 			firstErr = err
 		}
 		delete(p.exs, key)
+		poolEndpoints.Dec()
 	}
 	return firstErr
 }

@@ -4,9 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"time"
 
 	"encdns/internal/dnswire"
+	"encdns/internal/obs"
 )
 
 // Race runs attempts concurrently and returns the first success,
@@ -109,10 +111,24 @@ func (h *hedged) Exchange(ctx context.Context, q *dnswire.Message) (*dnswire.Mes
 	attempts := make([]func(context.Context) (*dnswire.Message, error), len(h.exchangers))
 	for i, ex := range h.exchangers {
 		attempts[i] = func(c context.Context) (*dnswire.Message, error) {
-			return ex.Exchange(c, q)
+			c, sp := obs.StartSpan(c, "hedge")
+			sp.SetAttr("index", strconv.Itoa(i))
+			if i > 0 {
+				hedgeLaunched.Inc()
+			}
+			resp, err := ex.Exchange(c, q)
+			if err != nil {
+				sp.Annotate("error: %v", err)
+			}
+			sp.End()
+			return resp, err
 		}
 	}
-	resp, _, err := Race(ctx, h.delay, attempts)
+	resp, winner, err := Race(ctx, h.delay, attempts)
+	if err == nil && winner > 0 {
+		hedgeWins.Inc()
+		obs.Annotate(ctx, "hedge: attempt %d won the race", winner)
+	}
 	return resp, err
 }
 

@@ -1,0 +1,144 @@
+package transport
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"encdns/internal/dns53"
+	"encdns/internal/dnswire"
+	"encdns/internal/obs"
+)
+
+func noSleep(ctx context.Context, d time.Duration) error { return nil }
+
+// TestTraceThroughRetry drives a traced query through the full retry →
+// instrument → protocol-client middleware stack and checks that every
+// attempt shows up as its own span with the retry annotations attached.
+func TestTraceThroughRetry(t *testing.T) {
+	scripted := &scriptedExchanger{failures: 2}
+	ex := WithRetry(instrument(scripted, SchemeUDP),
+		RetryPolicy{MaxAttempts: 3, Seed: 1, Sleep: noSleep})
+
+	attemptsBefore := retryAttempts.Value()
+	ctx, tr := obs.StartTrace(context.Background(), "query example.com A")
+	q := dnswire.NewQuery(dns53.NewID(), "example.com", dnswire.TypeA)
+	resp, err := ex.Exchange(ctx, q)
+	tr.Finish()
+	if err != nil {
+		t.Fatalf("exchange failed after retries: %v", err)
+	}
+	if !resp.Header.QR {
+		t.Error("response is not a reply")
+	}
+	if scripted.calls != 3 {
+		t.Fatalf("protocol client called %d times, want 3", scripted.calls)
+	}
+	if got := retryAttempts.Value() - attemptsBefore; got != 2 {
+		t.Errorf("retryAttempts advanced by %d, want 2", got)
+	}
+
+	out := tr.String()
+	if n := strings.Count(out, "attempt (scheme=udp)"); n != 3 {
+		t.Errorf("rendered %d attempt spans, want 3:\n%s", n, out)
+	}
+	if n := strings.Count(out, "error: scripted failure"); n != 2 {
+		t.Errorf("rendered %d error annotations, want 2:\n%s", n, out)
+	}
+	for _, want := range []string{"retry: attempt 2 after", "retry: attempt 3 after"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestTraceThroughHedge races a failing primary against a working hedge
+// and checks the hedge spans, their index attributes, and the win
+// counter. The primary fails instantly while the hedge answers after a
+// delay, so Race is guaranteed to process (and finish the span of) the
+// primary before the hedge wins.
+func TestTraceThroughHedge(t *testing.T) {
+	reply := dnswire.NewQuery(1, "example.com", dnswire.TypeA)
+	reply.Header.QR = true
+	dead := &scriptedExchanger{failures: 1 << 20}
+	fast := &delayExchanger{delay: 20 * time.Millisecond, msg: reply}
+	hedged := NewHedged(0, instrument(dead, SchemeUDP), instrument(fast, SchemeTCP))
+	defer hedged.Close()
+
+	winsBefore := hedgeWins.Value()
+	launchedBefore := hedgeLaunched.Value()
+	ctx, tr := obs.StartTrace(context.Background(), "hedged query")
+	q := dnswire.NewQuery(dns53.NewID(), "example.com", dnswire.TypeA)
+	if _, err := hedged.Exchange(ctx, q); err != nil {
+		t.Fatalf("hedged exchange: %v", err)
+	}
+	tr.Finish()
+
+	if got := hedgeWins.Value() - winsBefore; got != 1 {
+		t.Errorf("hedgeWins advanced by %d, want 1", got)
+	}
+	if got := hedgeLaunched.Value() - launchedBefore; got != 1 {
+		t.Errorf("hedgeLaunched advanced by %d, want 1", got)
+	}
+	out := tr.String()
+	for _, want := range []string{
+		"hedge (index=0)",
+		"hedge (index=1)",
+		"attempt (scheme=udp)",
+		"attempt (scheme=tcp)",
+		"error: scripted failure",
+		"hedge: attempt 1 won the race",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestInstrumentCounters pins the per-scheme counters and histogram the
+// instrumented wrapper feeds.
+func TestInstrumentCounters(t *testing.T) {
+	m := schemeInstruments[SchemeUDP]
+	exBefore := m.exchanges.Value()
+	errBefore := m.errors.Value()
+	histBefore := m.latency.Count()
+
+	scripted := &scriptedExchanger{failures: 1}
+	ex := instrument(scripted, SchemeUDP)
+	q := dnswire.NewQuery(dns53.NewID(), "example.com", dnswire.TypeA)
+	if _, err := ex.Exchange(context.Background(), q); err == nil {
+		t.Fatal("first scripted exchange should fail")
+	}
+	if _, err := ex.Exchange(context.Background(), q); err != nil {
+		t.Fatalf("second exchange: %v", err)
+	}
+
+	if got := m.exchanges.Value() - exBefore; got != 2 {
+		t.Errorf("exchanges advanced by %d, want 2", got)
+	}
+	if got := m.errors.Value() - errBefore; got != 1 {
+		t.Errorf("errors advanced by %d, want 1", got)
+	}
+	if got := m.latency.Count() - histBefore; got != 2 {
+		t.Errorf("latency observations advanced by %d, want 2", got)
+	}
+	// The wrapper must stay transparent to accessor unwrapping.
+	if inner := ex.(interface{ Unwrap() Exchanger }).Unwrap(); inner != Exchanger(scripted) {
+		t.Error("Unwrap did not return the protocol client")
+	}
+}
+
+// TestUntracedExchangeAllocFree: with no trace in the context, the
+// instrumented path costs one context lookup and no allocations beyond
+// the protocol client's own.
+func TestUntracedSpanOpsAllocFree(t *testing.T) {
+	ctx := context.Background()
+	if n := testing.AllocsPerRun(1000, func() {
+		_, sp := obs.StartSpan(ctx, "attempt")
+		sp.SetAttr("scheme", "udp")
+		sp.End()
+	}); n != 0 {
+		t.Errorf("untraced span ops allocate %v/op, want 0", n)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"encdns/internal/dnswire"
+	"encdns/internal/obs"
 )
 
 // RetryPolicy configures the retry middleware. The zero value is not
@@ -126,7 +127,10 @@ func (r *retryExchanger) Exchange(ctx context.Context, q *dnswire.Message) (*dns
 	var lastErr error
 	for attempt := 0; attempt < r.policy.MaxAttempts; attempt++ {
 		if attempt > 0 {
-			if err := r.policy.Sleep(ctx, bo.Next()); err != nil {
+			delay := bo.Next()
+			retryAttempts.Inc()
+			obs.Annotate(ctx, "retry: attempt %d after %s backoff", attempt+1, delay)
+			if err := r.policy.Sleep(ctx, delay); err != nil {
 				break // context cancelled while backing off
 			}
 		}
@@ -139,6 +143,7 @@ func (r *retryExchanger) Exchange(ctx context.Context, q *dnswire.Message) (*dns
 			break
 		}
 	}
+	retryExhausted.Inc()
 	return nil, fmt.Errorf("transport: %d attempt(s) failed: %w", r.policy.MaxAttempts, lastErr)
 }
 
