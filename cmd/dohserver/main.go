@@ -59,9 +59,12 @@ func run() error {
 	}
 	logger := obs.NewLogger(os.Stderr, level)
 
-	handler, err := buildHandler(*upstream, *zoneFile, *zoneOrig, *cacheN)
+	handler, cache, err := buildHandler(*upstream, *zoneFile, *zoneOrig, *cacheN)
 	if err != nil {
 		return err
+	}
+	if cache != nil {
+		defer cache.Close()
 	}
 	inner := &dns53.Server{Handler: handler, Logger: logger}
 
@@ -144,14 +147,15 @@ func run() error {
 // buildHandler assembles the resolver: an authoritative zone when -zone
 // is given, a forwarder when -forward is given, otherwise a recursive
 // resolver over the built-in hierarchy.
-func buildHandler(upstream, zoneFile, zoneOrigin string, cacheN int) (dns53.Handler, error) {
+func buildHandler(upstream, zoneFile, zoneOrigin string, cacheN int) (dns53.Handler, *resolver.Cache, error) {
 	if zoneFile != "" {
 		f, err := os.Open(zoneFile)
 		if err != nil {
-			return nil, fmt.Errorf("opening zone: %w", err)
+			return nil, nil, fmt.Errorf("opening zone: %w", err)
 		}
 		defer f.Close()
-		return authdns.ParseZone(zoneOrigin, f)
+		h, err := authdns.ParseZone(zoneOrigin, f)
+		return h, nil, err
 	}
 	cache := resolver.NewCache(cacheN, nil)
 	if upstream != "" {
@@ -160,14 +164,14 @@ func buildHandler(upstream, zoneFile, zoneOrigin string, cacheN int) (dns53.Hand
 			Exchange:  exchangeVia(client),
 			Upstreams: []string{upstream},
 			Cache:     cache,
-		}, nil
+		}, cache, nil
 	}
 	h := authdns.BuildHierarchy(authdns.MeasurementLeaves())
 	return &resolver.Recursive{
 		Exchange: h.Registry,
 		Roots:    h.RootServers,
 		Cache:    cache,
-	}, nil
+	}, cache, nil
 }
 
 // clientExchanger adapts dns53.Client to the resolver.Exchanger interface.

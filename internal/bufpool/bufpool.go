@@ -1,0 +1,55 @@
+// Package bufpool recycles byte buffers across the server frontends and
+// clients (Do53 UDP/TCP, DoT frames, DoH bodies), so the per-query wire
+// buffers on those hot paths stop churning the garbage collector.
+//
+// Buffers are handed around as *[]byte so Put can return the (possibly
+// grown) slice to the pool without re-boxing the header. The usage
+// pattern is:
+//
+//	bp := bufpool.Get()
+//	defer bufpool.Put(bp)
+//	buf := (*bp)[:0]
+//	... append into buf ...
+//	*bp = buf // keep any growth for the next user
+package bufpool
+
+import "sync"
+
+const (
+	// defaultCap sizes fresh buffers for a typical DNS message.
+	defaultCap = 4096
+	// maxRetain keeps oversized buffers out of the pool so a single
+	// jumbo message cannot pin tens of kilobytes per pooled slot.
+	maxRetain = 1 << 17
+)
+
+var pool = sync.Pool{New: func() any {
+	b := make([]byte, 0, defaultCap)
+	return &b
+}}
+
+// Get returns an empty buffer with at least defaultCap capacity.
+func Get() *[]byte {
+	return pool.Get().(*[]byte)
+}
+
+// GetN returns a buffer of length n (contents undefined).
+func GetN(n int) *[]byte {
+	bp := pool.Get().(*[]byte)
+	if cap(*bp) < n {
+		*bp = make([]byte, n)
+	} else {
+		*bp = (*bp)[:n]
+	}
+	return bp
+}
+
+// Put returns a buffer to the pool, dropping ones that grew past
+// maxRetain. Putting nil is a no-op.
+func Put(bp *[]byte) {
+	if bp == nil || cap(*bp) > maxRetain {
+		return
+	}
+	*bp = (*bp)[:0]
+	pool.Put(bp)
+}

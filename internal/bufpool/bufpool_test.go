@@ -1,0 +1,52 @@
+package bufpool
+
+import "testing"
+
+func TestGetPutRoundTrip(t *testing.T) {
+	bp := Get()
+	if len(*bp) != 0 {
+		t.Fatalf("Get returned non-empty buffer: len=%d", len(*bp))
+	}
+	if cap(*bp) < defaultCap {
+		t.Fatalf("Get returned cap %d, want >= %d", cap(*bp), defaultCap)
+	}
+	*bp = append(*bp, "hello"...)
+	Put(bp)
+	bp2 := Get()
+	if len(*bp2) != 0 {
+		t.Fatalf("recycled buffer not reset: len=%d", len(*bp2))
+	}
+	Put(bp2)
+}
+
+func TestGetN(t *testing.T) {
+	bp := GetN(9000)
+	if len(*bp) != 9000 {
+		t.Fatalf("GetN(9000) returned len %d", len(*bp))
+	}
+	Put(bp)
+	bp = GetN(16)
+	if len(*bp) != 16 {
+		t.Fatalf("GetN(16) returned len %d", len(*bp))
+	}
+	Put(bp)
+}
+
+func TestPutDropsOversized(t *testing.T) {
+	big := make([]byte, 0, maxRetain+1)
+	Put(&big) // must not panic, must not be retained at this capacity
+	if bp := Get(); cap(*bp) > maxRetain {
+		t.Fatalf("oversized buffer was retained: cap=%d", cap(*bp))
+	}
+	Put(nil) // no-op
+}
+
+func TestGetZeroAllocSteadyState(t *testing.T) {
+	if n := testing.AllocsPerRun(100, func() {
+		bp := Get()
+		*bp = append(*bp, 1, 2, 3)
+		Put(bp)
+	}); n != 0 {
+		t.Fatalf("Get/Put allocated %v times per op, want 0", n)
+	}
+}

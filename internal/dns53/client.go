@@ -9,6 +9,7 @@ import (
 	"net"
 	"time"
 
+	"encdns/internal/bufpool"
 	"encdns/internal/dnswire"
 	"encdns/internal/obs"
 )
@@ -93,10 +94,13 @@ func (c *Client) Query(ctx context.Context, server, name string, t dnswire.Type)
 // response, retrying over UDP and falling back to TCP when the response
 // arrives truncated.
 func (c *Client) Exchange(ctx context.Context, query *dnswire.Message, server string) (*dnswire.Message, error) {
-	wire, err := query.Pack()
+	bp := bufpool.Get()
+	defer bufpool.Put(bp)
+	wire, err := query.AppendPack((*bp)[:0])
 	if err != nil {
 		return nil, fmt.Errorf("dns53: packing query: %w", err)
 	}
+	*bp = wire
 	var lastErr error
 	for attempt := 0; attempt <= c.retries(); attempt++ {
 		resp, err := c.exchangeUDP(ctx, wire, query.Header.ID, server)
@@ -139,7 +143,9 @@ func (c *Client) exchangeUDP(ctx context.Context, wire []byte, id uint16, server
 	writeSp.End()
 	readSp := obs.SpanFromContext(ctx).Start("first-byte")
 	defer readSp.End()
-	buf := make([]byte, 64*1024)
+	bp := bufpool.GetN(64 * 1024)
+	defer bufpool.Put(bp)
+	buf := *bp
 	for {
 		n, err := conn.Read(buf)
 		if err != nil {
@@ -163,10 +169,13 @@ func (c *Client) exchangeUDP(ctx context.Context, wire []byte, id uint16, server
 
 // ExchangeTCP performs one query over a fresh TCP connection.
 func (c *Client) ExchangeTCP(ctx context.Context, query *dnswire.Message, server string) (*dnswire.Message, error) {
-	wire, err := query.Pack()
+	bp := bufpool.Get()
+	defer bufpool.Put(bp)
+	wire, err := query.AppendPack((*bp)[:0])
 	if err != nil {
 		return nil, fmt.Errorf("dns53: packing query: %w", err)
 	}
+	*bp = wire
 	attemptCtx, cancel := context.WithTimeout(ctx, c.timeout())
 	defer cancel()
 	dialSp := obs.SpanFromContext(ctx).Start("dial")

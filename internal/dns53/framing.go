@@ -6,18 +6,22 @@ import (
 	"io"
 	"net/netip"
 
+	"encdns/internal/bufpool"
 	"encdns/internal/dnswire"
 )
 
 // WriteTCPMsg writes one DNS message with the RFC 1035 §4.2.2 two-octet
-// length prefix. It is used by the TCP and DoT transports.
+// length prefix. It is used by the TCP and DoT transports. The frame is
+// assembled in a pooled buffer and written in one call so the message
+// cannot be split across a slow-start boundary by a second write.
 func WriteTCPMsg(w io.Writer, msg []byte) error {
 	if len(msg) > dnswire.MaxMessageSize {
 		return dnswire.ErrMessageTooLarge
 	}
-	buf := make([]byte, 2+len(msg))
-	binary.BigEndian.PutUint16(buf, uint16(len(msg)))
-	copy(buf[2:], msg)
+	bp := bufpool.Get()
+	defer bufpool.Put(bp)
+	buf := append(append((*bp)[:0], byte(len(msg)>>8), byte(len(msg))), msg...)
+	*bp = buf
 	_, err := w.Write(buf)
 	return err
 }
@@ -25,19 +29,29 @@ func WriteTCPMsg(w io.Writer, msg []byte) error {
 // ReadTCPMsg reads one length-prefixed DNS message. A zero-length frame is
 // rejected as malformed.
 func ReadTCPMsg(r io.Reader) ([]byte, error) {
+	return readTCPMsgInto(r, nil)
+}
+
+// readTCPMsgInto is ReadTCPMsg reading the payload into buf (grown as
+// needed), so stream loops can reuse one buffer across messages.
+func readTCPMsgInto(r io.Reader, buf []byte) ([]byte, error) {
 	var l [2]byte
 	if _, err := io.ReadFull(r, l[:]); err != nil {
 		return nil, err
 	}
-	n := binary.BigEndian.Uint16(l[:])
+	n := int(binary.BigEndian.Uint16(l[:]))
 	if n == 0 {
 		return nil, fmt.Errorf("dns53: zero-length TCP frame")
 	}
-	msg := make([]byte, n)
-	if _, err := io.ReadFull(r, msg); err != nil {
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	} else {
+		buf = buf[:n]
+	}
+	if _, err := io.ReadFull(r, buf); err != nil {
 		return nil, err
 	}
-	return msg, nil
+	return buf, nil
 }
 
 // netipFrom converts a net.IP to netip.Addr, unmapping 4-in-6 forms.

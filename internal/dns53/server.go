@@ -2,11 +2,13 @@ package dns53
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"net"
 	"sync"
 	"time"
 
+	"encdns/internal/bufpool"
 	"encdns/internal/dnswire"
 	"encdns/internal/obs"
 )
@@ -118,11 +120,15 @@ func (s *Server) ServeUDP(pc net.PacketConn) error {
 			}
 			return err
 		}
-		pkt := make([]byte, n)
-		copy(pkt, buf[:n])
+		// Hand the packet to the worker in a pooled buffer; the worker
+		// returns it once the response is on the wire.
+		bp := bufpool.Get()
+		pkt := append((*bp)[:0], buf[:n]...)
+		*bp = pkt
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
+			defer bufpool.Put(bp)
 			s.handleUDP(pc, from, pkt)
 		}()
 	}
@@ -135,8 +141,13 @@ func (s *Server) isClosed() bool {
 }
 
 func (s *Server) handleUDP(pc net.PacketConn, from net.Addr, pkt []byte) {
-	query, err := dnswire.Unpack(pkt)
-	if err != nil {
+	// The query is parsed into a pooled message: its records and strings
+	// are recycled once the response has been written (handlers hand back
+	// fresh responses; the only query data they retain are interned name
+	// strings, which stay valid forever).
+	query := dnswire.AcquireMessage()
+	defer dnswire.ReleaseMessage(query)
+	if err := query.Unpack(pkt); err != nil {
 		serverMalformed.Inc()
 		s.logger().Debug("dropping malformed UDP query", "from", from, "err", err)
 		return
@@ -150,34 +161,35 @@ func (s *Server) handleUDP(pc net.PacketConn, from net.Addr, pkt []byte) {
 	if opt, ok := query.EDNS(); ok && int(opt.UDPSize) > limit {
 		limit = int(opt.UDPSize)
 	}
-	wire, err := resp.Pack()
+	out := bufpool.Get()
+	defer bufpool.Put(out)
+	wire, err := resp.AppendPack((*out)[:0])
 	if err != nil {
 		s.logger().Warn("packing response", "err", err)
 		return
 	}
+	*out = wire
 	if len(wire) > limit {
-		wire = truncateTo(resp, limit)
-		if wire == nil {
+		wire, err = truncateTo(resp, limit, wire[:0])
+		if err != nil || len(wire) > limit {
 			return
 		}
+		*out = wire
 	}
 	if _, err := pc.WriteTo(wire, from); err != nil {
 		s.logger().Debug("writing UDP response", "from", from, "err", err)
 	}
 }
 
-// truncateTo re-packs resp with answers removed and TC set so it fits.
-func truncateTo(resp *dnswire.Message, limit int) []byte {
+// truncateTo re-packs resp into buf with answers removed and TC set so it
+// fits within limit.
+func truncateTo(resp *dnswire.Message, limit int, buf []byte) ([]byte, error) {
 	tr := *resp
 	tr.Header.TC = true
 	tr.Answers = nil
 	tr.Authority = nil
 	tr.Additional = nil
-	wire, err := tr.Pack()
-	if err != nil || len(wire) > limit {
-		return nil
-	}
-	return wire
+	return tr.AppendPack(buf)
 }
 
 // ServeTCP answers queries on connections accepted from ln until it is
@@ -210,25 +222,41 @@ func (s *Server) ServeTCP(ln net.Listener) error {
 }
 
 // serveConn handles one stream connection (TCP or, via internal/dot, TLS).
+// The read buffer, frame buffer, and parsed query message are reused for
+// every query on the connection, so a busy stream allocates nothing per
+// exchange.
 func (s *Server) serveConn(conn net.Conn) {
+	in, out := bufpool.Get(), bufpool.Get()
+	defer bufpool.Put(in)
+	defer bufpool.Put(out)
+	query := dnswire.AcquireMessage()
+	defer dnswire.ReleaseMessage(query)
 	for {
 		_ = conn.SetReadDeadline(time.Now().Add(s.readTimeout()))
-		pkt, err := ReadTCPMsg(conn)
+		pkt, err := readTCPMsgInto(conn, (*in)[:0])
 		if err != nil {
 			return // EOF, timeout, or peer reset: stream is done either way
 		}
-		query, err := dnswire.Unpack(pkt)
-		if err != nil {
+		*in = pkt
+		if err := query.Unpack(pkt); err != nil {
 			serverMalformed.Inc()
 			s.logger().Debug("dropping malformed TCP query", "err", err)
 			return
 		}
-		wire, err := s.respond(query).Pack()
+		// Pack straight behind the RFC 1035 §4.2.2 two-octet length
+		// prefix: one buffer, one write, no copy.
+		frame, err := s.respond(query).AppendPack(append((*out)[:0], 0, 0))
 		if err != nil {
 			s.logger().Warn("packing response", "err", err)
 			return
 		}
-		if err := WriteTCPMsg(conn, wire); err != nil {
+		*out = frame
+		if len(frame)-2 > dnswire.MaxMessageSize {
+			s.logger().Warn("packing response", "err", dnswire.ErrMessageTooLarge)
+			return
+		}
+		binary.BigEndian.PutUint16(frame, uint16(len(frame)-2))
+		if _, err := conn.Write(frame); err != nil {
 			return
 		}
 	}

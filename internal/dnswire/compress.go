@@ -1,0 +1,144 @@
+package dnswire
+
+import "sync"
+
+// compressor is the RFC 1035 §4.1.4 name-compression state for one Pack.
+// It replaces the old per-Pack map[string]int with a fixed-size array of
+// message-relative offsets at which name suffixes were encoded, so the
+// pack hot path performs no map operations and no suffix-string
+// materialisation. Candidate matches are verified against the wire bytes
+// already written, which also lets escaped and unescaped spellings of the
+// same labels compress together.
+//
+// The table is bounded: messages with more distinct suffix positions than
+// compressorSlots simply compress a little less. Correctness never depends
+// on a slot being present — only emitted pointers must point at a matching
+// suffix, and find verifies every match byte-for-byte.
+type compressor struct {
+	// base is the offset of the message start within the output buffer,
+	// so AppendPack can encode after a caller's prefix (e.g. the 2-octet
+	// TCP length) while pointers stay message-relative.
+	base int
+	n    int
+	offs [compressorSlots]uint16
+}
+
+// compressorSlots bounds the suffix table; real responses rarely carry
+// more than a handful of distinct owner names.
+const compressorSlots = 32
+
+// compressors recycles packing state across AppendPack calls so the
+// steady-state pack path does not allocate.
+var compressors = sync.Pool{New: func() any { return new(compressor) }}
+
+func (c *compressor) reset(base int) {
+	c.base = base
+	c.n = 0
+}
+
+// add records that a name suffix was just encoded at absolute buffer
+// offset absOff. Offsets past the 14-bit pointer range, and additions
+// beyond capacity, are silently dropped.
+func (c *compressor) add(absOff int) {
+	off := absOff - c.base
+	if off > maxPointerTarget || c.n == len(c.offs) {
+		return
+	}
+	c.offs[c.n] = uint16(off)
+	c.n++
+}
+
+// maxPointerTarget is the largest offset a 14-bit compression pointer can
+// address.
+const maxPointerTarget = 0x3FFF
+
+// find returns the message-relative offset of an earlier encoding of the
+// suffix of name that starts at byte position pos, or -1 when none of the
+// recorded candidates match.
+func (c *compressor) find(buf []byte, name string, pos int) int {
+	for i := 0; i < c.n; i++ {
+		if wireMatchesSuffix(buf[c.base:], int(c.offs[i]), name, pos) {
+			return int(c.offs[i])
+		}
+	}
+	return -1
+}
+
+// wireMatchesSuffix reports whether the wire-format name at msg[off:]
+// (following compression pointers) spells exactly the presentation-format
+// suffix name[pos:]. name must be canonical (lowercase, trailing dot);
+// escapes in it are decoded on the fly, so no intermediate allocation.
+func wireMatchesSuffix(msg []byte, off int, name string, pos int) bool {
+	budget := 32 // same pointer-chain bound as readName
+	for {
+		if off >= len(msg) {
+			return false
+		}
+		b := msg[off]
+		switch {
+		case b == 0:
+			return pos == len(name)
+		case b&0xC0 == 0xC0:
+			if off+1 >= len(msg) {
+				return false
+			}
+			if budget--; budget < 0 {
+				return false
+			}
+			off = int(b&0x3F)<<8 | int(msg[off+1])
+		case b&0xC0 != 0:
+			return false
+		default:
+			l := int(b)
+			if off+1+l > len(msg) {
+				return false
+			}
+			for j := 0; j < l; j++ {
+				if pos >= len(name) {
+					return false
+				}
+				pb, npos, ok := nextNameByte(name, pos)
+				if !ok || pb != msg[off+1+j] {
+					return false
+				}
+				pos = npos
+			}
+			// The presentation label must end here, at a separator dot.
+			if pos >= len(name) || name[pos] != '.' {
+				return false
+			}
+			pos++
+			off += 1 + l
+		}
+	}
+}
+
+// nextNameByte decodes one data byte of a presentation-format name at
+// position pos, handling \X and \DDD escapes, and returns the raw byte
+// plus the position just past it. ok is false at a separator dot or on a
+// malformed escape.
+func nextNameByte(name string, pos int) (b byte, next int, ok bool) {
+	c := name[pos]
+	switch {
+	case c == '.':
+		return 0, 0, false
+	case c != '\\':
+		return c, pos + 1, true
+	case pos+1 >= len(name):
+		return 0, 0, false
+	}
+	n := name[pos+1]
+	if n < '0' || n > '9' {
+		return n, pos + 2, true
+	}
+	if pos+3 >= len(name) ||
+		name[pos+2] < '0' || name[pos+2] > '9' ||
+		name[pos+3] < '0' || name[pos+3] > '9' {
+		return 0, 0, false
+	}
+	v := int(n-'0')*100 + int(name[pos+2]-'0')*10 + int(name[pos+3]-'0')
+	if v > 255 {
+		return 0, 0, false
+	}
+	return byte(v), pos + 4, true
+}

@@ -1,0 +1,202 @@
+package dnswire
+
+import "sync"
+
+// This file is the pooled decode path: AcquireMessage/ReleaseMessage
+// recycle Messages whose section slices, RDATA structs, and name strings
+// are reused across Unpack calls, so a server's steady-state parse of a
+// typical query or response performs no allocations.
+//
+// Contract: a pooled Message and every Record/RData it hands out are
+// valid only until the next (*Message).Unpack, Reset, or ReleaseMessage
+// on that Message. Name strings are ordinary interned heap strings and
+// stay valid forever, which is why Reply() and cache keys are safe to
+// retain. Code that must keep records beyond the release point copies
+// them (the resolver cache already deep-copies RRsets on Put).
+
+// internLimit bounds the per-decoder name-intern table; past it the table
+// is cleared, trading a few re-allocations for bounded memory under
+// hostile name churn.
+const internLimit = 4096
+
+// arena hands out reusable values of one RData type. Slots are recycled
+// dirty; every parse site overwrites all fields it uses. Pointers handed
+// out before a growth reallocation keep pointing into the old backing
+// array, which stays valid until the GC collects it, so growth is safe.
+type arena[T any] struct{ slots []T }
+
+func (ar *arena[T]) next() *T {
+	if len(ar.slots) < cap(ar.slots) {
+		ar.slots = ar.slots[:len(ar.slots)+1]
+	} else {
+		var zero T
+		ar.slots = append(ar.slots, zero)
+	}
+	return &ar.slots[len(ar.slots)-1]
+}
+
+func (ar *arena[T]) reset() { ar.slots = ar.slots[:0] }
+
+// decoder is the reusable scratch state of a pooled Message.
+type decoder struct {
+	nameBuf []byte            // presentation-name assembly scratch
+	intern  map[string]string // decoded-name interning
+	a       arena[A]
+	aaaa    arena[AAAA]
+	ns      arena[NS]
+	cname   arena[CNAME]
+	ptr     arena[PTR]
+	mx      arena[MX]
+	soa     arena[SOA]
+	srv     arena[SRV]
+	txt     arena[TXT]
+	opt     arena[OPT]
+	raw     arena[Raw]
+}
+
+func newDecoder() *decoder {
+	return &decoder{
+		nameBuf: make([]byte, 0, maxNameLen),
+		intern:  make(map[string]string),
+	}
+}
+
+func (d *decoder) reset() {
+	d.a.reset()
+	d.aaaa.reset()
+	d.ns.reset()
+	d.cname.reset()
+	d.ptr.reset()
+	d.mx.reset()
+	d.soa.reset()
+	d.srv.reset()
+	d.txt.reset()
+	d.opt.reset()
+	d.raw.reset()
+}
+
+// internName returns the canonical heap string for the scratch bytes,
+// allocating only the first time each distinct name is seen.
+func (d *decoder) internName(nb []byte) string {
+	if s, ok := d.intern[string(nb)]; ok { // no-alloc map lookup
+		return s
+	}
+	if len(d.intern) >= internLimit {
+		clear(d.intern)
+	}
+	s := string(nb)
+	d.intern[s] = s
+	return s
+}
+
+// Typed arena accessors; a nil decoder (the plain Unpack path) falls back
+// to fresh allocations, preserving the old behaviour.
+
+func (d *decoder) newA() *A {
+	if d == nil {
+		return new(A)
+	}
+	return d.a.next()
+}
+
+func (d *decoder) newAAAA() *AAAA {
+	if d == nil {
+		return new(AAAA)
+	}
+	return d.aaaa.next()
+}
+
+func (d *decoder) newNS() *NS {
+	if d == nil {
+		return new(NS)
+	}
+	return d.ns.next()
+}
+
+func (d *decoder) newCNAME() *CNAME {
+	if d == nil {
+		return new(CNAME)
+	}
+	return d.cname.next()
+}
+
+func (d *decoder) newPTR() *PTR {
+	if d == nil {
+		return new(PTR)
+	}
+	return d.ptr.next()
+}
+
+func (d *decoder) newMX() *MX {
+	if d == nil {
+		return new(MX)
+	}
+	return d.mx.next()
+}
+
+func (d *decoder) newSOA() *SOA {
+	if d == nil {
+		return new(SOA)
+	}
+	return d.soa.next()
+}
+
+func (d *decoder) newSRV() *SRV {
+	if d == nil {
+		return new(SRV)
+	}
+	return d.srv.next()
+}
+
+// newTXT returns a TXT whose Strings slice is emptied but keeps capacity.
+func (d *decoder) newTXT() *TXT {
+	if d == nil {
+		return new(TXT)
+	}
+	t := d.txt.next()
+	t.Strings = t.Strings[:0]
+	return t
+}
+
+// newOPT returns an OPT with all fields zeroed and the Options slice
+// emptied but keeping capacity.
+func (d *decoder) newOPT() *OPT {
+	if d == nil {
+		return new(OPT)
+	}
+	o := d.opt.next()
+	*o = OPT{Options: o.Options[:0]}
+	return o
+}
+
+// newRaw returns a Raw whose Data slice is emptied but keeps capacity.
+func (d *decoder) newRaw() *Raw {
+	if d == nil {
+		return new(Raw)
+	}
+	r := d.raw.next()
+	r.Data = r.Data[:0]
+	return r
+}
+
+// msgPool recycles Messages carrying decoder state. Only messages created
+// by AcquireMessage return to it; ReleaseMessage is a no-op for others.
+var msgPool = sync.Pool{New: func() any { return &Message{dec: newDecoder()} }}
+
+// AcquireMessage returns a pooled Message for use with (*Message).Unpack.
+// Pair it with ReleaseMessage on the hot path; see the pooling contract
+// at the top of this file.
+func AcquireMessage() *Message {
+	return msgPool.Get().(*Message)
+}
+
+// ReleaseMessage resets m and returns it to the pool. Messages that did
+// not come from AcquireMessage are left to the GC. Releasing nil is a
+// no-op.
+func ReleaseMessage(m *Message) {
+	if m == nil || m.dec == nil {
+		return
+	}
+	m.Reset()
+	msgPool.Put(m)
+}

@@ -27,7 +27,7 @@ type DNSKEY struct {
 	PublicKey []byte
 }
 
-func (k *DNSKEY) appendRData(buf []byte, _ map[string]int) ([]byte, error) {
+func (k *DNSKEY) appendRData(buf []byte, _ *compressor) ([]byte, error) {
 	buf = binary.BigEndian.AppendUint16(buf, k.Flags)
 	buf = append(buf, k.ProtoVal, k.Algorithm)
 	return append(buf, k.PublicKey...), nil
@@ -59,7 +59,7 @@ type DS struct {
 	Digest     []byte
 }
 
-func (d *DS) appendRData(buf []byte, _ map[string]int) ([]byte, error) {
+func (d *DS) appendRData(buf []byte, _ *compressor) ([]byte, error) {
 	buf = binary.BigEndian.AppendUint16(buf, d.KeyTag)
 	buf = append(buf, d.Algorithm, d.DigestType)
 	return append(buf, d.Digest...), nil
@@ -98,7 +98,7 @@ type RRSIG struct {
 	Signature   []byte
 }
 
-func (r *RRSIG) appendRData(buf []byte, _ map[string]int) ([]byte, error) {
+func (r *RRSIG) appendRData(buf []byte, _ *compressor) ([]byte, error) {
 	buf = binary.BigEndian.AppendUint16(buf, uint16(r.TypeCovered))
 	buf = append(buf, r.Algorithm, r.Labels)
 	buf = binary.BigEndian.AppendUint32(buf, r.OrigTTL)
@@ -153,7 +153,7 @@ type NSEC struct {
 	Types      []Type
 }
 
-func (n *NSEC) appendRData(buf []byte, _ map[string]int) ([]byte, error) {
+func (n *NSEC) appendRData(buf []byte, _ *compressor) ([]byte, error) {
 	var err error
 	if buf, err = appendName(buf, n.NextDomain, nil); err != nil {
 		return nil, err

@@ -37,8 +37,21 @@ func FuzzUnpack(f *testing.F) {
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := Unpack(data)
+		// The pooled decoder must agree with the plain one: same verdict,
+		// and an accepted message must repack to the same bytes.
+		pm := AcquireMessage()
+		defer ReleaseMessage(pm)
+		perr := pm.Unpack(data)
+		if (err == nil) != (perr == nil) {
+			t.Fatalf("pooled/plain unpack disagree: plain=%v pooled=%v\ninput: %x", err, perr, data)
+		}
 		if err != nil {
 			return
+		}
+		pb, pbErr := m.Pack()
+		pb2, pb2Err := pm.Pack()
+		if (pbErr == nil) != (pb2Err == nil) || (pbErr == nil && !bytes.Equal(pb, pb2)) {
+			t.Fatalf("pooled/plain repack disagree:\nplain:  %x (%v)\npooled: %x (%v)", pb, pbErr, pb2, pb2Err)
 		}
 		repacked, err := m.Pack()
 		if err != nil {
@@ -81,6 +94,44 @@ func FuzzReadName(f *testing.F) {
 		}
 		if err := ValidateName(name); err != nil && name != "." {
 			t.Fatalf("decoder produced invalid name %q: %v", name, err)
+		}
+	})
+}
+
+// FuzzNameRoundTrip checks the presentation ↔ wire name codec both ways:
+// any name that encodes must decode back to its canonical form, and that
+// canonical form must re-encode to the identical wire bytes (fixpoint).
+// Escaped labels (RFC 4343) are the interesting corner.
+func FuzzNameRoundTrip(f *testing.F) {
+	f.Add("www.example.com")
+	f.Add(".")
+	f.Add("a.b.c.d.e.f.g.h")
+	f.Add(`ex\.ample.com`)
+	f.Add(`wei\\rd.example`)
+	f.Add(`\000\255.example`)
+	f.Add("UPPER.Case.Example.COM.")
+	f.Fuzz(func(t *testing.T, name string) {
+		wire, err := appendName(nil, name, nil)
+		if err != nil {
+			return
+		}
+		decoded, end, err := readName(wire, 0)
+		if err != nil {
+			t.Fatalf("encoded name %q does not decode: %v\nwire: %x", name, err, wire)
+		}
+		if end != len(wire) {
+			t.Fatalf("decode of %q consumed %d of %d bytes", name, end, len(wire))
+		}
+		wire2, err := appendName(nil, decoded, nil)
+		if err != nil {
+			t.Fatalf("decoded form %q of %q does not re-encode: %v", decoded, name, err)
+		}
+		if !bytes.Equal(wire, wire2) {
+			t.Fatalf("name round trip not a fixpoint for %q:\nfirst:  %x (via %q)\nsecond: %x", name, wire, decoded, wire2)
+		}
+		decoded2, _, err := readName(wire2, 0)
+		if err != nil || decoded2 != decoded {
+			t.Fatalf("canonical form unstable: %q → %q (%v)", decoded, decoded2, err)
 		}
 	})
 }

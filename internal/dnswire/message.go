@@ -62,6 +62,23 @@ type Message struct {
 	Answers    []Record
 	Authority  []Record
 	Additional []Record
+
+	// dec is the reusable decode state of pooled messages (AcquireMessage);
+	// nil for ordinary messages.
+	dec *decoder
+}
+
+// Reset clears the message for reuse, keeping section capacity (and, for
+// pooled messages, the decoder arenas' capacity).
+func (m *Message) Reset() {
+	m.Header = Header{}
+	m.Questions = m.Questions[:0]
+	m.Answers = m.Answers[:0]
+	m.Authority = m.Authority[:0]
+	m.Additional = m.Additional[:0]
+	if m.dec != nil {
+		m.dec.reset()
+	}
 }
 
 // NewQuery builds a standard recursive query for one question with the
@@ -74,7 +91,9 @@ func NewQuery(id uint16, name string, t Type) *Message {
 }
 
 // Reply builds a response skeleton for the message: same ID, opcode, and
-// question, QR set, RD copied.
+// question, QR set, RD copied. The question section is deep-copied into a
+// fresh slice so the reply stays valid even when m is a pooled message
+// that is later reused.
 func (m *Message) Reply() *Message {
 	r := &Message{
 		Header: Header{
@@ -84,7 +103,10 @@ func (m *Message) Reply() *Message {
 			RD:     m.Header.RD,
 		},
 	}
-	r.Questions = append(r.Questions, m.Questions...)
+	if len(m.Questions) > 0 {
+		r.Questions = make([]Question, len(m.Questions))
+		copy(r.Questions, m.Questions)
+	}
 	return r
 }
 
@@ -110,14 +132,16 @@ func (m *Message) EDNS() (*OPT, bool) {
 }
 
 // SetEDNS attaches (or replaces) an OPT pseudo-record advertising the given
-// UDP payload size and DO bit.
+// UDP payload size and DO bit. Every existing OPT is removed first, so a
+// malformed message carrying several cannot keep a stray one.
 func (m *Message) SetEDNS(udpSize uint16, do bool) {
-	for i := range m.Additional {
-		if m.Additional[i].Type == TypeOPT {
-			m.Additional = append(m.Additional[:i], m.Additional[i+1:]...)
-			break
+	kept := m.Additional[:0]
+	for _, rr := range m.Additional {
+		if rr.Type != TypeOPT {
+			kept = append(kept, rr)
 		}
 	}
+	m.Additional = kept
 	opt := &OPT{UDPSize: udpSize, DO: do}
 	m.Additional = append(m.Additional, Record{
 		Name: ".", Type: TypeOPT, Class: Class(udpSize), Data: opt,
@@ -170,40 +194,53 @@ func unpackFlags(f uint16) Header {
 
 // Pack encodes the message into wire format with name compression.
 func (m *Message) Pack() ([]byte, error) {
-	buf := make([]byte, 12, 12+64)
-	binary.BigEndian.PutUint16(buf[0:], m.Header.ID)
-	binary.BigEndian.PutUint16(buf[2:], m.Header.packFlags())
-	binary.BigEndian.PutUint16(buf[4:], uint16(len(m.Questions)))
-	binary.BigEndian.PutUint16(buf[6:], uint16(len(m.Answers)))
-	binary.BigEndian.PutUint16(buf[8:], uint16(len(m.Authority)))
-	binary.BigEndian.PutUint16(buf[10:], uint16(len(m.Additional)))
+	return m.AppendPack(make([]byte, 0, 512))
+}
 
-	cmap := make(map[string]int)
+// AppendPack encodes the message into wire format with name compression,
+// appending to buf and returning the extended slice. Compression pointers
+// are relative to the message start (len(buf) at call time), so callers
+// may pack after a prefix — e.g. directly behind a 2-octet TCP length.
+// Packing into a reused buffer is allocation-free in the steady state.
+func (m *Message) AppendPack(buf []byte) ([]byte, error) {
+	base := len(buf)
+	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0)
+	binary.BigEndian.PutUint16(buf[base:], m.Header.ID)
+	binary.BigEndian.PutUint16(buf[base+2:], m.Header.packFlags())
+	binary.BigEndian.PutUint16(buf[base+4:], uint16(len(m.Questions)))
+	binary.BigEndian.PutUint16(buf[base+6:], uint16(len(m.Answers)))
+	binary.BigEndian.PutUint16(buf[base+8:], uint16(len(m.Authority)))
+	binary.BigEndian.PutUint16(buf[base+10:], uint16(len(m.Additional)))
+
+	comp := compressors.Get().(*compressor)
+	comp.reset(base)
+	defer compressors.Put(comp)
 	var err error
-	for _, q := range m.Questions {
-		if buf, err = appendName(buf, q.Name, cmap); err != nil {
+	for i := range m.Questions {
+		q := &m.Questions[i]
+		if buf, err = appendName(buf, q.Name, comp); err != nil {
 			return nil, fmt.Errorf("question %q: %w", q.Name, err)
 		}
 		buf = binary.BigEndian.AppendUint16(buf, uint16(q.Type))
 		buf = binary.BigEndian.AppendUint16(buf, uint16(q.Class))
 	}
-	for _, sec := range [][]Record{m.Answers, m.Authority, m.Additional} {
+	for _, sec := range [3][]Record{m.Answers, m.Authority, m.Additional} {
 		for _, rr := range sec {
-			if buf, err = appendRecord(buf, rr, cmap); err != nil {
+			if buf, err = appendRecord(buf, rr, comp); err != nil {
 				return nil, fmt.Errorf("record %q %s: %w", rr.Name, rr.Type, err)
 			}
 		}
 	}
-	if len(buf) > MaxMessageSize {
+	if len(buf)-base > MaxMessageSize {
 		return nil, ErrMessageTooLarge
 	}
 	return buf, nil
 }
 
 // appendRecord encodes one resource record, including its RDATA.
-func appendRecord(buf []byte, rr Record, cmap map[string]int) ([]byte, error) {
+func appendRecord(buf []byte, rr Record, comp *compressor) ([]byte, error) {
 	var err error
-	if buf, err = appendName(buf, rr.Name, cmap); err != nil {
+	if buf, err = appendName(buf, rr.Name, comp); err != nil {
 		return nil, err
 	}
 	// The OPT pseudo-RR (RFC 6891 §6.1.2) repurposes CLASS as the UDP
@@ -226,8 +263,8 @@ func appendRecord(buf []byte, rr Record, cmap map[string]int) ([]byte, error) {
 		return nil, errors.New("dnswire: record has nil RDATA")
 	}
 	// RDATA names are compressible for the types RFC 1035 defines as such
-	// (NS, CNAME, SOA, PTR, MX); appendRData passes cmap selectively.
-	buf, err = rr.Data.appendRData(buf, cmap)
+	// (NS, CNAME, SOA, PTR, MX); appendRData passes comp selectively.
+	buf, err = rr.Data.appendRData(buf, comp)
 	if err != nil {
 		return nil, err
 	}
@@ -239,14 +276,30 @@ func appendRecord(buf []byte, rr Record, cmap map[string]int) ([]byte, error) {
 	return buf, nil
 }
 
-// Unpack decodes a wire-format message. It is strict: short sections,
-// malformed names, and RDATA length mismatches are errors. Trailing bytes
-// after the counted sections are rejected.
+// Unpack decodes a wire-format message into a fresh Message. It is
+// strict: short sections, malformed names, and RDATA length mismatches
+// are errors. Trailing bytes after the counted sections are rejected.
+// Hot paths that parse many messages should use AcquireMessage and
+// (*Message).Unpack instead, which reuse decode state.
 func Unpack(msg []byte) (*Message, error) {
-	if len(msg) < 12 {
-		return nil, ErrTruncatedMessage
+	m := new(Message)
+	if err := m.Unpack(msg); err != nil {
+		return nil, err
 	}
-	var m Message
+	return m, nil
+}
+
+// Unpack decodes a wire-format message into m, replacing its contents.
+// Section slices are reused; on a pooled Message (AcquireMessage) the
+// RDATA structs and name strings are reused too, so steady-state decoding
+// allocates nothing. On error m is left partially filled and must be
+// Reset (or released) before reuse.
+func (m *Message) Unpack(msg []byte) error {
+	m.Reset()
+	if len(msg) < 12 {
+		return ErrTruncatedMessage
+	}
+	d := m.dec
 	m.Header = unpackFlags(binary.BigEndian.Uint16(msg[2:]))
 	m.Header.ID = binary.BigEndian.Uint16(msg[0:])
 	qd := int(binary.BigEndian.Uint16(msg[4:]))
@@ -258,44 +311,54 @@ func Unpack(msg []byte) (*Message, error) {
 	var err error
 	for i := 0; i < qd; i++ {
 		var q Question
-		if q.Name, off, err = readName(msg, off); err != nil {
-			return nil, err
+		if q.Name, off, err = readNameDec(msg, off, d); err != nil {
+			return err
 		}
 		if off+4 > len(msg) {
-			return nil, ErrTruncatedMessage
+			return ErrTruncatedMessage
 		}
 		q.Type = Type(binary.BigEndian.Uint16(msg[off:]))
 		q.Class = Class(binary.BigEndian.Uint16(msg[off+2:]))
 		off += 4
 		m.Questions = append(m.Questions, q)
 	}
-	for _, sec := range []struct {
-		n   int
-		dst *[]Record
-	}{{an, &m.Answers}, {ns, &m.Authority}, {ar, &m.Additional}} {
-		for i := 0; i < sec.n; i++ {
-			var rr Record
-			if rr, off, err = readRecord(msg, off); err != nil {
-				return nil, err
-			}
-			*sec.dst = append(*sec.dst, rr)
-		}
+	if m.Answers, off, err = unpackSection(msg, off, an, m.Answers, d); err != nil {
+		return err
+	}
+	if m.Authority, off, err = unpackSection(msg, off, ns, m.Authority, d); err != nil {
+		return err
+	}
+	if m.Additional, off, err = unpackSection(msg, off, ar, m.Additional, d); err != nil {
+		return err
 	}
 	// An EDNS OPT record extends the RCODE with 8 more high bits.
 	if opt, ok := m.EDNS(); ok {
 		m.Header.RCode |= RCode(opt.ExtRCode) << 4
 	}
 	if off != len(msg) {
-		return nil, ErrTrailingGarbage
+		return ErrTrailingGarbage
 	}
-	return &m, nil
+	return nil
+}
+
+// unpackSection decodes n records at off, appending to dst.
+func unpackSection(msg []byte, off, n int, dst []Record, d *decoder) ([]Record, int, error) {
+	var err error
+	for i := 0; i < n; i++ {
+		var rr Record
+		if rr, off, err = readRecord(msg, off, d); err != nil {
+			return dst, 0, err
+		}
+		dst = append(dst, rr)
+	}
+	return dst, off, nil
 }
 
 // readRecord decodes one resource record at off.
-func readRecord(msg []byte, off int) (Record, int, error) {
+func readRecord(msg []byte, off int, d *decoder) (Record, int, error) {
 	var rr Record
 	var err error
-	if rr.Name, off, err = readName(msg, off); err != nil {
+	if rr.Name, off, err = readNameDec(msg, off, d); err != nil {
 		return rr, 0, err
 	}
 	if off+10 > len(msg) {
@@ -309,7 +372,7 @@ func readRecord(msg []byte, off int) (Record, int, error) {
 	if off+rdlen > len(msg) {
 		return rr, 0, ErrTruncatedMessage
 	}
-	rr.Data, err = parseRData(rr.Type, msg, off, rdlen)
+	rr.Data, err = parseRData(rr.Type, msg, off, rdlen, d)
 	if err != nil {
 		return rr, 0, err
 	}

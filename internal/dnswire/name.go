@@ -76,6 +76,9 @@ func unescapeLabel(label string) ([]byte, error) {
 // (RFC 1035 §2.3.3) and the codec canonicalises on decode so lookups and
 // comparisons are byte-equal. Escapes are preserved.
 func CanonicalName(name string) string {
+	if isCanonical(name) {
+		return name // already canonical: no rewrite, no allocation
+	}
 	name = strings.ToLower(strings.TrimSuffix(name, "."))
 	return name + "."
 }
@@ -134,55 +137,93 @@ func IsSubdomain(child, parent string) bool {
 	return child == parent || strings.HasSuffix(child, "."+parent)
 }
 
+// isCanonical reports whether name is already in canonical form (ends
+// with a dot, no uppercase ASCII), letting the encode hot path skip the
+// allocating CanonicalName rewrite.
+func isCanonical(name string) bool {
+	if len(name) == 0 || name[len(name)-1] != '.' {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		if c := name[i]; c >= 'A' && c <= 'Z' {
+			return false
+		}
+	}
+	return true
+}
+
 // appendName encodes a domain name into wire format, appending to buf.
-// When cmap is non-nil it performs RFC 1035 §4.1.4 compression, recording
-// and reusing suffix offsets. The name is canonicalised before encoding.
-func appendName(buf []byte, name string, cmap map[string]int) ([]byte, error) {
-	name = CanonicalName(name)
+// When comp is non-nil it performs RFC 1035 §4.1.4 compression against
+// the wire bytes already written. The name is canonicalised first; the
+// common already-canonical case encodes without allocating.
+func appendName(buf []byte, name string, comp *compressor) ([]byte, error) {
+	if !isCanonical(name) {
+		name = CanonicalName(name)
+	}
 	if name == "." {
 		return append(buf, 0), nil
 	}
-	// Wire length check: each label costs len+1, plus the final root byte.
-	labels := SplitLabels(name)
-	raw := make([][]byte, len(labels))
-	wireLen := 1
-	for i, l := range labels {
-		if l == "" {
+	wireLen := 1 // the terminating root byte
+	pos := 0
+	for pos < len(name) {
+		if comp != nil {
+			if off := comp.find(buf, name, pos); off >= 0 {
+				return append(buf, 0xC0|byte(off>>8), byte(off)), nil
+			}
+			comp.add(len(buf))
+		}
+		// Encode one label: reserve the length octet, stream data bytes
+		// (decoding escapes in place), then backfill the length.
+		lenAt := len(buf)
+		buf = append(buf, 0)
+		ll := 0
+		for pos < len(name) && name[pos] != '.' {
+			b, next, ok := nextNameByte(name, pos)
+			if !ok {
+				return buf, fmt.Errorf("dnswire: bad escape in name %q", name)
+			}
+			if b >= 'A' && b <= 'Z' {
+				// Canonical wire form (RFC 4034 §6.2) lowercases label
+				// bytes; CanonicalName above misses bytes hidden in \DDD
+				// escapes, so normalise here too.
+				b += 'a' - 'A'
+			}
+			buf = append(buf, b)
+			pos = next
+			ll++
+		}
+		if ll == 0 {
 			return buf, ErrEmptyLabel
 		}
-		rl, err := unescapeLabel(l)
-		if err != nil {
-			return buf, err
-		}
-		if len(rl) == 0 {
-			return buf, ErrEmptyLabel
-		}
-		if len(rl) > maxLabelLen {
+		if ll > maxLabelLen {
 			return buf, ErrLabelTooLong
 		}
-		raw[i] = rl
-		wireLen += len(rl) + 1
-	}
-	if wireLen > maxNameLen {
-		return buf, ErrNameTooLong
-	}
-	for i := range labels {
-		suffix := strings.Join(labels[i:], ".") + "."
-		if cmap != nil {
-			if off, ok := cmap[suffix]; ok {
-				// Pointers are 14-bit; offsets beyond that are not reusable.
-				if off <= 0x3FFF {
-					return append(buf, 0xC0|byte(off>>8), byte(off)), nil
-				}
-			}
-			if len(buf) <= 0x3FFF {
-				cmap[suffix] = len(buf)
-			}
+		if wireLen += ll + 1; wireLen > maxNameLen {
+			return buf, ErrNameTooLong
 		}
-		buf = append(buf, byte(len(raw[i])))
-		buf = append(buf, raw[i]...)
+		buf[lenAt] = byte(ll)
+		pos++ // the separator (or trailing) dot
 	}
 	return append(buf, 0), nil
+}
+
+// appendPresentationLabel appends one raw wire label to dst in canonical
+// presentation form: escaped per RFC 4343 and with ASCII uppercase
+// lowered, so the result needs no ToLower pass.
+func appendPresentationLabel(dst []byte, raw []byte) []byte {
+	for _, b := range raw {
+		switch {
+		case b == '.' || b == '\\':
+			dst = append(dst, '\\', b)
+		case b >= 'A' && b <= 'Z':
+			dst = append(dst, b+('a'-'A'))
+		case b < '!' || b > '~':
+			dst = append(dst, '\\', '0'+b/100, '0'+b/10%10, '0'+b%10)
+		default:
+			dst = append(dst, b)
+		}
+	}
+	return dst
 }
 
 // readName decodes a domain name starting at off, following compression
@@ -190,7 +231,17 @@ func appendName(buf []byte, name string, cmap map[string]int) ([]byte, error) {
 // in the original (non-pointer) byte stream. Pointer chains are bounded to
 // reject loops; names that exceed RFC limits are rejected.
 func readName(msg []byte, off int) (string, int, error) {
-	var sb strings.Builder
+	return readNameDec(msg, off, nil)
+}
+
+// readNameDec is readName with an optional decoder: when d is non-nil the
+// name is assembled in d's reusable scratch buffer and interned, so
+// steady-state decoding of recurring names does not allocate.
+func readNameDec(msg []byte, off int, d *decoder) (string, int, error) {
+	var nb []byte // nil-decoder path lets append allocate; it returns a fresh string anyway
+	if d != nil {
+		nb = d.nameBuf[:0]
+	}
 	ptrBudget := 32 // far more than any legitimate message nests
 	nameLen := 0
 	end := -1 // offset after the name in the top-level stream
@@ -204,10 +255,14 @@ func readName(msg []byte, off int) (string, int, error) {
 			if end < 0 {
 				end = off + 1
 			}
-			if sb.Len() == 0 {
+			if len(nb) == 0 {
 				return ".", end, nil
 			}
-			return strings.ToLower(sb.String()), end, nil
+			if d != nil {
+				d.nameBuf = nb
+				return d.internName(nb), end, nil
+			}
+			return string(nb), end, nil
 		case b&0xC0 == 0xC0:
 			if off+1 >= len(msg) {
 				return "", 0, ErrTruncatedName
@@ -236,8 +291,8 @@ func readName(msg []byte, off int) (string, int, error) {
 			if nameLen > maxNameLen {
 				return "", 0, ErrNameTooLong
 			}
-			sb.WriteString(escapeLabel(msg[off+1 : off+1+l]))
-			sb.WriteByte('.')
+			nb = appendPresentationLabel(nb, msg[off+1:off+1+l])
+			nb = append(nb, '.')
 			off += 1 + l
 		}
 	}

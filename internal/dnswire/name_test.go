@@ -128,14 +128,15 @@ func TestNameEncodeErrors(t *testing.T) {
 }
 
 func TestNameCompression(t *testing.T) {
-	cmap := make(map[string]int)
-	buf, err := appendName(nil, "www.example.com", cmap)
+	comp := new(compressor)
+	comp.reset(0)
+	buf, err := appendName(nil, "www.example.com", comp)
 	if err != nil {
 		t.Fatal(err)
 	}
 	full := len(buf)
 	// Encoding a sibling should reuse the "example.com." suffix.
-	buf, err = appendName(buf, "mail.example.com", cmap)
+	buf, err = appendName(buf, "mail.example.com", comp)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +155,7 @@ func TestNameCompression(t *testing.T) {
 	}
 	// Encoding the exact same name again should be a bare pointer.
 	before := len(buf)
-	buf, err = appendName(buf, "www.example.com", cmap)
+	buf, err = appendName(buf, "www.example.com", comp)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -10,10 +10,10 @@ import (
 
 // RData is the typed payload of a resource record.
 type RData interface {
-	// appendRData encodes the RDATA, appending to buf. cmap is the message
-	// compression map; implementations for the RFC 1035 types whose names
+	// appendRData encodes the RDATA, appending to buf. comp is the message
+	// compression state; implementations for the RFC 1035 types whose names
 	// are compressible pass it through, others must not.
-	appendRData(buf []byte, cmap map[string]int) ([]byte, error)
+	appendRData(buf []byte, comp *compressor) ([]byte, error)
 	// String renders the RDATA in presentation format.
 	String() string
 }
@@ -22,22 +22,28 @@ type RData interface {
 var ErrBadRData = errors.New("dnswire: malformed RDATA")
 
 // parseRData decodes rdlen octets at off as the RDATA of type t. Unknown
-// types decode to Raw.
-func parseRData(t Type, msg []byte, off, rdlen int) (RData, error) {
+// types decode to Raw. d, when non-nil, supplies reusable RData structs
+// and interned names for the common types (see decode.go); a nil d
+// allocates fresh values.
+func parseRData(t Type, msg []byte, off, rdlen int, d *decoder) (RData, error) {
 	rd := msg[off : off+rdlen]
 	switch t {
 	case TypeA:
 		if rdlen != 4 {
 			return nil, fmt.Errorf("%w: A length %d", ErrBadRData, rdlen)
 		}
-		return &A{Addr: netip.AddrFrom4([4]byte(rd))}, nil
+		a := d.newA()
+		a.Addr = netip.AddrFrom4([4]byte(rd))
+		return a, nil
 	case TypeAAAA:
 		if rdlen != 16 {
 			return nil, fmt.Errorf("%w: AAAA length %d", ErrBadRData, rdlen)
 		}
-		return &AAAA{Addr: netip.AddrFrom16([16]byte(rd))}, nil
+		a := d.newAAAA()
+		a.Addr = netip.AddrFrom16([16]byte(rd))
+		return a, nil
 	case TypeNS, TypeCNAME, TypePTR:
-		name, end, err := readName(msg, off)
+		name, end, err := readNameDec(msg, off, d)
 		if err != nil {
 			return nil, err
 		}
@@ -46,48 +52,56 @@ func parseRData(t Type, msg []byte, off, rdlen int) (RData, error) {
 		}
 		switch t {
 		case TypeNS:
-			return &NS{Host: name}, nil
+			ns := d.newNS()
+			ns.Host = name
+			return ns, nil
 		case TypeCNAME:
-			return &CNAME{Target: name}, nil
+			cn := d.newCNAME()
+			cn.Target = name
+			return cn, nil
 		default:
-			return &PTR{Target: name}, nil
+			p := d.newPTR()
+			p.Target = name
+			return p, nil
 		}
 	case TypeSOA:
-		return parseSOA(msg, off, rdlen)
+		return parseSOA(msg, off, rdlen, d)
 	case TypeMX:
 		if rdlen < 3 {
 			return nil, fmt.Errorf("%w: MX too short", ErrBadRData)
 		}
 		pref := binary.BigEndian.Uint16(rd)
-		host, end, err := readName(msg, off+2)
+		host, end, err := readNameDec(msg, off+2, d)
 		if err != nil {
 			return nil, err
 		}
 		if end != off+rdlen {
 			return nil, fmt.Errorf("%w: MX name length", ErrBadRData)
 		}
-		return &MX{Preference: pref, Host: host}, nil
+		mx := d.newMX()
+		mx.Preference, mx.Host = pref, host
+		return mx, nil
 	case TypeTXT:
-		return parseTXT(rd)
+		return parseTXT(rd, d)
 	case TypeSRV:
 		if rdlen < 7 {
 			return nil, fmt.Errorf("%w: SRV too short", ErrBadRData)
 		}
-		target, end, err := readName(msg, off+6)
+		target, end, err := readNameDec(msg, off+6, d)
 		if err != nil {
 			return nil, err
 		}
 		if end != off+rdlen {
 			return nil, fmt.Errorf("%w: SRV name length", ErrBadRData)
 		}
-		return &SRV{
-			Priority: binary.BigEndian.Uint16(rd),
-			Weight:   binary.BigEndian.Uint16(rd[2:]),
-			Port:     binary.BigEndian.Uint16(rd[4:]),
-			Target:   target,
-		}, nil
+		srv := d.newSRV()
+		srv.Priority = binary.BigEndian.Uint16(rd)
+		srv.Weight = binary.BigEndian.Uint16(rd[2:])
+		srv.Port = binary.BigEndian.Uint16(rd[4:])
+		srv.Target = target
+		return srv, nil
 	case TypeOPT:
-		return parseOPT(rd)
+		return parseOPT(rd, d)
 	case TypeCAA:
 		return parseCAA(rd)
 	case TypeSVCB, TypeHTTPS:
@@ -101,16 +115,17 @@ func parseRData(t Type, msg []byte, off, rdlen int) (RData, error) {
 	case TypeNSEC:
 		return parseNSEC(msg, off, rdlen)
 	default:
-		raw := make([]byte, rdlen)
-		copy(raw, rd)
-		return &Raw{Type: t, Data: raw}, nil
+		r := d.newRaw()
+		r.Type = t
+		r.Data = append(r.Data, rd...)
+		return r, nil
 	}
 }
 
 // A is an IPv4 address record (RFC 1035 §3.4.1).
 type A struct{ Addr netip.Addr }
 
-func (a *A) appendRData(buf []byte, _ map[string]int) ([]byte, error) {
+func (a *A) appendRData(buf []byte, _ *compressor) ([]byte, error) {
 	if !a.Addr.Is4() {
 		return nil, fmt.Errorf("%w: A with non-IPv4 address %s", ErrBadRData, a.Addr)
 	}
@@ -123,7 +138,7 @@ func (a *A) String() string { return a.Addr.String() }
 // AAAA is an IPv6 address record (RFC 3596).
 type AAAA struct{ Addr netip.Addr }
 
-func (a *AAAA) appendRData(buf []byte, _ map[string]int) ([]byte, error) {
+func (a *AAAA) appendRData(buf []byte, _ *compressor) ([]byte, error) {
 	if !a.Addr.Is6() || a.Addr.Is4In6() {
 		return nil, fmt.Errorf("%w: AAAA with non-IPv6 address %s", ErrBadRData, a.Addr)
 	}
@@ -136,8 +151,8 @@ func (a *AAAA) String() string { return a.Addr.String() }
 // NS is a delegation record (RFC 1035 §3.3.11).
 type NS struct{ Host string }
 
-func (n *NS) appendRData(buf []byte, cmap map[string]int) ([]byte, error) {
-	return appendName(buf, n.Host, cmap)
+func (n *NS) appendRData(buf []byte, comp *compressor) ([]byte, error) {
+	return appendName(buf, n.Host, comp)
 }
 
 func (n *NS) String() string { return CanonicalName(n.Host) }
@@ -145,8 +160,8 @@ func (n *NS) String() string { return CanonicalName(n.Host) }
 // CNAME is an alias record (RFC 1035 §3.3.1).
 type CNAME struct{ Target string }
 
-func (c *CNAME) appendRData(buf []byte, cmap map[string]int) ([]byte, error) {
-	return appendName(buf, c.Target, cmap)
+func (c *CNAME) appendRData(buf []byte, comp *compressor) ([]byte, error) {
+	return appendName(buf, c.Target, comp)
 }
 
 func (c *CNAME) String() string { return CanonicalName(c.Target) }
@@ -154,8 +169,8 @@ func (c *CNAME) String() string { return CanonicalName(c.Target) }
 // PTR is a reverse-mapping record (RFC 1035 §3.3.12).
 type PTR struct{ Target string }
 
-func (p *PTR) appendRData(buf []byte, cmap map[string]int) ([]byte, error) {
-	return appendName(buf, p.Target, cmap)
+func (p *PTR) appendRData(buf []byte, comp *compressor) ([]byte, error) {
+	return appendName(buf, p.Target, comp)
 }
 
 func (p *PTR) String() string { return CanonicalName(p.Target) }
@@ -171,12 +186,12 @@ type SOA struct {
 	Minimum uint32 // negative-caching TTL per RFC 2308
 }
 
-func (s *SOA) appendRData(buf []byte, cmap map[string]int) ([]byte, error) {
+func (s *SOA) appendRData(buf []byte, comp *compressor) ([]byte, error) {
 	var err error
-	if buf, err = appendName(buf, s.MName, cmap); err != nil {
+	if buf, err = appendName(buf, s.MName, comp); err != nil {
 		return nil, err
 	}
-	if buf, err = appendName(buf, s.RName, cmap); err != nil {
+	if buf, err = appendName(buf, s.RName, comp); err != nil {
 		return nil, err
 	}
 	buf = binary.BigEndian.AppendUint32(buf, s.Serial)
@@ -193,14 +208,14 @@ func (s *SOA) String() string {
 		s.Serial, s.Refresh, s.Retry, s.Expire, s.Minimum)
 }
 
-func parseSOA(msg []byte, off, rdlen int) (*SOA, error) {
-	var s SOA
+func parseSOA(msg []byte, off, rdlen int, d *decoder) (*SOA, error) {
+	s := d.newSOA()
 	var err error
 	end := off + rdlen
-	if s.MName, off, err = readName(msg, off); err != nil {
+	if s.MName, off, err = readNameDec(msg, off, d); err != nil {
 		return nil, err
 	}
-	if s.RName, off, err = readName(msg, off); err != nil {
+	if s.RName, off, err = readNameDec(msg, off, d); err != nil {
 		return nil, err
 	}
 	if off+20 != end {
@@ -211,7 +226,7 @@ func parseSOA(msg []byte, off, rdlen int) (*SOA, error) {
 	s.Retry = binary.BigEndian.Uint32(msg[off+8:])
 	s.Expire = binary.BigEndian.Uint32(msg[off+12:])
 	s.Minimum = binary.BigEndian.Uint32(msg[off+16:])
-	return &s, nil
+	return s, nil
 }
 
 // MX is a mail-exchange record (RFC 1035 §3.3.9).
@@ -220,9 +235,9 @@ type MX struct {
 	Host       string
 }
 
-func (m *MX) appendRData(buf []byte, cmap map[string]int) ([]byte, error) {
+func (m *MX) appendRData(buf []byte, comp *compressor) ([]byte, error) {
 	buf = binary.BigEndian.AppendUint16(buf, m.Preference)
-	return appendName(buf, m.Host, cmap)
+	return appendName(buf, m.Host, comp)
 }
 
 func (m *MX) String() string {
@@ -232,7 +247,7 @@ func (m *MX) String() string {
 // TXT is a text record (RFC 1035 §3.3.14): one or more character-strings.
 type TXT struct{ Strings []string }
 
-func (t *TXT) appendRData(buf []byte, _ map[string]int) ([]byte, error) {
+func (t *TXT) appendRData(buf []byte, _ *compressor) ([]byte, error) {
 	if len(t.Strings) == 0 {
 		return nil, fmt.Errorf("%w: TXT needs at least one string", ErrBadRData)
 	}
@@ -254,8 +269,8 @@ func (t *TXT) String() string {
 	return strings.Join(parts, " ")
 }
 
-func parseTXT(rd []byte) (*TXT, error) {
-	var t TXT
+func parseTXT(rd []byte, d *decoder) (*TXT, error) {
+	t := d.newTXT()
 	for len(rd) > 0 {
 		l := int(rd[0])
 		if 1+l > len(rd) {
@@ -267,7 +282,7 @@ func parseTXT(rd []byte) (*TXT, error) {
 	if len(t.Strings) == 0 {
 		return nil, fmt.Errorf("%w: empty TXT", ErrBadRData)
 	}
-	return &t, nil
+	return t, nil
 }
 
 // SRV is a service-location record (RFC 2782). Its target name is not
@@ -279,7 +294,7 @@ type SRV struct {
 	Target   string
 }
 
-func (s *SRV) appendRData(buf []byte, _ map[string]int) ([]byte, error) {
+func (s *SRV) appendRData(buf []byte, _ *compressor) ([]byte, error) {
 	buf = binary.BigEndian.AppendUint16(buf, s.Priority)
 	buf = binary.BigEndian.AppendUint16(buf, s.Weight)
 	buf = binary.BigEndian.AppendUint16(buf, s.Port)
@@ -297,7 +312,7 @@ type CAA struct {
 	Value string
 }
 
-func (c *CAA) appendRData(buf []byte, _ map[string]int) ([]byte, error) {
+func (c *CAA) appendRData(buf []byte, _ *compressor) ([]byte, error) {
 	if len(c.Tag) == 0 || len(c.Tag) > 255 {
 		return nil, fmt.Errorf("%w: CAA tag length", ErrBadRData)
 	}
@@ -341,7 +356,7 @@ type SvcParam struct {
 	Value []byte
 }
 
-func (s *SVCB) appendRData(buf []byte, _ map[string]int) ([]byte, error) {
+func (s *SVCB) appendRData(buf []byte, _ *compressor) ([]byte, error) {
 	buf = binary.BigEndian.AppendUint16(buf, s.Priority)
 	var err error
 	if buf, err = appendName(buf, s.Target, nil); err != nil {
@@ -410,7 +425,7 @@ type EDNSOption struct {
 	Data []byte
 }
 
-func (o *OPT) appendRData(buf []byte, _ map[string]int) ([]byte, error) {
+func (o *OPT) appendRData(buf []byte, _ *compressor) ([]byte, error) {
 	for _, opt := range o.Options {
 		buf = binary.BigEndian.AppendUint16(buf, opt.Code)
 		buf = binary.BigEndian.AppendUint16(buf, uint16(len(opt.Data)))
@@ -423,8 +438,8 @@ func (o *OPT) String() string {
 	return fmt.Sprintf("; EDNS: version %d; udp: %d; do: %v", o.Version, o.UDPSize, o.DO)
 }
 
-func parseOPT(rd []byte) (*OPT, error) {
-	var o OPT
+func parseOPT(rd []byte, d *decoder) (*OPT, error) {
+	o := d.newOPT()
 	for len(rd) > 0 {
 		if len(rd) < 4 {
 			return nil, fmt.Errorf("%w: OPT option header", ErrBadRData)
@@ -439,7 +454,7 @@ func parseOPT(rd []byte) (*OPT, error) {
 		o.Options = append(o.Options, EDNSOption{Code: code, Data: v})
 		rd = rd[4+vlen:]
 	}
-	return &o, nil
+	return o, nil
 }
 
 // Raw is the fallback RDATA for record types this codec does not model.
@@ -448,7 +463,7 @@ type Raw struct {
 	Data []byte
 }
 
-func (r *Raw) appendRData(buf []byte, _ map[string]int) ([]byte, error) {
+func (r *Raw) appendRData(buf []byte, _ *compressor) ([]byte, error) {
 	return append(buf, r.Data...), nil
 }
 

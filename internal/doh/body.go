@@ -1,0 +1,62 @@
+package doh
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"sync"
+
+	"encdns/internal/bufpool"
+)
+
+// errBodyTooLarge reports a request or response body over the DNS message
+// limit; callers map it to the transport-appropriate error.
+var errBodyTooLarge = errors.New("doh: body exceeds DNS message limit")
+
+// readAllInto reads r to EOF appending onto buf (typically a pooled
+// buffer), failing with errBodyTooLarge once the total passes limit. It
+// is io.ReadAll without the per-call allocation.
+func readAllInto(buf []byte, r io.Reader, limit int) ([]byte, error) {
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := r.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if len(buf) > limit {
+			return buf, errBodyTooLarge
+		}
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return buf, err
+		}
+	}
+}
+
+// pooledBody is a POST request body backed by a pooled pack buffer. The
+// HTTP transport owns the request body and closes it once the write loop
+// is done with it (even on error) — and that close is the only point the
+// buffer is provably no longer being read, because a response can arrive
+// while the body is still in flight. So the buffer is returned to the
+// pool from Close rather than by the exchange path.
+type pooledBody struct {
+	bytes.Reader
+	bp   *[]byte
+	once sync.Once
+}
+
+func newPooledBody(bp *[]byte) *pooledBody {
+	b := &pooledBody{bp: bp}
+	b.Reset(*bp)
+	return b
+}
+
+func (b *pooledBody) Close() error {
+	b.once.Do(func() {
+		bufpool.Put(b.bp)
+		b.bp = nil
+	})
+	return nil
+}

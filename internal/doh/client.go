@@ -1,7 +1,6 @@
 package doh
 
 import (
-	"bytes"
 	"context"
 	"crypto/tls"
 	"encoding/base64"
@@ -12,6 +11,7 @@ import (
 	"net/url"
 	"time"
 
+	"encdns/internal/bufpool"
 	"encdns/internal/dns53"
 	"encdns/internal/dnswire"
 	"encdns/internal/obs"
@@ -104,16 +104,23 @@ func (c *Client) Query(ctx context.Context, endpoint, name string, t dnswire.Typ
 
 // Exchange sends the query to the endpoint and parses the response.
 func (c *Client) Exchange(ctx context.Context, query *dnswire.Message, endpoint string) (*dnswire.Message, error) {
-	wire, err := query.Pack()
+	bp := bufpool.Get()
+	wire, err := query.AppendPack((*bp)[:0])
 	if err != nil {
+		bufpool.Put(bp)
 		return nil, fmt.Errorf("doh: packing query: %w", err)
 	}
+	*bp = wire
+	body := newPooledBody(bp)
 	ctx, cancel := context.WithTimeout(ctx, c.timeout())
 	defer cancel()
 	ctx = withClientTrace(ctx)
 
 	var req *http.Request
 	if c.Method == MethodGET {
+		// The wire bytes are dead once base64-encoded into the URL, so the
+		// buffer can be released when this function returns.
+		defer body.Close()
 		u, err := url.Parse(endpoint)
 		if err != nil {
 			return nil, fmt.Errorf("doh: endpoint: %w", err)
@@ -126,10 +133,14 @@ func (c *Client) Exchange(ctx context.Context, query *dnswire.Message, endpoint 
 			return nil, fmt.Errorf("doh: building request: %w", err)
 		}
 	} else {
-		req, err = http.NewRequestWithContext(ctx, http.MethodPost, endpoint, bytes.NewReader(wire))
+		// For POST the transport owns body until the request write loop
+		// finishes; body.Close (called by the transport) recycles it.
+		req, err = http.NewRequestWithContext(ctx, http.MethodPost, endpoint, body)
 		if err != nil {
+			body.Close()
 			return nil, fmt.Errorf("doh: building request: %w", err)
 		}
+		req.ContentLength = int64(len(wire))
 		req.Header.Set("Content-Type", ContentType)
 	}
 	req.Header.Set("Accept", ContentType)
@@ -146,14 +157,19 @@ func (c *Client) Exchange(ctx context.Context, query *dnswire.Message, endpoint 
 		_, _ = io.Copy(io.Discard, io.LimitReader(httpResp.Body, 4096))
 		return nil, &HTTPError{StatusCode: httpResp.StatusCode, Status: httpResp.Status}
 	}
-	body, err := io.ReadAll(io.LimitReader(httpResp.Body, dnswire.MaxMessageSize+1))
+	// The response wire lives in a pooled buffer only as long as Unpack
+	// needs it: plain Unpack fully copies into the returned Message.
+	rbp := bufpool.Get()
+	defer bufpool.Put(rbp)
+	raw, err := readAllInto((*rbp)[:0], httpResp.Body, dnswire.MaxMessageSize)
+	*rbp = raw
+	if err == errBodyTooLarge {
+		return nil, fmt.Errorf("doh: response exceeds DNS message limit")
+	}
 	if err != nil {
 		return nil, fmt.Errorf("doh: reading response: %w", err)
 	}
-	if len(body) > dnswire.MaxMessageSize {
-		return nil, fmt.Errorf("doh: response exceeds DNS message limit")
-	}
-	resp, err := dnswire.Unpack(body)
+	resp, err := dnswire.Unpack(raw)
 	if err != nil {
 		return nil, fmt.Errorf("doh: parsing response: %w", err)
 	}

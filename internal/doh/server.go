@@ -11,12 +11,12 @@ import (
 	"encoding/base64"
 	"encoding/json"
 	"fmt"
-	"io"
 	"net/http"
 	"strconv"
 	"strings"
 	"time"
 
+	"encdns/internal/bufpool"
 	"encdns/internal/dns53"
 	"encdns/internal/dnswire"
 	"encdns/internal/obs"
@@ -128,21 +128,28 @@ func (h *Handler) servePOST(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "unsupported media type", http.StatusUnsupportedMediaType)
 		return
 	}
-	wire, err := io.ReadAll(io.LimitReader(r.Body, maxPOSTBody+1))
-	if err != nil {
-		http.Error(w, "reading body", http.StatusBadRequest)
+	bp := bufpool.Get()
+	defer bufpool.Put(bp)
+	wire, err := readAllInto((*bp)[:0], r.Body, maxPOSTBody)
+	*bp = wire
+	if err == errBodyTooLarge {
+		http.Error(w, "message too large", http.StatusRequestEntityTooLarge)
 		return
 	}
-	if len(wire) > maxPOSTBody {
-		http.Error(w, "message too large", http.StatusRequestEntityTooLarge)
+	if err != nil {
+		http.Error(w, "reading body", http.StatusBadRequest)
 		return
 	}
 	h.answerWire(w, r, wire)
 }
 
 func (h *Handler) answerWire(w http.ResponseWriter, r *http.Request, wire []byte) {
-	query, err := dnswire.Unpack(wire)
-	if err != nil {
+	// Parse into a pooled message: handlers hand back fresh responses and
+	// retain only interned name strings from the query, so its records can
+	// be recycled once the response bytes are handed to the HTTP layer.
+	query := dnswire.AcquireMessage()
+	defer dnswire.ReleaseMessage(query)
+	if err := query.Unpack(wire); err != nil {
 		http.Error(w, "malformed DNS message", http.StatusBadRequest)
 		return
 	}
@@ -151,17 +158,22 @@ func (h *Handler) answerWire(w http.ResponseWriter, r *http.Request, wire []byte
 		resp = query.Reply()
 		resp.Header.RCode = dnswire.RCodeServFail
 	}
-	out, err := resp.Pack()
+	bp := bufpool.Get()
+	defer bufpool.Put(bp)
+	out, err := resp.AppendPack((*bp)[:0])
 	if err != nil {
 		http.Error(w, "packing response", http.StatusInternalServerError)
 		return
 	}
+	*bp = out
 	w.Header().Set("Content-Type", ContentType)
 	// RFC 8484 §5.1: cache lifetime is the minimum TTL of the answer.
 	if ttl, ok := minTTL(resp); ok {
 		w.Header().Set("Cache-Control", "max-age="+strconv.FormatUint(uint64(ttl), 10))
 	}
 	w.Header().Set("Content-Length", strconv.Itoa(len(out)))
+	// ResponseWriter.Write copies into the HTTP layer's own buffer, so the
+	// pooled frame can be recycled as soon as this returns.
 	_, _ = w.Write(out)
 }
 

@@ -15,6 +15,7 @@ import (
 	"sync"
 	"time"
 
+	"encdns/internal/bufpool"
 	"encdns/internal/dns53"
 	"encdns/internal/dnswire"
 	"encdns/internal/obs"
@@ -308,7 +309,14 @@ func exchangeOn(ctx context.Context, conn net.Conn, query *dnswire.Message) (*dn
 	}
 	stop := context.AfterFunc(ctx, func() { _ = conn.SetDeadline(time.Now()) })
 	defer stop()
-	return dns53.ExchangeConn(conn, query, nil)
+	bp := bufpool.Get()
+	defer bufpool.Put(bp)
+	wire, err := query.AppendPack((*bp)[:0])
+	if err != nil {
+		return nil, fmt.Errorf("dot: packing query: %w", err)
+	}
+	*bp = wire
+	return dns53.ExchangeConn(conn, query, wire)
 }
 
 // Server terminates DoT connections and dispatches to a dns53.Server's

@@ -7,8 +7,8 @@
 package resolver
 
 import (
-	"container/list"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"encdns/internal/dnswire"
@@ -17,6 +17,9 @@ import (
 
 // Process-wide cache instruments; every Cache instance folds into them
 // so the resolver cache reads at /metrics alongside its typed accessors.
+// The per-cache atomic counters in Cache are the single bookkeeping
+// source; these aggregates receive the same increments so they can never
+// disagree with the sum of per-cache stats.
 var (
 	cacheHits = obs.Default().Counter("resolver_cache_hits_total",
 		"Lookups answered from the cache (fresh entries).")
@@ -28,13 +31,38 @@ var (
 		"Live cache entries across resolver caches (expired-but-unswept included).")
 )
 
+// Shard sizing: a cache is split into power-of-two lock shards only once
+// it is big enough that each shard still holds a meaningful LRU
+// (minShardCapacity entries); small caches keep one shard and therefore
+// exact global LRU order.
+const (
+	maxCacheShards   = 16
+	minShardCapacity = 64
+)
+
 // cacheKey identifies a cached RRset or negative entry.
 type cacheKey struct {
 	name string
 	typ  dnswire.Type
 }
 
-// cacheEntry is one cached item.
+// shardIndex hashes the key with FNV-1a and masks it onto a shard.
+func (k cacheKey) shardIndex(mask uint32) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(k.name); i++ {
+		h ^= uint32(k.name[i])
+		h *= 16777619
+	}
+	h ^= uint32(k.typ)
+	h *= 16777619
+	h ^= uint32(k.typ) >> 8
+	h *= 16777619
+	return h & mask
+}
+
+// cacheEntry is one cached item. It is an intrusive node of its shard's
+// LRU list, avoiding the separate container/list element allocation the
+// previous implementation paid per entry.
 type cacheEntry struct {
 	key     cacheKey
 	expires time.Time
@@ -43,22 +71,69 @@ type cacheEntry struct {
 	// negative marks an NXDOMAIN/NODATA entry (RFC 2308).
 	negative bool
 	// nxdomain distinguishes NXDOMAIN from NODATA within negative entries.
-	nxdomain bool
-	elem     *list.Element
+	nxdomain   bool
+	prev, next *cacheEntry // intrusive LRU links; nil at list ends
+}
+
+// cacheShard is one lock domain: a map plus an intrusive LRU list
+// (head = most recent, tail = least recent).
+type cacheShard struct {
+	mu    sync.Mutex
+	items map[cacheKey]*cacheEntry
+	head  *cacheEntry
+	tail  *cacheEntry
+	max   int
+	_     [24]byte // soften false sharing between adjacent shard locks
+}
+
+func (s *cacheShard) pushFront(e *cacheEntry) {
+	e.prev = nil
+	e.next = s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+func (s *cacheShard) unlink(e *cacheEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (s *cacheShard) moveToFront(e *cacheEntry) {
+	if s.head == e {
+		return
+	}
+	s.unlink(e)
+	s.pushFront(e)
 }
 
 // Cache is a TTL- and LRU-bounded DNS cache, safe for concurrent use.
+// Keys are spread across lock shards so concurrent lookups of different
+// names do not serialise on one mutex.
 type Cache struct {
-	mu    sync.Mutex
-	max   int
-	items map[cacheKey]*cacheEntry
-	lru   *list.List // front = most recent
-	now   func() time.Time
+	shards []cacheShard
+	mask   uint32
+	now    func() time.Time
 	// staleFor keeps expired positive entries usable by LookupStale for
 	// this long past expiry (RFC 8767 serve-stale); zero disables.
-	staleFor time.Duration
+	staleFor atomic.Int64 // time.Duration
+	closed   atomic.Bool
 
-	hits, misses, evictions uint64
+	hits, misses, evictions atomic.Uint64
+	entries                 atomic.Int64
 }
 
 // CacheStats is a point-in-time view of one cache's counters.
@@ -78,9 +153,7 @@ type CacheStats struct {
 // their TTL so LookupStale can serve them when upstreams are unreachable
 // (RFC 8767 recommends a maximum of 1–3 days).
 func (c *Cache) EnableServeStale(window time.Duration) {
-	c.mu.Lock()
-	c.staleFor = window
-	c.mu.Unlock()
+	c.staleFor.Store(int64(window))
 }
 
 // NewCache creates a cache holding at most maxEntries RRsets (minimum 16).
@@ -93,12 +166,25 @@ func NewCache(maxEntries int, now func() time.Time) *Cache {
 	if now == nil {
 		now = time.Now
 	}
-	return &Cache{
-		max:   maxEntries,
-		items: make(map[cacheKey]*cacheEntry),
-		lru:   list.New(),
-		now:   now,
+	nshards := 1
+	for nshards < maxCacheShards && maxEntries/(nshards*2) >= minShardCapacity {
+		nshards *= 2
 	}
+	c := &Cache{
+		shards: make([]cacheShard, nshards),
+		mask:   uint32(nshards - 1),
+		now:    now,
+	}
+	for i := range c.shards {
+		c.shards[i].items = make(map[cacheKey]*cacheEntry)
+		// Integer division keeps the summed bound at or below maxEntries.
+		c.shards[i].max = maxEntries / nshards
+	}
+	return c
+}
+
+func (c *Cache) shard(key cacheKey) *cacheShard {
+	return &c.shards[key.shardIndex(c.mask)]
 }
 
 // Stats returns cumulative hit and miss counts. It remains as a thin
@@ -108,28 +194,31 @@ func (c *Cache) Stats() (hits, misses uint64) {
 	return m.Hits, m.Misses
 }
 
-// Metrics returns the cache's full counter set.
+// Metrics returns the cache's full counter set, read from the per-cache
+// atomics (the single bookkeeping source).
 func (c *Cache) Metrics() CacheStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Entries: len(c.items)}
+	return CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   int(c.entries.Load()),
+	}
 }
 
-// evictLocked removes e from the cache, counting the eviction. Callers
-// hold c.mu.
-func (c *Cache) evictLocked(e *cacheEntry) {
-	c.lru.Remove(e.elem)
-	delete(c.items, e.key)
-	c.evictions++
+// evictLocked removes e from its shard, counting the eviction. Callers
+// hold s.mu.
+func (c *Cache) evictLocked(s *cacheShard, e *cacheEntry) {
+	s.unlink(e)
+	delete(s.items, e.key)
+	c.evictions.Add(1)
+	c.entries.Add(-1)
 	cacheEvictions.Inc()
 	cacheEntries.Dec()
 }
 
 // Len returns the number of live entries (including expired-but-unswept).
 func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.items)
+	return int(c.entries.Load())
 }
 
 // PutRRset caches a positive RRset under the TTL of its shortest record.
@@ -164,20 +253,25 @@ func (c *Cache) PutNegative(name string, t dnswire.Type, nxdomain bool, ttl uint
 }
 
 func (c *Cache) put(e *cacheEntry) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if old, ok := c.items[e.key]; ok {
-		c.evictLocked(old)
+	if c.closed.Load() {
+		return
 	}
-	e.elem = c.lru.PushFront(e)
-	c.items[e.key] = e
+	s := c.shard(e.key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.items[e.key]; ok {
+		c.evictLocked(s, old)
+	}
+	s.pushFront(e)
+	s.items[e.key] = e
+	c.entries.Add(1)
 	cacheEntries.Inc()
-	for len(c.items) > c.max {
-		back := c.lru.Back()
+	for len(s.items) > s.max {
+		back := s.tail
 		if back == nil {
 			break
 		}
-		c.evictLocked(back.Value.(*cacheEntry))
+		c.evictLocked(s, back)
 	}
 }
 
@@ -195,12 +289,21 @@ type LookupResult struct {
 // Lookup returns the cached state for (name, type), expiring stale
 // entries. ok is false on a miss.
 func (c *Cache) Lookup(name string, t dnswire.Type) (LookupResult, bool) {
+	return c.LookupInto(nil, name, t)
+}
+
+// LookupInto is Lookup appending the positive records (TTLs aged) onto
+// dst, so a caller holding a reusable buffer pays no allocation on a hit.
+// The returned LookupResult.Records is the extended dst; entries past
+// dst's original length belong to the caller.
+func (c *Cache) LookupInto(dst []dnswire.Record, name string, t dnswire.Type) (LookupResult, bool) {
 	key := cacheKey{name: dnswire.CanonicalName(name), typ: t}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	e, ok := c.items[key]
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.items[key]
 	if !ok {
-		c.misses++
+		c.misses.Add(1)
 		cacheMisses.Inc()
 		return LookupResult{}, false
 	}
@@ -209,23 +312,24 @@ func (c *Cache) Lookup(name string, t dnswire.Type) (LookupResult, bool) {
 	if remaining <= 0 {
 		// Keep expired positive entries within the serve-stale window for
 		// LookupStale; evict everything else.
-		if c.staleFor <= 0 || e.negative || now.Sub(e.expires) > c.staleFor {
-			c.evictLocked(e)
+		staleFor := time.Duration(c.staleFor.Load())
+		if staleFor <= 0 || e.negative || now.Sub(e.expires) > staleFor {
+			c.evictLocked(s, e)
 		}
-		c.misses++
+		c.misses.Add(1)
 		cacheMisses.Inc()
 		return LookupResult{}, false
 	}
-	c.lru.MoveToFront(e.elem)
-	c.hits++
+	s.moveToFront(e)
+	c.hits.Add(1)
 	cacheHits.Inc()
 	if e.negative {
 		return LookupResult{Negative: true, NXDomain: e.nxdomain}, true
 	}
-	out := make([]dnswire.Record, len(e.records))
-	copy(out, e.records)
+	base := len(dst)
+	out := append(dst, e.records...)
 	aged := uint32(remaining / time.Second)
-	for i := range out {
+	for i := base; i < len(out); i++ {
 		if out[i].TTL > aged {
 			out[i].TTL = aged
 		}
@@ -238,13 +342,15 @@ func (c *Cache) Lookup(name string, t dnswire.Type) (LookupResult, bool) {
 // 30 seconds. ok is false when serve-stale is disabled, the entry is
 // missing, negative, fresh (use Lookup), or past the window.
 func (c *Cache) LookupStale(name string, t dnswire.Type) (LookupResult, bool) {
-	key := cacheKey{name: dnswire.CanonicalName(name), typ: t}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.staleFor <= 0 {
+	staleFor := time.Duration(c.staleFor.Load())
+	if staleFor <= 0 {
 		return LookupResult{}, false
 	}
-	e, ok := c.items[key]
+	key := cacheKey{name: dnswire.CanonicalName(name), typ: t}
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.items[key]
 	if !ok || e.negative {
 		return LookupResult{}, false
 	}
@@ -252,8 +358,8 @@ func (c *Cache) LookupStale(name string, t dnswire.Type) (LookupResult, bool) {
 	if e.expires.After(now) {
 		return LookupResult{}, false // fresh: Lookup handles it
 	}
-	if now.Sub(e.expires) > c.staleFor {
-		c.evictLocked(e)
+	if now.Sub(e.expires) > staleFor {
+		c.evictLocked(s, e)
 		return LookupResult{}, false
 	}
 	out := make([]dnswire.Record, len(e.records))
@@ -264,14 +370,39 @@ func (c *Cache) LookupStale(name string, t dnswire.Type) (LookupResult, bool) {
 	return LookupResult{Records: out}, true
 }
 
+// drop empties every shard. countEvictions selects whether the dropped
+// entries are reported as evictions (Purge) or silently released (Close).
+func (c *Cache) drop(countEvictions bool) {
+	var dropped int64
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		dropped += int64(len(s.items))
+		s.items = make(map[cacheKey]*cacheEntry)
+		s.head, s.tail = nil, nil
+		s.mu.Unlock()
+	}
+	c.entries.Add(-dropped)
+	cacheEntries.Add(-dropped)
+	if countEvictions {
+		c.evictions.Add(uint64(dropped))
+		cacheEvictions.Add(uint64(dropped))
+	}
+}
+
 // Purge drops every entry.
 func (c *Cache) Purge() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	dropped := len(c.items)
-	c.evictions += uint64(dropped)
-	cacheEvictions.Add(uint64(dropped))
-	cacheEntries.Add(-int64(dropped))
-	c.items = make(map[cacheKey]*cacheEntry)
-	c.lru.Init()
+	c.drop(true)
+}
+
+// Close releases the cache's entries and detaches it from the process-wide
+// resolver_cache_entries gauge. It is idempotent: closing a cache twice
+// (e.g. from both a frontend teardown and a defer) cannot drive the shared
+// gauge negative. A closed cache stays usable for lookups but ignores
+// further puts.
+func (c *Cache) Close() {
+	if !c.closed.CompareAndSwap(false, true) {
+		return
+	}
+	c.drop(false)
 }

@@ -1,0 +1,56 @@
+package resolver
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"encdns/internal/dnswire"
+)
+
+// Microbenchmarks feeding the CI bench smoke step (BENCH_pr3.json).
+// BenchmarkCacheGetPut is the single-goroutine hot path; the concurrent
+// variant is where lock sharding pays: the pre-sharding cache serialised
+// every lookup on one mutex.
+
+func BenchmarkCacheGetPut(b *testing.B) {
+	c := NewCache(4096, nil)
+	rrs := []dnswire.Record{{Name: "www.example.com", Type: dnswire.TypeA,
+		Class: dnswire.ClassIN, TTL: 300, Data: &dnswire.A{Addr: netip.MustParseAddr("192.0.2.1")}}}
+	c.PutRRset("www.example.com", dnswire.TypeA, rrs)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if i%16 == 0 {
+			c.PutRRset("www.example.com", dnswire.TypeA, rrs)
+		}
+		if _, ok := c.Lookup("www.example.com", dnswire.TypeA); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkResolveConcurrent(b *testing.B) {
+	c := NewCache(4096, func() time.Time { return time.Unix(0, 0) })
+	names := make([]string, 64)
+	for i := range names {
+		names[i] = string(rune('a'+i%26)) + "x.example.com."
+		c.PutRRset(names[i], dnswire.TypeA, []dnswire.Record{{
+			Name: names[i], Type: dnswire.TypeA, Class: dnswire.ClassIN, TTL: 300,
+			Data: &dnswire.A{Addr: netip.MustParseAddr("192.0.2.7")}}})
+	}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		// Each goroutine reuses one answer buffer, as a frontend worker
+		// would: steady-state cache hits then allocate nothing.
+		buf := make([]dnswire.Record, 0, 8)
+		i := 0
+		for pb.Next() {
+			res, ok := c.LookupInto(buf[:0], names[i%len(names)], dnswire.TypeA)
+			if !ok || len(res.Records) == 0 {
+				b.Fatal("miss")
+			}
+			buf = res.Records
+			i++
+		}
+	})
+}

@@ -48,6 +48,10 @@ type Recursive struct {
 	QNAMEMinimize bool
 	// rngSeed, when non-zero, makes server selection deterministic.
 	RNGSeed uint64
+
+	// sf deduplicates concurrent identical top-level misses so a
+	// thundering herd triggers one upstream walk.
+	sf singleflight
 }
 
 func (r *Recursive) maxIter() int {
@@ -170,6 +174,22 @@ func (r *Recursive) resolveOne(ctx context.Context, name string, t dnswire.Type,
 		}
 	}
 
+	// Deduplicate concurrent identical misses, but only at the top level:
+	// a leader resolving a glueless NS address (depth > 0) must never wait
+	// on another in-flight call, which could be its own.
+	if depth > 0 {
+		return r.resolveWalk(ctx, name, t, depth)
+	}
+	res := r.sf.do(ctx, cacheKey{name: name, typ: t}, func() sfResult {
+		rrs, rcode, err := r.resolveWalk(ctx, name, t, depth)
+		return sfResult{rrs: rrs, rcode: rcode, err: err}
+	})
+	return res.rrs, res.rcode, res.err
+}
+
+// resolveWalk is the upstream half of resolveOne: the iterative referral
+// walk from the closest cached NS set down to the answer.
+func (r *Recursive) resolveWalk(ctx context.Context, name string, t dnswire.Type, depth int) ([]dnswire.Record, dnswire.RCode, error) {
 	servers := r.startServers(ctx, name, depth)
 	if len(servers) == 0 {
 		return nil, dnswire.RCodeServFail, ErrNoServers

@@ -1,0 +1,62 @@
+package resolver
+
+import (
+	"context"
+	"sync"
+
+	"encdns/internal/dnswire"
+)
+
+// sfResult is the shared outcome of one deduplicated resolution.
+type sfResult struct {
+	rrs   []dnswire.Record
+	rcode dnswire.RCode
+	err   error
+}
+
+// sfCall is one in-flight resolution; done closes once res is final.
+type sfCall struct {
+	done chan struct{}
+	res  sfResult
+}
+
+// singleflight deduplicates concurrent resolutions of the same
+// (name, type): the first caller becomes the leader and walks upstream,
+// later callers wait for the leader's result instead of launching their
+// own referral walks. A thundering herd of identical misses therefore
+// costs one upstream resolution. The zero value is ready to use.
+type singleflight struct {
+	mu sync.Mutex
+	m  map[cacheKey]*sfCall
+}
+
+// do runs fn once per key among concurrent callers and hands every caller
+// the same result. Waiters whose own context expires give up with that
+// context's error; the leader always runs fn to completion so its result
+// can still populate the cache for the next query.
+func (g *singleflight) do(ctx context.Context, key cacheKey, fn func() sfResult) sfResult {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[cacheKey]*sfCall)
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.res
+		case <-ctx.Done():
+			return sfResult{rcode: dnswire.RCodeServFail, err: ctx.Err()}
+		}
+	}
+	c := &sfCall{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.res = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.res
+}

@@ -1,0 +1,37 @@
+#!/bin/sh
+# benchjson.sh — convert `go test -bench` output (stdin) into a
+# machine-readable JSON array (stdout), one object per benchmark line:
+#
+#   [
+#     {"name": "BenchmarkPack", "procs": 4, "iterations": 100,
+#      "ns_per_op": 535.5, "bytes_per_op": 0, "allocs_per_op": 0}
+#   ]
+#
+# CI pipes the hot-path microbenchmarks through this to produce
+# BENCH_pr3.json; any `-benchtime`/`-cpu` combination parses the same way.
+# Fields the run did not report (no -benchmem, b.ReportAllocs absent) are
+# emitted as null.
+set -eu
+
+awk '
+BEGIN { n = 0; printf "[" }
+$1 ~ /^Benchmark/ && $3 == "ns/op" || ($1 ~ /^Benchmark/ && NF >= 3) {
+    name = $1
+    procs = 1
+    if (match(name, /-[0-9]+$/)) {
+        procs = substr(name, RSTART + 1, RLENGTH - 1) + 0
+        name = substr(name, 1, RSTART - 1)
+    }
+    ns = "null"; bytes = "null"; allocs = "null"
+    for (i = 2; i < NF; i++) {
+        if ($(i + 1) == "ns/op")     ns = $i
+        if ($(i + 1) == "B/op")      bytes = $i
+        if ($(i + 1) == "allocs/op") allocs = $i
+    }
+    if (ns == "null") next
+    if (n++) printf ","
+    printf "\n  {\"name\": \"%s\", \"procs\": %d, \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+        name, procs, $2, ns, bytes, allocs
+}
+END { printf "\n]\n" }
+'
