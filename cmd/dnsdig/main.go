@@ -33,6 +33,7 @@ import (
 
 	"encdns/internal/dns53"
 	"encdns/internal/dnswire"
+	"encdns/internal/loadgen"
 	"encdns/internal/obs"
 	"encdns/internal/transport"
 )
@@ -87,7 +88,9 @@ func run(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	endpoint, err := resolveEndpoint(*server, *proto)
+	// Shared target grammar (loadgen.ParseTarget): the same -server /
+	// -proto spelling works in dnsload, dnsmeasure, and here.
+	endpoint, err := loadgen.ParseTarget(*server, *proto)
 	if err != nil {
 		return err
 	}
@@ -131,25 +134,6 @@ func run(args []string, w io.Writer) error {
 		fmt.Fprint(w, tr.String())
 	}
 	return nil
-}
-
-// resolveEndpoint turns -server/-proto into a scheme-addressed endpoint:
-// an explicit scheme on -server wins; a bare address takes its scheme
-// from the legacy -proto flag.
-func resolveEndpoint(server, proto string) (transport.Endpoint, error) {
-	if !strings.Contains(server, "://") {
-		switch proto {
-		case "do53":
-			server = "udp://" + server
-		case "dot":
-			server = "tls://" + server
-		case "doh":
-			server = "https://" + server
-		default:
-			return transport.Endpoint{}, fmt.Errorf("unknown proto %q (want do53, dot, or doh)", proto)
-		}
-	}
-	return transport.ParseEndpoint(server)
 }
 
 func tlsConfig(caCert string, insecure bool) (*tls.Config, error) {

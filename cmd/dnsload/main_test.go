@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestSelfDo53OpenLoopJSON(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-self", "do53",
+		"-rate", "200", "-duration", "500ms", "-arrivals", "constant",
+		"-timeout", "1s", "-json",
+	}, &buf)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, buf.String())
+	}
+	var s struct {
+		Mode      string  `json:"mode"`
+		Offered   uint64  `json:"offered"`
+		Received  uint64  `json:"received"`
+		ErrorRate float64 `json:"error_rate"`
+		P99Ms     float64 `json:"p99_ms"`
+	}
+	// -json output must be pure JSON (no banner lines) so scripts can
+	// pipe it straight into a decoder.
+	if err := json.Unmarshal(buf.Bytes(), &s); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, buf.String())
+	}
+	if s.Mode != "open" || s.Offered == 0 || s.Received == 0 {
+		t.Fatalf("no traffic recorded: %+v", s)
+	}
+	if s.ErrorRate > 0.05 {
+		t.Fatalf("error rate %.2f against the in-process Do53 server", s.ErrorRate)
+	}
+	if s.P99Ms <= 0 {
+		t.Fatalf("p99 %.3fms, want > 0", s.P99Ms)
+	}
+}
+
+func TestSelfDoHClosedLoop(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-self", "doh",
+		"-mode", "closed", "-workers", "4", "-duration", "500ms",
+		"-timeout", "2s",
+	}, &buf)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "closed loop") {
+		t.Fatalf("missing summary:\n%s", out)
+	}
+	if strings.Contains(out, "received 0,") {
+		t.Fatalf("no DoH exchanges succeeded:\n%s", out)
+	}
+}
+
+func TestSelfDo53CapacityCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-self", "do53", "-capacity",
+		"-ramp-start", "200", "-ramp-max", "400", "-ramp-step", "200",
+		"-step-duration", "400ms", "-cooldown", "50ms",
+		"-slo-p99", "500ms", "-slo-errors", "0.2",
+		"-csv",
+	}, &buf)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Rate (qps)") {
+		t.Fatalf("missing CSV header:\n%s", out)
+	}
+	// Both tiny rungs must appear (the in-process server sustains 400qps).
+	if !strings.Contains(out, "200,") || !strings.Contains(out, "400,") {
+		t.Fatalf("ramp rungs missing:\n%s", out)
+	}
+}
+
+func TestFlagErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{},                      // no targets
+		{"-targets", "ftp://x"}, // bad scheme
+		{"-self", "dot"},        // unsupported self target
+		{"-targets", "1.1.1.1", "-mode", "sideways"},
+		{"-targets", "1.1.1.1", "-arrivals", "fibonacci"},
+		{"-targets", "1.1.1.1", "-qtypes", "BOGUS"},
+	} {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err == nil {
+			t.Errorf("run(%v): want error", args)
+		}
+	}
+}

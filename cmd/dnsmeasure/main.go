@@ -36,6 +36,7 @@ import (
 
 	"encdns/internal/core"
 	"encdns/internal/dataset"
+	"encdns/internal/loadgen"
 	"encdns/internal/netsim"
 	"encdns/internal/obs"
 	"encdns/internal/report"
@@ -142,7 +143,7 @@ func run(args []string, stdout *os.File) error {
 		// One scheme-addressed transport pool serves every protocol;
 		// fresh connections per query, like the paper's dig runs. The
 		// -proto flag picks each dataset target's endpoint scheme.
-		targets = liveEndpoints(targets, protocol)
+		targets = liveEndpoints(targets, *proto)
 		prober = &core.LiveProber{
 			Proto:     protocol,
 			Transport: transport.NewPool(transport.Options{}),
@@ -217,7 +218,9 @@ func parseTargets(spec string) ([]core.Target, error) {
 	var out []core.Target
 	for _, item := range splitNonEmpty(spec) {
 		if strings.Contains(item, "://") {
-			ep, err := transport.ParseEndpoint(item)
+			// Shared target grammar (loadgen.ParseTarget): the same
+			// endpoint spelling works in dnsload, dnsdig, and here.
+			ep, err := loadgen.ParseTarget(item, "")
 			if err != nil {
 				return nil, err
 			}
@@ -238,20 +241,20 @@ func parseTargets(spec string) ([]core.Target, error) {
 
 // liveEndpoints rewrites dataset targets' endpoints for the selected
 // protocol: dataset entries carry the RFC 8484 URL, so DoT and Do53 runs
-// derive tls:// and udp:// endpoints on the IANA ports. Endpoints that
-// already carry a non-https scheme (ad-hoc targets) pass through.
-func liveEndpoints(targets []core.Target, proto netsim.Protocol) []core.Target {
+// derive tls:// and udp:// endpoints (IANA ports via the shared
+// loadgen.ParseTarget grammar). Endpoints that already carry a non-https
+// scheme (ad-hoc targets) pass through.
+func liveEndpoints(targets []core.Target, proto string) []core.Target {
 	out := make([]core.Target, len(targets))
 	for i, t := range targets {
 		if strings.Contains(t.Endpoint, "://") && !strings.HasPrefix(t.Endpoint, "https://") {
 			out[i] = t
 			continue
 		}
-		switch proto {
-		case netsim.ProtoDoT:
-			t.Endpoint = "tls://" + t.Host + ":853"
-		case netsim.ProtoDo53:
-			t.Endpoint = "udp://" + t.Host + ":53"
+		if proto != "doh" {
+			if ep, err := loadgen.ParseTarget(t.Host, proto); err == nil {
+				t.Endpoint = ep.String()
+			}
 		}
 		out[i] = t
 	}

@@ -1,0 +1,164 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// SLO is the service-level objective a capacity step must hold. The
+// defaults (via withDefaults) encode the experiment the README
+// describes: p99 under 50ms with under 1% errors.
+type SLO struct {
+	// P50/P99/P999 bound the step's latency quantiles; zero disables a
+	// bound.
+	P50  time.Duration `json:"p50,omitempty"`
+	P99  time.Duration `json:"p99,omitempty"`
+	P999 time.Duration `json:"p999,omitempty"`
+	// MaxErrorRate bounds (errors + drops) / offered.
+	MaxErrorRate float64 `json:"max_error_rate"`
+	// MinSamples is the minimum number of successes a step needs before
+	// its quantiles are trusted; a step below it fails as inconclusive.
+	// Zero means 50.
+	MinSamples uint64 `json:"min_samples,omitempty"`
+}
+
+// DefaultSLO is the stock objective: p99 < 50ms, error rate < 1%.
+func DefaultSLO() SLO {
+	return SLO{P99: 50 * time.Millisecond, MaxErrorRate: 0.01}
+}
+
+func (s SLO) withDefaults() SLO {
+	if s.MinSamples == 0 {
+		s.MinSamples = 50
+	}
+	return s
+}
+
+// Check evaluates one step result; reason is empty when the SLO holds.
+func (s SLO) Check(res *Result) (ok bool, reason string) {
+	s = s.withDefaults()
+	if er := res.ErrorRate(); er > s.MaxErrorRate {
+		return false, fmt.Sprintf("error rate %.2f%% > %.2f%%", er*100, s.MaxErrorRate*100)
+	}
+	if res.Received < s.MinSamples {
+		return false, fmt.Sprintf("only %d successes (need %d for trustworthy quantiles)", res.Received, s.MinSamples)
+	}
+	for _, b := range []struct {
+		q     float64
+		bound time.Duration
+		name  string
+	}{{0.5, s.P50, "p50"}, {0.99, s.P99, "p99"}, {0.999, s.P999, "p999"}} {
+		if b.bound <= 0 {
+			continue
+		}
+		if got := res.Latency.Quantile(b.q); got > b.bound {
+			return false, fmt.Sprintf("%s %s > %s", b.name, got.Round(time.Microsecond), b.bound)
+		}
+	}
+	return true, ""
+}
+
+// Ramp is the capacity-search schedule: offered load starts at Start
+// queries/second and increases by Step per step until Max or until the
+// SLO breaks.
+type Ramp struct {
+	Start float64 `json:"start_qps"`
+	Max   float64 `json:"max_qps"`
+	Step  float64 `json:"step_qps"`
+	// StepDuration is how long each rate is offered; zero means 2s.
+	StepDuration time.Duration `json:"step_duration_ns,omitempty"`
+	// Cooldown pauses between steps so a saturated server drains its
+	// backlog instead of poisoning the next step (wall-clock runs only).
+	Cooldown time.Duration `json:"cooldown_ns,omitempty"`
+}
+
+func (r Ramp) withDefaults() (Ramp, error) {
+	if r.StepDuration <= 0 {
+		r.StepDuration = 2 * time.Second
+	}
+	if r.Start <= 0 || r.Step <= 0 || r.Max < r.Start {
+		return r, errors.New("loadgen: ramp needs 0 < Start <= Max and Step > 0")
+	}
+	return r, nil
+}
+
+// StepResult is one rung of the ramp.
+type StepResult struct {
+	Rate   float64 `json:"rate_qps"`
+	OK     bool    `json:"ok"`
+	Reason string  `json:"reason,omitempty"`
+	Result *Result `json:"result"`
+}
+
+// CapacityResult is the outcome of a capacity search.
+type CapacityResult struct {
+	// MaxSustainableQPS is the highest offered rate whose step held the
+	// SLO; zero when even the first step failed.
+	MaxSustainableQPS float64 `json:"max_sustainable_qps"`
+	// Achieved is the success throughput measured at that rate.
+	Achieved float64 `json:"achieved_qps"`
+	// SLO and Ramp echo the search parameters.
+	SLO   SLO          `json:"slo"`
+	Ramp  Ramp         `json:"ramp"`
+	Steps []StepResult `json:"steps"`
+}
+
+// SearchCapacity ramps open-loop offered load against send until the SLO
+// breaks, and reports the last sustainable rate. base supplies the
+// workload (mix, seed, timeout, in-flight bound); its Mode, Rate, and
+// Duration are overridden per step. The search stops at the first
+// failing step: past the knee a queueing system only gets worse, and
+// probing further just burns time heating the server.
+func SearchCapacity(ctx context.Context, send SendFunc, base Config, ramp Ramp, slo SLO) (*CapacityResult, error) {
+	return searchCapacity(ctx, ramp, slo, func(rate float64) (*Result, error) {
+		cfg := base
+		cfg.Mode = OpenLoop
+		cfg.Rate = rate
+		cfg.Duration = ramp.StepDuration
+		return Run(ctx, send, cfg)
+	}, true)
+}
+
+// SearchCapacitySim is SearchCapacity against a SimTarget factory on a
+// virtual clock. fresh must return a new target per step so queue state
+// does not leak between rates (virtual time has no cooldown).
+func SearchCapacitySim(ramp Ramp, slo SLO, base Config, fresh func() SimTarget) (*CapacityResult, error) {
+	return searchCapacity(context.Background(), ramp, slo, func(rate float64) (*Result, error) {
+		cfg := base
+		cfg.Mode = OpenLoop
+		cfg.Rate = rate
+		cfg.Duration = ramp.StepDuration
+		return RunAgainst(nil, fresh(), cfg)
+	}, false)
+}
+
+func searchCapacity(ctx context.Context, ramp Ramp, slo SLO, run func(rate float64) (*Result, error), cooldown bool) (*CapacityResult, error) {
+	ramp, err := ramp.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	out := &CapacityResult{SLO: slo, Ramp: ramp}
+	for rate := ramp.Start; rate <= ramp.Max+1e-9; rate += ramp.Step {
+		res, err := run(rate)
+		if err != nil {
+			return out, err
+		}
+		ok, reason := slo.Check(res)
+		out.Steps = append(out.Steps, StepResult{Rate: rate, OK: ok, Reason: reason, Result: res})
+		if !ok {
+			break
+		}
+		out.MaxSustainableQPS = rate
+		out.Achieved = res.ActualQPS()
+		if cooldown && ramp.Cooldown > 0 {
+			select {
+			case <-time.After(ramp.Cooldown):
+			case <-ctx.Done():
+				return out, ctx.Err()
+			}
+		}
+	}
+	return out, nil
+}

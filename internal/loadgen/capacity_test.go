@@ -1,0 +1,156 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"testing"
+	"time"
+
+	"encdns/internal/dns53"
+	"encdns/internal/dnswire"
+	"encdns/internal/transport"
+)
+
+// TestSearchCapacitySim: against a deterministic single-server queue
+// with 1ms service, the knee is exactly 1000 qps — at the knee the
+// queue is critically loaded but stable, one step above it grows
+// without bound and blows the p99 SLO. Virtual time makes the whole
+// ramp instant and exactly reproducible.
+func TestSearchCapacitySim(t *testing.T) {
+	ramp := Ramp{Start: 250, Max: 2000, Step: 250, StepDuration: 2 * time.Second}
+	base := Config{Seed: 13, Timeout: 5 * time.Second, Mix: testMix()}
+	search := func() *CapacityResult {
+		t.Helper()
+		cr, err := SearchCapacitySim(ramp, DefaultSLO(), base, func() SimTarget {
+			return &QueueSim{Service: func(int, Query) time.Duration { return time.Millisecond }}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cr
+	}
+	cr := search()
+	if cr.MaxSustainableQPS != 1000 {
+		t.Fatalf("max sustainable = %v qps, want exactly 1000 (1/1ms single server):\n%+v",
+			cr.MaxSustainableQPS, stepSummary(cr))
+	}
+	last := cr.Steps[len(cr.Steps)-1]
+	if last.OK || last.Rate != 1250 {
+		t.Fatalf("search should stop at the first failing step (1250): %+v", stepSummary(cr))
+	}
+	// Deterministic: a second search lands on the same knee with the
+	// same per-step statistics.
+	cr2 := search()
+	if cr2.MaxSustainableQPS != cr.MaxSustainableQPS || len(cr2.Steps) != len(cr.Steps) {
+		t.Fatalf("same-seed searches diverged: %v vs %v", cr.MaxSustainableQPS, cr2.MaxSustainableQPS)
+	}
+	for i := range cr.Steps {
+		if cr.Steps[i].Result.Latency.Quantile(0.99) != cr2.Steps[i].Result.Latency.Quantile(0.99) {
+			t.Fatalf("step %d p99 diverged between same-seed searches", i)
+		}
+	}
+}
+
+// TestSearchCapacityDo53E2E drives the real open-loop engine through
+// internal/transport against an in-process dns53.Server over loopback
+// UDP whose handler has a hard concurrency limit: beyond it, queries
+// are answered SERVFAIL immediately, so crossing capacity shows up as a
+// sharp error-rate jump rather than a timing-sensitive latency creep.
+// The acceptance bar: two same-seed searches converge within ±1 ramp
+// step of each other.
+func TestSearchCapacityDo53E2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second wall-clock ramp")
+	}
+	// limit/service put capacity ≈ 40/40ms = 1000 qps, between the 800
+	// and 1200 ramp rungs so neither boundary step sits on the knee.
+	const limit = 40
+	const service = 40 * time.Millisecond
+	ep := startThrottledDo53(t, limit, service)
+
+	pool := transport.NewPool(transport.Options{
+		Timeout: 500 * time.Millisecond,
+		Retry:   &transport.RetryPolicy{MaxAttempts: 1},
+	})
+	t.Cleanup(func() { pool.Close() })
+	send := func(ctx context.Context, q Query) error {
+		resp, err := pool.Exchange(ctx, q.Msg, q.Endpoint)
+		if err != nil {
+			return err
+		}
+		if resp.Header.RCode != dnswire.RCodeSuccess {
+			return errors.New(resp.Header.RCode.String())
+		}
+		return nil
+	}
+
+	ramp := Ramp{Start: 400, Max: 2400, Step: 400, StepDuration: 400 * time.Millisecond, Cooldown: 100 * time.Millisecond}
+	slo := SLO{P99: 300 * time.Millisecond, MaxErrorRate: 0.05}
+	base := Config{
+		Seed:    21,
+		Timeout: 500 * time.Millisecond,
+		Mix:     &Mix{Domains: []string{"load.example."}, Endpoints: []WeightedEndpoint{{Endpoint: ep, Weight: 1}}},
+	}
+	search := func() *CapacityResult {
+		t.Helper()
+		cr, err := SearchCapacity(context.Background(), send, base, ramp, slo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cr
+	}
+	a := search()
+	b := search()
+	for _, cr := range []*CapacityResult{a, b} {
+		if cr.MaxSustainableQPS < ramp.Start || cr.MaxSustainableQPS >= ramp.Max {
+			t.Fatalf("capacity %v qps outside sane band [%v, %v):\n%s",
+				cr.MaxSustainableQPS, ramp.Start, ramp.Max, stepSummary(cr))
+		}
+	}
+	if d := math.Abs(a.MaxSustainableQPS - b.MaxSustainableQPS); d > ramp.Step {
+		t.Fatalf("same-seed searches %v and %v qps differ by more than one ramp step (%v):\n%s\n%s",
+			a.MaxSustainableQPS, b.MaxSustainableQPS, ramp.Step, stepSummary(a), stepSummary(b))
+	}
+}
+
+// startThrottledDo53 serves loopback UDP DNS with a hard in-flight
+// limit: within it, queries sleep one service time and answer NOERROR;
+// beyond it they SERVFAIL instantly. Returns the udp:// endpoint.
+func startThrottledDo53(t *testing.T, limit int64, service time.Duration) string {
+	t.Helper()
+	sem := make(chan struct{}, limit)
+	handler := dns53.HandlerFunc(func(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+		select {
+		case sem <- struct{}{}:
+		default:
+			return nil, errors.New("over capacity") // answered SERVFAIL
+		}
+		defer func() { <-sem }()
+		select {
+		case <-time.After(service):
+		case <-ctx.Done():
+		}
+		return q.Reply(), nil
+	})
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &dns53.Server{Handler: handler}
+	go srv.ServeUDP(pc)
+	t.Cleanup(srv.Shutdown)
+	return "udp://" + pc.LocalAddr().String()
+}
+
+func stepSummary(cr *CapacityResult) string {
+	s := ""
+	for _, st := range cr.Steps {
+		s += fmt.Sprintf("rate=%.0f ok=%v reason=%q actual=%.0f err=%.3f p99=%v\n",
+			st.Rate, st.OK, st.Reason, st.Result.ActualQPS(), st.Result.ErrorRate(),
+			st.Result.Latency.Quantile(0.99))
+	}
+	return s
+}

@@ -1,0 +1,118 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"encdns/internal/transport"
+)
+
+// Target/protocol flag parsing shared by every CLI (dnsload, dnsdig,
+// dnsmeasure), so "-server"/"-targets" plus a legacy "-proto" behave
+// identically everywhere instead of drifting per command.
+
+// ParseTarget resolves one target flag value into a scheme-addressed
+// endpoint. An explicit scheme (udp://, tcp://, tls://, https://) wins; a
+// bare host[:port] takes its scheme from proto: "do53"/"udp" (default),
+// "tcp", "dot"/"tls", or "doh"/"https".
+func ParseTarget(spec, proto string) (transport.Endpoint, error) {
+	spec = strings.TrimSpace(spec)
+	if !strings.Contains(spec, "://") {
+		scheme, err := schemeForProto(proto)
+		if err != nil {
+			return transport.Endpoint{}, err
+		}
+		spec = scheme + "://" + spec
+	}
+	return transport.ParseEndpoint(spec)
+}
+
+// schemeForProto maps the legacy -proto vocabulary onto endpoint schemes.
+func schemeForProto(proto string) (string, error) {
+	switch proto {
+	case "", "do53", "udp":
+		return transport.SchemeUDP, nil
+	case "tcp":
+		return transport.SchemeTCP, nil
+	case "dot", "tls":
+		return transport.SchemeTLS, nil
+	case "doh", "https":
+		return transport.SchemeHTTPS, nil
+	}
+	return "", fmt.Errorf("loadgen: unknown proto %q (want do53, tcp, dot, or doh)", proto)
+}
+
+// ParseTargetMix parses a weighted endpoint-mix flag: comma-separated
+// target[=weight] entries, each target resolved like ParseTarget:
+//
+//	udp://127.0.0.1:5353=3,https://127.0.0.1:8443/dns-query=1
+//	dns.quad9.net=1,tls://dns.google:853=1          (bare names follow proto)
+//
+// A bare target gets weight 1. The trailing =N is taken as a weight only
+// when N parses as a positive number, so https URLs containing '=' in a
+// query string still parse.
+func ParseTargetMix(spec, proto string) ([]WeightedEndpoint, error) {
+	var out []WeightedEndpoint
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		target, weight := part, 1.0
+		if i := strings.LastIndexByte(part, '='); i >= 0 {
+			if w, err := strconv.ParseFloat(part[i+1:], 64); err == nil {
+				if w <= 0 {
+					return nil, fmt.Errorf("loadgen: endpoint weight %q: want a positive number", part)
+				}
+				target, weight = part[:i], w
+			}
+		}
+		ep, err := ParseTarget(target, proto)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, WeightedEndpoint{Endpoint: ep.String(), Weight: weight})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("loadgen: empty target mix")
+	}
+	return out, nil
+}
+
+// SendFunc performs one exchange for the generator and reports whether
+// it succeeded. Implementations must be safe for concurrent use; the
+// open-loop engine calls it from many in-flight goroutines.
+type SendFunc func(ctx context.Context, q Query) error
+
+// Sender turns an endpoint mix into a SendFunc over the shared transport
+// layer. Queries are sent with a single attempt each — a load generator
+// must not let the retry middleware amplify offered load behind its back.
+type Sender struct {
+	pool *transport.Pool
+}
+
+// NewSender builds a sender dialling endpoints with opts. The retry
+// policy is forced to one attempt; everything else (TLS roots, timeout,
+// connection reuse) passes through.
+func NewSender(opts transport.Options) *Sender {
+	noRetry := transport.NoRetry()
+	opts.Retry = &noRetry
+	return &Sender{pool: transport.NewPool(opts)}
+}
+
+// Send implements SendFunc.
+func (s *Sender) Send(ctx context.Context, q Query) error {
+	resp, err := s.pool.Exchange(ctx, q.Msg, q.Endpoint)
+	if err != nil {
+		return err
+	}
+	if resp == nil {
+		return fmt.Errorf("loadgen: nil response")
+	}
+	return nil
+}
+
+// Close releases every dialled exchanger.
+func (s *Sender) Close() error { return s.pool.Close() }

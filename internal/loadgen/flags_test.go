@@ -1,0 +1,154 @@
+package loadgen
+
+import (
+	"strings"
+	"testing"
+
+	"encdns/internal/dnswire"
+)
+
+func TestParseTarget(t *testing.T) {
+	for _, tc := range []struct {
+		spec, proto string
+		want        string // canonical endpoint string; "" means error
+	}{
+		{"1.1.1.1", "", "udp://1.1.1.1:53"},
+		{"1.1.1.1", "do53", "udp://1.1.1.1:53"},
+		{"1.1.1.1:5353", "udp", "udp://1.1.1.1:5353"},
+		{"9.9.9.9", "tcp", "tcp://9.9.9.9:53"},
+		{"dns.google", "dot", "tls://dns.google:853"},
+		{"dns.google", "tls", "tls://dns.google:853"},
+		{"cloudflare-dns.com", "doh", "https://cloudflare-dns.com/dns-query"},
+		{"cloudflare-dns.com", "https", "https://cloudflare-dns.com/dns-query"},
+		// An explicit scheme wins over -proto.
+		{"tls://9.9.9.9", "doh", "tls://9.9.9.9:853"},
+		{"https://dns.google/dns-query", "do53", "https://dns.google/dns-query"},
+		{"1.1.1.1", "carrier-pigeon", ""},
+		{"ftp://example.com", "", ""},
+	} {
+		ep, err := ParseTarget(tc.spec, tc.proto)
+		if tc.want == "" {
+			if err == nil {
+				t.Errorf("ParseTarget(%q, %q) = %v, want error", tc.spec, tc.proto, ep)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseTarget(%q, %q): %v", tc.spec, tc.proto, err)
+			continue
+		}
+		if got := ep.String(); got != tc.want {
+			t.Errorf("ParseTarget(%q, %q) = %q, want %q", tc.spec, tc.proto, got, tc.want)
+		}
+	}
+}
+
+func TestParseTargetMix(t *testing.T) {
+	mix, err := ParseTargetMix("udp://1.1.1.1=3, tls://9.9.9.9:853=1.5, dns.google", "doh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []WeightedEndpoint{
+		{Endpoint: "udp://1.1.1.1:53", Weight: 3},
+		{Endpoint: "tls://9.9.9.9:853", Weight: 1.5},
+		// The bare name follows -proto and defaults to weight 1.
+		{Endpoint: "https://dns.google/dns-query", Weight: 1},
+	}
+	if len(mix) != len(want) {
+		t.Fatalf("got %d entries, want %d: %+v", len(mix), len(want), mix)
+	}
+	for i := range want {
+		if mix[i] != want[i] {
+			t.Errorf("entry %d = %+v, want %+v", i, mix[i], want[i])
+		}
+	}
+
+	// A '=' inside an https query string is not a weight separator.
+	mix, err = ParseTargetMix("https://dns.example/dns-query?x=y", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mix) != 1 || !strings.Contains(mix[0].Endpoint, "x=y") || mix[0].Weight != 1 {
+		t.Fatalf("query-string '=' mangled: %+v", mix)
+	}
+
+	for _, bad := range []string{"", "udp://1.1.1.1=0", "udp://1.1.1.1=-2", "ftp://x"} {
+		if _, err := ParseTargetMix(bad, ""); err == nil {
+			t.Errorf("ParseTargetMix(%q): want error", bad)
+		}
+	}
+}
+
+func TestParseQTypeMix(t *testing.T) {
+	mix, err := ParseQTypeMix("A=10, aaaa=3,HTTPS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []WeightedQType{
+		{Type: dnswire.TypeA, Weight: 10},
+		{Type: dnswire.TypeAAAA, Weight: 3},
+		{Type: dnswire.TypeHTTPS, Weight: 1},
+	}
+	if len(mix) != len(want) {
+		t.Fatalf("got %d entries, want %d: %+v", len(mix), len(want), mix)
+	}
+	for i := range want {
+		if mix[i] != want[i] {
+			t.Errorf("entry %d = %+v, want %+v", i, mix[i], want[i])
+		}
+	}
+	for _, bad := range []string{"", "BOGUS", "A=0", "A=x"} {
+		if _, err := ParseQTypeMix(bad); err == nil {
+			t.Errorf("ParseQTypeMix(%q): want error", bad)
+		}
+	}
+}
+
+// TestSamplerDeterminism: one seed, one query stream.
+func TestSamplerDeterminism(t *testing.T) {
+	m := &Mix{
+		Domains: []string{"a.example.", "b.example.", "c.example.", "d.example."},
+		QTypes:  []WeightedQType{{Type: dnswire.TypeA, Weight: 3}, {Type: dnswire.TypeAAAA, Weight: 1}},
+		Endpoints: []WeightedEndpoint{
+			{Endpoint: "udp://127.0.0.1:53", Weight: 1},
+			{Endpoint: "tls://127.0.0.1:853", Weight: 1},
+		},
+	}
+	a, b := m.newSampler(77), m.newSampler(77)
+	for i := 0; i < 200; i++ {
+		qa, qb := a.next(), b.next()
+		if qa.Endpoint != qb.Endpoint ||
+			qa.Msg.Question0().Name != qb.Msg.Question0().Name ||
+			qa.Msg.Question0().Type != qb.Msg.Question0().Type {
+			t.Fatalf("draw %d diverged: %+v vs %+v", i, qa, qb)
+		}
+	}
+}
+
+// TestSamplerZipfSkew: under the default skew the rank-1 domain
+// dominates the draw, which is the whole point of a popularity mix.
+func TestSamplerZipfSkew(t *testing.T) {
+	domains := make([]string, 100)
+	for i := range domains {
+		domains[i] = rankName(i)
+	}
+	m := &Mix{Domains: domains, ZipfS: 1.2}
+	s := m.newSampler(1)
+	counts := map[string]int{}
+	const draws = 5000
+	for i := 0; i < draws; i++ {
+		counts[s.next().Msg.Question0().Name]++
+	}
+	head := counts[rankName(0)]
+	if head < draws/5 {
+		t.Fatalf("rank-1 domain drew %d/%d, want a heavy head under Zipf s=1.2", head, draws)
+	}
+	tail := counts[rankName(99)]
+	if tail >= head {
+		t.Fatalf("tail (%d) outdrew head (%d); skew is broken", tail, head)
+	}
+}
+
+func rankName(i int) string {
+	return "rank" + string(rune('a'+i/26)) + string(rune('a'+i%26)) + ".example."
+}

@@ -1,0 +1,295 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// testMix keeps sampler behaviour trivial so tests exercise the engine,
+// not the workload.
+func testMix() *Mix { return &Mix{Domains: []string{"probe.example."}} }
+
+// TestOpenLoopMeasuresIntendedStart is the coordinated-omission proof:
+// a single 500ms server stall in an otherwise 1ms-service run must show
+// up in the recorded latency distribution — queries that queued behind
+// the stall report the queueing delay from their *intended* start — and
+// not merely as a dip in throughput. A latency-from-send-time recorder
+// would report p99 ≈ 1ms here and hide the stall entirely.
+func TestOpenLoopMeasuresIntendedStart(t *testing.T) {
+	base := Config{
+		Rate:     100,
+		Duration: 5 * time.Second,
+		Timeout:  10 * time.Second, // nothing times out; the stall must appear as latency
+		Seed:     7,
+		Mix:      testMix(),
+	}
+	const stallIndex = 250 // arrival mid-run, t ≈ 2.5s
+	const stall = 500 * time.Millisecond
+
+	run := func(withStall bool) *Result {
+		t.Helper()
+		sim := &QueueSim{Service: func(i int, _ Query) time.Duration {
+			if withStall && i == stallIndex {
+				return stall
+			}
+			return time.Millisecond
+		}}
+		res, err := RunAgainst(nil, sim, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	smooth := run(false)
+	stalled := run(true)
+
+	// Throughput is (nearly) identical: open loop keeps offering load
+	// during the stall, so received counts cannot be the tell.
+	if smooth.Received != stalled.Received {
+		t.Fatalf("throughput differs: smooth=%d stalled=%d (open loop must keep sending)",
+			smooth.Received, stalled.Received)
+	}
+	if stalled.Errors != 0 {
+		t.Fatalf("stalled run reported %d errors; the stall must surface as latency", stalled.Errors)
+	}
+
+	// The smooth run's tail is the service time.
+	if p99 := smooth.Latency.Quantile(0.99); p99 > 10*time.Millisecond {
+		t.Fatalf("smooth p99 = %v, want ~1ms", p99)
+	}
+
+	// The stalled run's tail carries the queueing delay: the arrival
+	// right behind the stall waited ~490ms past its intended start.
+	if max := stalled.Latency.Max(); max < 450*time.Millisecond {
+		t.Fatalf("stalled max = %v, want >= 450ms (queue delay from intended start)", max)
+	}
+	if p99 := stalled.Latency.Quantile(0.99); p99 < 100*time.Millisecond {
+		t.Fatalf("stalled p99 = %v, want >> 100ms — recorder is hiding coordinated omission", p99)
+	}
+	// The median is untouched: only the queries behind the stall pay.
+	if p50 := stalled.Latency.Quantile(0.5); p50 > 10*time.Millisecond {
+		t.Fatalf("stalled p50 = %v, want ~1ms", p50)
+	}
+
+	// The per-second timeline localises the stall to its second.
+	tl := stalled.Timeline
+	if len(tl) < 4 {
+		t.Fatalf("timeline too short: %d seconds", len(tl))
+	}
+	if tl[2].P99 <= tl[1].P99 {
+		t.Fatalf("stall second p99 %.2fms not above quiet second %.2fms", tl[2].P99, tl[1].P99)
+	}
+}
+
+// TestRunAgainstDeterministic: equal seeds replay the identical run —
+// schedule, mix, and therefore every recorded statistic.
+func TestRunAgainstDeterministic(t *testing.T) {
+	cfg := Config{
+		Rate:     200,
+		Arrivals: ArrivalPoisson,
+		Duration: 3 * time.Second,
+		Seed:     42,
+		Mix:      testMix(),
+	}
+	run := func() *Result {
+		t.Helper()
+		sim := &QueueSim{Servers: 2, Service: func(i int, _ Query) time.Duration {
+			return time.Duration(1+i%7) * time.Millisecond
+		}}
+		res, err := RunAgainst(nil, sim, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Offered != b.Offered || a.Received != b.Received || a.Errors != b.Errors {
+		t.Fatalf("counts differ: %+v vs %+v", a, b)
+	}
+	if a.Latency.Mean() != b.Latency.Mean() || a.Latency.Max() != b.Latency.Max() {
+		t.Fatalf("latency stats differ: mean %v/%v max %v/%v",
+			a.Latency.Mean(), b.Latency.Mean(), a.Latency.Max(), b.Latency.Max())
+	}
+	if a.Latency.Quantile(0.99) != b.Latency.Quantile(0.99) {
+		t.Fatalf("p99 differs: %v vs %v", a.Latency.Quantile(0.99), b.Latency.Quantile(0.99))
+	}
+	if !reflect.DeepEqual(a.Timeline, b.Timeline) {
+		t.Fatalf("timelines differ:\n%+v\n%+v", a.Timeline, b.Timeline)
+	}
+	if a.Elapsed != b.Elapsed {
+		t.Fatalf("virtual elapsed differs: %v vs %v", a.Elapsed, b.Elapsed)
+	}
+}
+
+// TestRunAgainstTimeout: completions past the configured timeout count
+// as errors, exactly like the wall-clock client giving up.
+func TestRunAgainstTimeout(t *testing.T) {
+	cfg := Config{
+		Rate:     100,
+		Duration: time.Second,
+		Timeout:  10 * time.Millisecond,
+		Seed:     1,
+		Mix:      testMix(),
+	}
+	sim := &QueueSim{Service: func(int, Query) time.Duration { return 50 * time.Millisecond }}
+	res, err := RunAgainst(nil, sim, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 50ms service at 10ms spacing: the queue grows without bound and
+	// everything but the first query blows the 10ms budget.
+	if res.Received != 0 {
+		t.Fatalf("received %d, want 0 (every completion exceeds the timeout)", res.Received)
+	}
+	if res.Errors != res.Offered {
+		t.Fatalf("errors %d != offered %d", res.Errors, res.Offered)
+	}
+	if er := res.ErrorRate(); er != 1 {
+		t.Fatalf("error rate %v, want 1", er)
+	}
+}
+
+// TestRunAgainstRejectsClosedLoop: the virtual-time engine only models
+// open loop (a closed loop's schedule depends on responses).
+func TestRunAgainstRejectsClosedLoop(t *testing.T) {
+	_, err := RunAgainst(nil, &QueueSim{}, Config{Mode: ClosedLoop, Duration: time.Second, Rate: 1})
+	if err == nil {
+		t.Fatal("want error for ClosedLoop RunAgainst")
+	}
+}
+
+// TestOpenLoopWallClock exercises the real (goroutine) open-loop engine
+// against an instant in-process send.
+func TestOpenLoopWallClock(t *testing.T) {
+	var n atomic.Uint64
+	send := func(ctx context.Context, q Query) error {
+		n.Add(1)
+		return nil
+	}
+	res, err := Run(context.Background(), send, Config{
+		Rate:     500,
+		Duration: 500 * time.Millisecond,
+		Seed:     3,
+		Mix:      testMix(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Offered == 0 || res.Received == 0 {
+		t.Fatalf("no traffic: %+v", res)
+	}
+	if res.Received != n.Load() {
+		t.Fatalf("received %d != sends observed %d", res.Received, n.Load())
+	}
+	if res.Errors != 0 || res.Dropped != 0 {
+		t.Fatalf("unexpected failures: %+v", res)
+	}
+	if got := res.Latency.Count(); got != res.Received {
+		t.Fatalf("recorder count %d != received %d", got, res.Received)
+	}
+}
+
+// TestOpenLoopShedsAtInFlightBound: when the server is slower than the
+// offered rate and the in-flight bound is hit, arrivals are dropped (and
+// counted against the error rate) instead of stalling the schedule —
+// blocking the dispatcher would silently reintroduce coordinated
+// omission.
+func TestOpenLoopShedsAtInFlightBound(t *testing.T) {
+	send := func(ctx context.Context, q Query) error {
+		select {
+		case <-time.After(200 * time.Millisecond):
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	res, err := Run(context.Background(), send, Config{
+		Rate:        300,
+		Duration:    500 * time.Millisecond,
+		MaxInFlight: 4,
+		Timeout:     time.Second,
+		Seed:        5,
+		Mix:         testMix(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dropped == 0 {
+		t.Fatalf("no drops despite 4 in-flight slots at 300qps x 200ms: %+v", res)
+	}
+	if res.ErrorRate() == 0 {
+		t.Fatal("drops must count against the error rate")
+	}
+	if res.Offered != res.Sent+res.Dropped {
+		t.Fatalf("offered %d != sent %d + dropped %d", res.Offered, res.Sent, res.Dropped)
+	}
+}
+
+// TestClosedLoop exercises the worker engine: per-worker recorders
+// merged into one, think-time honoured, errors counted.
+func TestClosedLoop(t *testing.T) {
+	var calls atomic.Uint64
+	send := func(ctx context.Context, q Query) error {
+		if calls.Add(1)%10 == 0 {
+			return errors.New("synthetic failure")
+		}
+		time.Sleep(time.Millisecond)
+		return nil
+	}
+	res, err := Run(context.Background(), send, Config{
+		Mode:     ClosedLoop,
+		Workers:  4,
+		Duration: 400 * time.Millisecond,
+		Seed:     9,
+		Mix:      testMix(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Received == 0 {
+		t.Fatalf("closed loop recorded nothing: %+v", res)
+	}
+	if res.Errors == 0 {
+		t.Fatal("synthetic failures not counted")
+	}
+	if res.Received+res.Errors != res.Offered {
+		t.Fatalf("received %d + errors %d != offered %d", res.Received, res.Errors, res.Offered)
+	}
+	if res.Latency.Mean() <= 0 {
+		t.Fatalf("mean %v, want > 0 (1ms service)", res.Latency.Mean())
+	}
+}
+
+// TestRecorderMerge: per-worker recorders combine into the exact union.
+func TestRecorderMerge(t *testing.T) {
+	a, b := NewRecorder(), NewRecorder()
+	for i := 1; i <= 10; i++ {
+		a.Observe(time.Duration(i) * time.Millisecond)
+	}
+	b.Observe(500 * time.Millisecond)
+	b.Error()
+	b.Drop()
+
+	a.Merge(b)
+	if a.Count() != 11 {
+		t.Fatalf("merged count %d, want 11", a.Count())
+	}
+	if a.Errors() != 1 || a.Dropped() != 1 {
+		t.Fatalf("merged errors/drops %d/%d, want 1/1", a.Errors(), a.Dropped())
+	}
+	if a.Max() != 500*time.Millisecond {
+		t.Fatalf("merged max %v, want 500ms", a.Max())
+	}
+	if a.Min() != time.Millisecond {
+		t.Fatalf("merged min %v, want 1ms", a.Min())
+	}
+	// p99 lands in the 500ms bucket (ratio 2^¼ buckets: within ~19%).
+	if p99 := a.Quantile(0.99); p99 < 400*time.Millisecond || p99 > 600*time.Millisecond {
+		t.Fatalf("merged p99 %v, want ≈500ms", p99)
+	}
+}

@@ -1,0 +1,168 @@
+package loadgen
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"strconv"
+	"strings"
+
+	"encdns/internal/dataset"
+	"encdns/internal/dns53"
+	"encdns/internal/dnswire"
+)
+
+// Mix describes the query workload: which names are asked, how their
+// popularity is skewed, which record types are requested, and which
+// endpoints receive them. The zero value is usable: the paper's three
+// measurement domains under the default Zipf skew, all TypeA, and the
+// single endpoint the caller passes to the sender.
+type Mix struct {
+	// Domains is the name population; nil uses dataset.Domains.
+	Domains []string
+	// ZipfS is the Zipf popularity exponent over Domains (rank 1 most
+	// popular). Real resolver workloads are heavily skewed — Böttger et
+	// al. and Hounsel et al. both stress that encrypted-DNS cost shows up
+	// under realistic mixes, where a hot head hits resolver caches and a
+	// long tail does not. Values <= 1 select a uniform draw; zero means
+	// DefaultZipfS.
+	ZipfS float64
+	// QTypes is the weighted record-type mix; nil means all TypeA.
+	QTypes []WeightedQType
+	// Endpoints is the weighted endpoint mix; nil directs every query to
+	// the empty endpoint (senders with a single bound target ignore it).
+	Endpoints []WeightedEndpoint
+}
+
+// DefaultZipfS is the default Zipf exponent: the classic web-object
+// popularity skew (Breslau et al.'s α ≈ 0.8–1.2 band, taken from the top).
+const DefaultZipfS = 1.2
+
+// WeightedQType is one entry of a QTYPE mix.
+type WeightedQType struct {
+	Type   dnswire.Type
+	Weight float64
+}
+
+// WeightedEndpoint is one entry of an endpoint mix: a scheme-addressed
+// transport endpoint and its share of the offered load.
+type WeightedEndpoint struct {
+	Endpoint string
+	Weight   float64
+}
+
+// Query is one unit of offered load: a wire message bound for an
+// endpoint of the mix.
+type Query struct {
+	// Endpoint is the scheme-addressed target ("" when the mix has no
+	// endpoint dimension and the sender is bound to a single target).
+	Endpoint string
+	// Msg is the DNS query. The generator builds a fresh message per
+	// query; senders must not retain it past the exchange.
+	Msg *dnswire.Message
+}
+
+// sampler draws queries from a Mix deterministically under one seed. It
+// is not safe for concurrent use: the dispatcher (open loop) or each
+// worker (closed loop) owns a private sampler.
+type sampler struct {
+	rng       *rand.Rand
+	domains   []string
+	zipf      *rand.Zipf
+	qtypes    []WeightedQType
+	qtypeSum  float64
+	endpoints []WeightedEndpoint
+	epSum     float64
+}
+
+// newSampler builds a sampler for the mix; streams with different seeds
+// are independent, and the same seed replays the same query sequence.
+func (m *Mix) newSampler(seed uint64) *sampler {
+	s := &sampler{rng: rand.New(rand.NewPCG(seed, 0x6c6f616467656e))} // "loadgen"
+	s.domains = m.Domains
+	if len(s.domains) == 0 {
+		s.domains = dataset.Domains
+	}
+	zs := m.ZipfS
+	if zs == 0 {
+		zs = DefaultZipfS
+	}
+	if zs > 1 && len(s.domains) > 1 {
+		s.zipf = rand.NewZipf(s.rng, zs, 1, uint64(len(s.domains)-1))
+	}
+	s.qtypes = m.QTypes
+	if len(s.qtypes) == 0 {
+		s.qtypes = []WeightedQType{{Type: dnswire.TypeA, Weight: 1}}
+	}
+	for _, q := range s.qtypes {
+		s.qtypeSum += q.Weight
+	}
+	s.endpoints = m.Endpoints
+	for _, e := range s.endpoints {
+		s.epSum += e.Weight
+	}
+	return s
+}
+
+// next draws one query.
+func (s *sampler) next() Query {
+	var name string
+	if s.zipf != nil {
+		name = s.domains[s.zipf.Uint64()]
+	} else {
+		name = s.domains[s.rng.IntN(len(s.domains))]
+	}
+	qtype := s.qtypes[0].Type
+	if len(s.qtypes) > 1 {
+		qtype = s.qtypes[weightedIndex(s.rng, s.qtypeSum, len(s.qtypes), func(i int) float64 { return s.qtypes[i].Weight })].Type
+	}
+	endpoint := ""
+	if len(s.endpoints) == 1 {
+		endpoint = s.endpoints[0].Endpoint
+	} else if len(s.endpoints) > 1 {
+		endpoint = s.endpoints[weightedIndex(s.rng, s.epSum, len(s.endpoints), func(i int) float64 { return s.endpoints[i].Weight })].Endpoint
+	}
+	return Query{Endpoint: endpoint, Msg: dnswire.NewQuery(dns53.NewID(), name, qtype)}
+}
+
+// weightedIndex draws an index proportionally to weight(i).
+func weightedIndex(rng *rand.Rand, sum float64, n int, weight func(int) float64) int {
+	r := rng.Float64() * sum
+	for i := 0; i < n; i++ {
+		r -= weight(i)
+		if r < 0 {
+			return i
+		}
+	}
+	return n - 1
+}
+
+// ParseQTypeMix parses a weighted QTYPE mix flag: comma-separated
+// TYPE[=weight] entries, e.g. "A=10,AAAA=3,HTTPS=1". A bare TYPE gets
+// weight 1. This mirrors the real query-type shares resolver operators
+// report (A dominant, AAAA a strong second, a tail of HTTPS/TXT/PTR).
+func ParseQTypeMix(spec string) ([]WeightedQType, error) {
+	var out []WeightedQType
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, weight := part, 1.0
+		if i := strings.IndexByte(part, '='); i >= 0 {
+			w, err := strconv.ParseFloat(part[i+1:], 64)
+			if err != nil || w <= 0 {
+				return nil, fmt.Errorf("loadgen: qtype weight %q: want a positive number", part)
+			}
+			name, weight = part[:i], w
+		}
+		t, ok := dnswire.ParseType(strings.ToUpper(name))
+		if !ok {
+			return nil, fmt.Errorf("loadgen: unknown qtype %q", name)
+		}
+		out = append(out, WeightedQType{Type: t, Weight: weight})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("loadgen: empty qtype mix")
+	}
+	return out, nil
+}

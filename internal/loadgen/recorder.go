@@ -1,0 +1,202 @@
+package loadgen
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+
+	"encdns/internal/obs"
+	"encdns/internal/stats"
+)
+
+// LatencyBounds are the recorder's histogram bucket upper bounds (in
+// seconds): geometric from 100µs to ~100s with four buckets per octave
+// (ratio 2^¼ ≈ 1.19), so a quantile read off the histogram is within
+// ~19% of the true value anywhere in the range — fine-grained enough to
+// decide a "p99 < 50ms" SLO, small enough (80 buckets) that every
+// worker can afford a private recorder.
+var LatencyBounds = func() []float64 {
+	const ratio = 1.189207115002721 // 2^(1/4)
+	var bounds []float64
+	for v := 0.0001; v < 100; v *= ratio {
+		bounds = append(bounds, v)
+	}
+	return bounds
+}()
+
+// Recorder accumulates latency samples for one worker (or one whole
+// run): an HDR-style histogram for quantiles, exact count/mean/min/max
+// via a streaming counter, and an error tally. Observe is safe for
+// concurrent use; per-worker recorders avoid even the shared atomics and
+// are combined afterwards with Merge.
+type Recorder struct {
+	hist    *obs.Histogram
+	exact   stats.Counter
+	errors  atomic.Uint64
+	dropped atomic.Uint64
+}
+
+// NewRecorder builds an empty recorder over LatencyBounds.
+func NewRecorder() *Recorder {
+	return &Recorder{hist: obs.NewHistogram(LatencyBounds)}
+}
+
+// Observe records one successful exchange latency.
+func (r *Recorder) Observe(d time.Duration) {
+	s := d.Seconds()
+	r.hist.Observe(s)
+	r.exact.Add(s)
+}
+
+// Error records one failed exchange (timeout, network error, transport
+// refusal). Errors carry no latency sample: a timeout's duration is the
+// timeout setting, not the server's behaviour.
+func (r *Recorder) Error() { r.errors.Add(1) }
+
+// Drop records one query the generator could not launch (the in-flight
+// bound was hit). Drops are the generator protecting itself; they count
+// against the SLO like errors but are reported separately.
+func (r *Recorder) Drop() { r.dropped.Add(1) }
+
+// Count returns the number of successful exchanges recorded.
+func (r *Recorder) Count() uint64 { return r.hist.Count() }
+
+// Errors returns the number of failed exchanges recorded.
+func (r *Recorder) Errors() uint64 { return r.errors.Load() }
+
+// Dropped returns the number of queries dropped at the in-flight bound.
+func (r *Recorder) Dropped() uint64 { return r.dropped.Load() }
+
+// Quantile estimates the q-th latency quantile. Zero when empty.
+func (r *Recorder) Quantile(q float64) time.Duration {
+	v := r.hist.Quantile(q)
+	if math.IsNaN(v) {
+		return 0
+	}
+	return time.Duration(v * float64(time.Second))
+}
+
+// Mean returns the exact mean latency. Zero when empty.
+func (r *Recorder) Mean() time.Duration {
+	m := r.exact.Mean()
+	if math.IsNaN(m) {
+		return 0
+	}
+	return time.Duration(m * float64(time.Second))
+}
+
+// Max returns the exact largest latency recorded. Zero when empty.
+func (r *Recorder) Max() time.Duration {
+	m := r.exact.Max()
+	if math.IsNaN(m) {
+		return 0
+	}
+	return time.Duration(m * float64(time.Second))
+}
+
+// Min returns the exact smallest latency recorded. Zero when empty.
+func (r *Recorder) Min() time.Duration {
+	m := r.exact.Min()
+	if math.IsNaN(m) {
+		return 0
+	}
+	return time.Duration(m * float64(time.Second))
+}
+
+// Merge folds o into r. o's hot path is never locked (histogram buckets
+// are atomics); exact min/max/mean merge through the counter samples.
+func (r *Recorder) Merge(o *Recorder) {
+	_ = r.hist.Merge(o.hist) // identical LatencyBounds by construction
+	r.errors.Add(o.errors.Load())
+	r.dropped.Add(o.dropped.Load())
+	// stats.Counter has no merge; replay the exact triple as three
+	// synthetic samples preserving count, sum, min, and max would skew
+	// the mean, so fold the raw aggregates instead.
+	r.exact.Absorb(&o.exact)
+}
+
+// SecondStats is one cell of the per-second timeline.
+type SecondStats struct {
+	// Second is the offset from the run start.
+	Second int `json:"second"`
+	// Sent counts queries whose intended start fell in this second.
+	Sent uint64 `json:"sent"`
+	// Received counts successful responses recorded in this second.
+	Received uint64 `json:"received"`
+	// Errors counts failures (including drops) recorded in this second.
+	Errors uint64 `json:"errors"`
+	// P50/P99/P999 are latency quantiles of this second's successes, in
+	// milliseconds.
+	P50  float64 `json:"p50_ms"`
+	P99  float64 `json:"p99_ms"`
+	P999 float64 `json:"p999_ms"`
+}
+
+// timeline is the per-second breakdown of a run: a fixed array of cells
+// indexed by elapsed second, each with its own small histogram so the
+// tail of every second is visible ("the p99 was fine on average" hides
+// exactly the stalls a load test exists to find).
+type timeline struct {
+	cells []timelineCell
+}
+
+type timelineCell struct {
+	sent, recv, errs atomic.Uint64
+	hist             *obs.Histogram
+}
+
+func newTimeline(duration time.Duration) *timeline {
+	n := int(duration/time.Second) + 2 // slack for the final partial second
+	t := &timeline{cells: make([]timelineCell, n)}
+	for i := range t.cells {
+		t.cells[i].hist = obs.NewHistogram(LatencyBounds)
+	}
+	return t
+}
+
+func (t *timeline) cell(second int) *timelineCell {
+	if second < 0 {
+		second = 0
+	}
+	if second >= len(t.cells) {
+		second = len(t.cells) - 1
+	}
+	return &t.cells[second]
+}
+
+func (t *timeline) sent(second int)  { t.cell(second).sent.Add(1) }
+func (t *timeline) error(second int) { t.cell(second).errs.Add(1) }
+
+func (t *timeline) observe(second int, d time.Duration) {
+	c := t.cell(second)
+	c.recv.Add(1)
+	c.hist.Observe(d.Seconds())
+}
+
+// seconds renders the populated prefix of the timeline.
+func (t *timeline) seconds() []SecondStats {
+	last := -1
+	for i := range t.cells {
+		c := &t.cells[i]
+		if c.sent.Load() > 0 || c.recv.Load() > 0 || c.errs.Load() > 0 {
+			last = i
+		}
+	}
+	out := make([]SecondStats, 0, last+1)
+	for i := 0; i <= last; i++ {
+		c := &t.cells[i]
+		s := SecondStats{
+			Second:   i,
+			Sent:     c.sent.Load(),
+			Received: c.recv.Load(),
+			Errors:   c.errs.Load(),
+		}
+		if s.Received > 0 {
+			s.P50 = c.hist.Quantile(0.5) * 1000
+			s.P99 = c.hist.Quantile(0.99) * 1000
+			s.P999 = c.hist.Quantile(0.999) * 1000
+		}
+		out = append(out, s)
+	}
+	return out
+}

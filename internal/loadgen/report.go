@@ -1,0 +1,170 @@
+package loadgen
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"encdns/internal/report"
+)
+
+// Summary is the JSON-friendly digest of a Result.
+type Summary struct {
+	Mode       string        `json:"mode"`
+	Arrivals   string        `json:"arrivals,omitempty"`
+	OfferedQPS float64       `json:"offered_qps,omitempty"`
+	Workers    int           `json:"workers,omitempty"`
+	Duration   float64       `json:"duration_s"`
+	Offered    uint64        `json:"offered"`
+	Sent       uint64        `json:"sent"`
+	Received   uint64        `json:"received"`
+	Errors     uint64        `json:"errors"`
+	Dropped    uint64        `json:"dropped"`
+	ActualQPS  float64       `json:"actual_qps"`
+	ErrorRate  float64       `json:"error_rate"`
+	P50Ms      float64       `json:"p50_ms"`
+	P90Ms      float64       `json:"p90_ms"`
+	P99Ms      float64       `json:"p99_ms"`
+	P999Ms     float64       `json:"p999_ms"`
+	MeanMs     float64       `json:"mean_ms"`
+	MaxMs      float64       `json:"max_ms"`
+	Timeline   []SecondStats `json:"timeline,omitempty"`
+}
+
+// Summarize digests a Result.
+func Summarize(res *Result) Summary {
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	s := Summary{
+		Mode:      res.Config.Mode.String(),
+		Duration:  res.Elapsed.Seconds(),
+		Offered:   res.Offered,
+		Sent:      res.Sent,
+		Received:  res.Received,
+		Errors:    res.Errors,
+		Dropped:   res.Dropped,
+		ActualQPS: res.ActualQPS(),
+		ErrorRate: res.ErrorRate(),
+		P50Ms:     ms(res.Latency.Quantile(0.5)),
+		P90Ms:     ms(res.Latency.Quantile(0.9)),
+		P99Ms:     ms(res.Latency.Quantile(0.99)),
+		P999Ms:    ms(res.Latency.Quantile(0.999)),
+		MeanMs:    ms(res.Latency.Mean()),
+		MaxMs:     ms(res.Latency.Max()),
+		Timeline:  res.Timeline,
+	}
+	if res.Config.Mode == OpenLoop {
+		s.Arrivals = res.Config.Arrivals.String()
+		s.OfferedQPS = res.Config.Rate
+	} else {
+		s.Workers = res.Config.Workers
+	}
+	return s
+}
+
+// WriteJSON writes the Result digest (with timeline) as indented JSON.
+func WriteJSON(w io.Writer, res *Result) error {
+	return report.WriteJSON(w, Summarize(res))
+}
+
+// CapacityJSON wraps a CapacityResult with flattened headline fields so
+// line-oriented extraction (scripts/benchjson.sh capacity mode) does not
+// need a JSON parser.
+type CapacityJSON struct {
+	MaxSustainableQPS float64 `json:"max_sustainable_qps"`
+	AchievedQPS       float64 `json:"achieved_qps"`
+	P50MsAtMax        float64 `json:"p50_ms_at_max"`
+	P99MsAtMax        float64 `json:"p99_ms_at_max"`
+	P999MsAtMax       float64 `json:"p999_ms_at_max"`
+	ErrorRateAtMax    float64 `json:"error_rate_at_max"`
+	Steps             []struct {
+		Rate      float64 `json:"rate_qps"`
+		OK        bool    `json:"ok"`
+		Reason    string  `json:"reason,omitempty"`
+		ActualQPS float64 `json:"actual_qps"`
+		P50Ms     float64 `json:"p50_ms"`
+		P99Ms     float64 `json:"p99_ms"`
+		P999Ms    float64 `json:"p999_ms"`
+		ErrorRate float64 `json:"error_rate"`
+	} `json:"steps"`
+}
+
+// WriteCapacityJSON writes the capacity-search digest as indented JSON.
+func WriteCapacityJSON(w io.Writer, cr *CapacityResult) error {
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	out := CapacityJSON{
+		MaxSustainableQPS: cr.MaxSustainableQPS,
+		AchievedQPS:       cr.Achieved,
+	}
+	for _, st := range cr.Steps {
+		var row struct {
+			Rate      float64 `json:"rate_qps"`
+			OK        bool    `json:"ok"`
+			Reason    string  `json:"reason,omitempty"`
+			ActualQPS float64 `json:"actual_qps"`
+			P50Ms     float64 `json:"p50_ms"`
+			P99Ms     float64 `json:"p99_ms"`
+			P999Ms    float64 `json:"p999_ms"`
+			ErrorRate float64 `json:"error_rate"`
+		}
+		row.Rate, row.OK, row.Reason = st.Rate, st.OK, st.Reason
+		row.ActualQPS = st.Result.ActualQPS()
+		row.P50Ms = ms(st.Result.Latency.Quantile(0.5))
+		row.P99Ms = ms(st.Result.Latency.Quantile(0.99))
+		row.P999Ms = ms(st.Result.Latency.Quantile(0.999))
+		row.ErrorRate = st.Result.ErrorRate()
+		out.Steps = append(out.Steps, row)
+		if st.OK && st.Rate == cr.MaxSustainableQPS {
+			out.P50MsAtMax = row.P50Ms
+			out.P99MsAtMax = row.P99Ms
+			out.P999MsAtMax = row.P999Ms
+			out.ErrorRateAtMax = row.ErrorRate
+		}
+	}
+	return report.WriteJSON(w, out)
+}
+
+// TimelineTable renders the per-second timeline as a report.Table, the
+// shared table/CSV surface of the repository.
+func TimelineTable(res *Result) *report.Table {
+	t := &report.Table{
+		Title:   fmt.Sprintf("Per-second timeline (%s loop)", res.Config.Mode),
+		Headers: []string{"Second", "Sent", "Received", "Errors", "P50 (ms)", "P99 (ms)", "P999 (ms)"},
+	}
+	for _, s := range res.Timeline {
+		t.AddRow(
+			fmt.Sprintf("%d", s.Second),
+			fmt.Sprintf("%d", s.Sent),
+			fmt.Sprintf("%d", s.Received),
+			fmt.Sprintf("%d", s.Errors),
+			fmt.Sprintf("%.2f", s.P50),
+			fmt.Sprintf("%.2f", s.P99),
+			fmt.Sprintf("%.2f", s.P999),
+		)
+	}
+	return t
+}
+
+// CapacityTable renders the ramp as a report.Table.
+func CapacityTable(cr *CapacityResult) *report.Table {
+	t := &report.Table{
+		Title:   "Capacity search",
+		Headers: []string{"Rate (qps)", "Actual (qps)", "P50 (ms)", "P99 (ms)", "Err %", "SLO", "Reason"},
+	}
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	for _, st := range cr.Steps {
+		verdict := "ok"
+		if !st.OK {
+			verdict = "FAIL"
+		}
+		t.AddRow(
+			fmt.Sprintf("%.0f", st.Rate),
+			fmt.Sprintf("%.0f", st.Result.ActualQPS()),
+			fmt.Sprintf("%.2f", ms(st.Result.Latency.Quantile(0.5))),
+			fmt.Sprintf("%.2f", ms(st.Result.Latency.Quantile(0.99))),
+			fmt.Sprintf("%.2f", st.Result.ErrorRate()*100),
+			verdict,
+			st.Reason,
+		)
+	}
+	return t
+}

@@ -1,0 +1,160 @@
+package loadgen
+
+import (
+	"errors"
+	"time"
+
+	"encdns/internal/netsim"
+)
+
+// SimTarget models a system under test in virtual time: given a query
+// and the instant it arrives, it returns the instant the response would
+// complete. Implementations own whatever queueing discipline they model;
+// the engine only ever moves time forward.
+type SimTarget interface {
+	// Serve returns the completion instant for a query arriving at 'at'
+	// (which never decreases across calls), or an error for a query the
+	// modelled server would fail.
+	Serve(at time.Time, q Query) (time.Time, error)
+}
+
+// RunAgainst executes the open-loop engine against an in-process model
+// on a virtual clock: arrivals are generated exactly as Run generates
+// them (same seeded schedule, same mix), but instead of sleeping, the
+// clock is advanced to each intended start and the target computes the
+// completion instant. Recorded latency is completion − intended start,
+// the coordinated-omission-safe measure, and the whole run is
+// deterministic — equal seeds produce identical Results, which is what
+// lets a test assert that a stalled server inflates recorded p99 rather
+// than just suppressing throughput.
+//
+// Only OpenLoop configs are supported: a closed loop's schedule depends
+// on response times, which is exactly the feedback the virtual-time
+// proof needs to exclude.
+func RunAgainst(clock netsim.Clock, target SimTarget, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Mode != OpenLoop {
+		return nil, errors.New("loadgen: RunAgainst supports only OpenLoop configs")
+	}
+	if cfg.Duration <= 0 {
+		return nil, errors.New("loadgen: Duration must be positive")
+	}
+	if cfg.Rate <= 0 {
+		return nil, errors.New("loadgen: open-loop Rate must be positive")
+	}
+	if target == nil {
+		return nil, errors.New("loadgen: nil SimTarget")
+	}
+	if clock == nil {
+		clock = netsim.NewVirtualClock(netsim.CampaignEpoch)
+	}
+
+	res := &Result{Config: cfg, Latency: NewRecorder()}
+	tl := newTimeline(cfg.Duration)
+	sched := newArrivalSchedule(cfg)
+	smp := cfg.Mix.newSampler(cfg.Seed)
+
+	start := clock.Now()
+	var latest time.Time
+	for {
+		off := sched.nextOffset()
+		if off >= cfg.Duration {
+			break
+		}
+		intended := start.Add(off)
+		clock.Advance(intended.Sub(clock.Now()))
+		res.Offered++
+		second := int(off / time.Second)
+		tl.sent(second)
+		q := smp.next()
+		res.Sent++
+		done, err := target.Serve(intended, q)
+		if err != nil {
+			res.Latency.Error()
+			tl.error(second)
+			continue
+		}
+		lat := done.Sub(intended)
+		if cfg.Timeout > 0 && lat > cfg.Timeout {
+			// The real client would have given up at the timeout.
+			res.Latency.Error()
+			tl.error(second)
+			if done.After(latest) {
+				latest = done
+			}
+			continue
+		}
+		res.Latency.Observe(lat)
+		tl.observe(second, lat)
+		if done.After(latest) {
+			latest = done
+		}
+	}
+	// Virtual time runs to the later of the schedule end and the last
+	// completion, like Run's wg.Wait.
+	end := start.Add(cfg.Duration)
+	if latest.After(end) {
+		end = latest
+	}
+	clock.Advance(end.Sub(clock.Now()))
+
+	res.Received = res.Latency.Count()
+	res.Errors = res.Latency.Errors()
+	res.Elapsed = end.Sub(start)
+	res.Timeline = tl.seconds()
+	return res, nil
+}
+
+// QueueSim is a deterministic FIFO multi-server queue for RunAgainst:
+// Servers parallel channels, each serving one query at a time with a
+// per-query service time from Service. It is the minimal model in which
+// coordinated omission is visible — a single long service time makes
+// every queued arrival behind it late, and an intended-start recorder
+// sees all of that lateness.
+type QueueSim struct {
+	// Servers is the number of parallel service channels; zero means 1.
+	Servers int
+	// Service returns the service time for the i-th arrival (0-based).
+	// Nil means a constant 1ms.
+	Service func(i int, q Query) time.Duration
+	// Fail makes the i-th arrival fail instead of being served; nil never
+	// fails.
+	Fail func(i int, q Query) bool
+
+	n    int
+	free []time.Time
+}
+
+// Serve implements SimTarget.
+func (s *QueueSim) Serve(at time.Time, q Query) (time.Time, error) {
+	i := s.n
+	s.n++
+	if s.Fail != nil && s.Fail(i, q) {
+		return time.Time{}, errors.New("loadgen: simulated failure")
+	}
+	if s.free == nil {
+		n := s.Servers
+		if n <= 0 {
+			n = 1
+		}
+		s.free = make([]time.Time, n)
+	}
+	// Earliest-free server takes the query.
+	best := 0
+	for j := 1; j < len(s.free); j++ {
+		if s.free[j].Before(s.free[best]) {
+			best = j
+		}
+	}
+	begin := at
+	if s.free[best].After(begin) {
+		begin = s.free[best]
+	}
+	svc := time.Millisecond
+	if s.Service != nil {
+		svc = s.Service(i, q)
+	}
+	done := begin.Add(svc)
+	s.free[best] = done
+	return done, nil
+}

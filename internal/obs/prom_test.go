@@ -40,6 +40,7 @@ func TestWritePrometheusGolden(t *testing.T) {
 		`t_sum{quantile="0.5"} 0.25`,
 		`t_sum{quantile="0.9"} 0.25`,
 		`t_sum{quantile="0.99"} 0.25`,
+		`t_sum{quantile="0.999"} 0.25`,
 		"t_sum_sum 0.25",
 		"t_sum_count 1",
 		"",

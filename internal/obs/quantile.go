@@ -2,8 +2,10 @@ package obs
 
 import "sync"
 
-// SummaryQuantiles are the quantiles every Summary tracks.
-var SummaryQuantiles = []float64{0.5, 0.9, 0.99}
+// SummaryQuantiles are the quantiles every Summary tracks. p999 rides
+// along with the classics because load-generation SLOs (internal/loadgen)
+// are stated on the extreme tail, where coordinated omission hides first.
+var SummaryQuantiles = []float64{0.5, 0.9, 0.99, 0.999}
 
 // Summary is a streaming quantile estimator: one P² estimator (Jain &
 // Chlamtac 1985) per tracked quantile, plus count and sum. It holds

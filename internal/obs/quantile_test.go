@@ -36,6 +36,7 @@ func TestSummaryQuantileEstimates(t *testing.T) {
 		{0.5, 0.5, 0.02},
 		{0.9, 0.9, 0.02},
 		{0.99, 0.99, 0.01},
+		{0.999, 0.999, 0.01},
 	} {
 		got, ok := s.Quantile(tc.q)
 		if !ok {

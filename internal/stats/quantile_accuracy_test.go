@@ -1,0 +1,155 @@
+package stats_test
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+	"testing"
+
+	"encdns/internal/obs"
+	"encdns/internal/stats"
+)
+
+// This file cross-checks the two streaming quantile estimators the repo
+// ships — stats.Reservoir (Vitter's algorithm R, bounded sample set) and
+// obs.Summary (P², five markers per quantile) — against the exact type-7
+// quantile of the full sample on skewed, Zipf-like inputs. Latency
+// streams are exactly this shape: a dense head (cache hits, nearby
+// anycast) and a heavy tail (cold paths, stalls), and an estimator that
+// is fine on uniform data can drift badly on the tail of a skewed one.
+//
+// The bounds asserted here document the accuracy contract the rest of
+// the repo can rely on:
+//
+//   - Reservoir(4096) over 200k samples: relative error ≤ 10% at p50/p90,
+//     ≤ 15% at p99. A 4k sample of 200k draws keeps ~40 observations
+//     above p99, so the p99 estimate is a small-sample order statistic —
+//     noisy but unbiased.
+//   - obs.Summary (P²): relative error ≤ 15% at p50/p90/p99. Constant
+//     memory, but its markers adapt by curve fitting, so it is the
+//     weaker estimator on violently skewed data; p999 is tracked for
+//     live introspection yet deliberately NOT given a bound here (on
+//     heavy tails P² p999 can be off by >2x, which is exactly why
+//     internal/loadgen decides SLOs from its HDR histogram instead).
+//
+// The generators are seeded: these are regression tests, not flaky
+// statistical coin flips.
+
+// skewedStream draws n values from the named heavy-tailed generator.
+func skewedStream(t *testing.T, kind string, n int) []float64 {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(7, 2026))
+	out := make([]float64, n)
+	switch kind {
+	case "zipf-steps":
+		// Zipf-weighted mixture of latency plateaus: rank-k response time
+		// grows linearly while rank-k probability falls as k^-1.1 — the
+		// resolver-population shape (a few fast popular paths, a long
+		// slow tail).
+		z := rand.NewZipf(rng, 1.1, 1, 1000)
+		for i := range out {
+			k := float64(z.Uint64())
+			out[i] = 0.001*(1+k) + 0.0001*rng.Float64()
+		}
+	case "lognormal":
+		// Log-normal RTTs (the classic WAN latency model; PAPERS.md's
+		// measurement studies fit resolver RTTs this way).
+		for i := range out {
+			out[i] = stats.LogNormalByMedian(rng, 0.020, 0.8)
+		}
+	case "pareto":
+		// Pareto tail, alpha 1.5: infinite-variance territory.
+		for i := range out {
+			out[i] = stats.Pareto(rng, 1.5, 0.001, 10)
+		}
+	default:
+		t.Fatalf("unknown stream kind %q", kind)
+	}
+	return out
+}
+
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / want
+}
+
+func TestStreamingQuantilesVsExact(t *testing.T) {
+	const n = 200_000
+	for _, kind := range []string{"zipf-steps", "lognormal", "pareto"} {
+		t.Run(kind, func(t *testing.T) {
+			streamVals := skewedStream(t, kind, n)
+
+			res := stats.NewReservoir(4096, nil)
+			reg := obs.NewRegistry()
+			sum := reg.Summary("t_acc", "accuracy cross-check")
+			for _, v := range streamVals {
+				res.Add(v)
+				sum.Observe(v)
+			}
+
+			exactSorted := append([]float64(nil), streamVals...)
+			sort.Float64s(exactSorted)
+			sample := res.Samples()
+
+			for _, tc := range []struct {
+				q           float64
+				resBound    float64 // Reservoir(4096) relative error bound
+				p2Bound     float64 // P² relative error bound; 0 = unasserted
+				description string
+			}{
+				{0.50, 0.10, 0.15, "median"},
+				{0.90, 0.10, 0.15, "p90"},
+				{0.99, 0.15, 0.15, "p99"},
+				{0.999, 0.40, 0, "p999: ~4 retained samples above it in a 4k reservoir"},
+			} {
+				exact := stats.Quantile(exactSorted, tc.q)
+
+				got := stats.Quantile(sample, tc.q)
+				if e := relErr(got, exact); e > tc.resBound {
+					t.Errorf("%s reservoir %s: got %.6f exact %.6f relerr %.3f > %.2f",
+						kind, tc.description, got, exact, e, tc.resBound)
+				}
+
+				if tc.p2Bound > 0 {
+					p2, ok := sum.Quantile(tc.q)
+					if !ok {
+						t.Fatalf("summary does not track q=%v", tc.q)
+					}
+					if e := relErr(p2, exact); e > tc.p2Bound {
+						t.Errorf("%s P² %s: got %.6f exact %.6f relerr %.3f > %.2f",
+							kind, tc.description, p2, exact, e, tc.p2Bound)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestReservoirCapacityTradeoff documents that accuracy at the tail is
+// a function of reservoir capacity: the p99 of a 256-sample reservoir
+// rests on ~2.5 order statistics and cannot be trusted, while 4096
+// samples give a stable estimate. This is why loadgen budgets a full
+// histogram per worker instead of shrinking reservoirs.
+func TestReservoirCapacityTradeoff(t *testing.T) {
+	streamVals := skewedStream(t, "lognormal", 200_000)
+	exactSorted := append([]float64(nil), streamVals...)
+	sort.Float64s(exactSorted)
+	exactP99 := stats.Quantile(exactSorted, 0.99)
+
+	errAt := func(capacity int) float64 {
+		r := stats.NewReservoir(capacity, nil)
+		for _, v := range streamVals {
+			r.Add(v)
+		}
+		return relErr(stats.Quantile(r.Samples(), 0.99), exactP99)
+	}
+	small, large := errAt(256), errAt(8192)
+	if large > 0.10 {
+		t.Errorf("8k reservoir p99 relerr %.3f, want <= 0.10", large)
+	}
+	// The small reservoir is strictly documentation: log the comparison
+	// so the tradeoff is visible in -v output without flaking the suite.
+	t.Logf("p99 relative error: reservoir(256)=%.3f reservoir(8192)=%.3f", small, large)
+}

@@ -38,6 +38,32 @@ func (c *Counter) Add(v float64) {
 	c.sumSq += v * v
 }
 
+// Absorb folds o's aggregates into c, as if every sample offered to o
+// had been offered to c. o is read under its own lock and left intact.
+func (c *Counter) Absorb(o *Counter) {
+	o.mu.Lock()
+	n, sum, sumSq, minV, maxV := o.n, o.sum, o.sumSq, o.min, o.max
+	o.mu.Unlock()
+	if n == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.n == 0 {
+		c.min, c.max = minV, maxV
+	} else {
+		if minV < c.min {
+			c.min = minV
+		}
+		if maxV > c.max {
+			c.max = maxV
+		}
+	}
+	c.n += n
+	c.sum += sum
+	c.sumSq += sumSq
+}
+
 // N returns the number of samples recorded.
 func (c *Counter) N() int64 {
 	c.mu.Lock()

@@ -11,7 +11,47 @@
 # BENCH_pr3.json; any `-benchtime`/`-cpu` combination parses the same way.
 # Fields the run did not report (no -benchmem, b.ReportAllocs absent) are
 # emitted as null.
+#
+# A second mode handles dnsload capacity output:
+#
+#   dnsload -self do53 -capacity -json | scripts/benchjson.sh capacity
+#
+# emits one flat JSON object with the headline fields
+# (max_sustainable_qps, achieved_qps, *_at_max) extracted line-by-line
+# from dnsload's indented JSON — no JSON parser required, which is the
+# point of keeping those keys unique at the top level.
 set -eu
+
+if [ "${1:-}" = "capacity" ]; then
+    exec awk '
+    function grab(key,   re) {
+        re = "\"" key "\":"
+        if ($0 ~ re && !(key in seen)) {
+            v = $2
+            sub(/,$/, "", v)
+            seen[key] = v
+        }
+    }
+    {
+        grab("max_sustainable_qps"); grab("achieved_qps")
+        grab("p50_ms_at_max"); grab("p99_ms_at_max")
+        grab("p999_ms_at_max"); grab("error_rate_at_max")
+    }
+    END {
+        printf "{"
+        n = split("max_sustainable_qps achieved_qps p50_ms_at_max p99_ms_at_max p999_ms_at_max error_rate_at_max", keys, " ")
+        first = 1
+        for (i = 1; i <= n; i++) {
+            k = keys[i]
+            v = (k in seen) ? seen[k] : "null"
+            if (!first) printf ", "
+            printf "\"%s\": %s", k, v
+            first = 0
+        }
+        printf "}\n"
+    }
+    '
+fi
 
 awk '
 BEGIN { n = 0; printf "[" }
