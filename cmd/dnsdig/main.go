@@ -12,6 +12,7 @@
 //	dnsdig -server tcp://9.9.9.9:53 -retries 1 example.org
 //	dnsdig -trace -server tls://127.0.0.1:8853 -insecure example.org
 //	dnsdig -trace -roots 198.18.0.1:53,198.18.0.2:53 www.amazon.com
+//	dnsdig -infra -roots 198.41.0.4:53,199.9.14.201:53 example.org
 //
 // -trace has two modes. With -roots it resolves iteratively from the
 // given root servers over Do53, printing each referral step like dig
@@ -35,6 +36,7 @@ import (
 	"encdns/internal/dnswire"
 	"encdns/internal/loadgen"
 	"encdns/internal/obs"
+	"encdns/internal/resolver"
 	"encdns/internal/transport"
 )
 
@@ -56,7 +58,8 @@ func run(args []string, w io.Writer) error {
 		retries  = fs.Int("retries", 3, "total exchange attempts (shared transport retry policy)")
 		short    = fs.Bool("short", false, "print only the answer RDATA")
 		trace    = fs.Bool("trace", false, "with -roots: iterate from the roots printing each step; without: print the query's span tree")
-		roots    = fs.String("roots", "", "comma-separated root server addresses for referral -trace")
+		infra    = fs.Bool("infra", false, "resolve via the latency-aware recursive engine (requires -roots) and dump the per-server SRTT/penalty table")
+		roots    = fs.String("roots", "", "comma-separated root server addresses for referral -trace / -infra")
 		gluePort = fs.Int("glue-port", 53, "port appended to glue addresses during -trace")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -80,6 +83,12 @@ func run(args []string, w io.Writer) error {
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 
+	if *infra {
+		if *roots == "" {
+			return fmt.Errorf("-infra requires -roots (the engine measures per-nameserver RTTs while walking referrals)")
+		}
+		return runInfra(ctx, w, name, qtype, strings.Split(*roots, ","), *timeout)
+	}
 	if *trace && *roots != "" {
 		return runTrace(ctx, w, name, qtype, strings.Split(*roots, ","), *timeout, *gluePort)
 	}
@@ -153,6 +162,52 @@ func tlsConfig(caCert string, insecure bool) (*tls.Config, error) {
 		cfg.RootCAs = pool
 	}
 	return cfg, nil
+}
+
+// runInfra resolves name with the latency-aware recursive engine over real
+// Do53 sockets and prints the answers followed by the per-server SRTT and
+// penalty table the walk accumulated — the measurement tool explaining
+// *why* a resolver path was fast or slow, one server at a time.
+func runInfra(ctx context.Context, w io.Writer, name string, qtype dnswire.Type, roots []string, timeout time.Duration) error {
+	for i := range roots {
+		roots[i] = strings.TrimSpace(roots[i])
+	}
+	pool := transport.NewPool(transport.Options{Timeout: timeout})
+	defer pool.Close()
+	inf := resolver.NewInfra(nil)
+	rec := &resolver.Recursive{
+		Exchange: pool,
+		Roots:    roots,
+		Cache:    resolver.NewCache(4096, nil),
+		Infra:    inf,
+		Hedge:    true,
+	}
+	defer rec.Close()
+	start := time.Now()
+	rrs, rcode, err := rec.Resolve(ctx, name, qtype, 0)
+	elapsed := time.Since(start)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, ";; status: %s, %d answer(s), %d msec\n", rcode, len(rrs), elapsed.Milliseconds())
+	for _, rr := range rrs {
+		fmt.Fprintln(w, rr)
+	}
+	fmt.Fprintln(w, ";; infra cache (selection order — score = SRTT + decayed failure penalty):")
+	fmt.Fprintf(w, ";; %-24s %10s %10s %10s %10s %5s %5s\n",
+		"SERVER", "SRTT", "RTTVAR", "PENALTY", "SCORE", "OBS", "FAIL")
+	for _, s := range inf.Snapshot() {
+		fmt.Fprintf(w, ";; %-24s %10s %10s %10s %10s %5d %5d\n",
+			s.Server, fmtDur(s.SRTT), fmtDur(s.RTTVar), fmtDur(s.Penalty), fmtDur(s.Score),
+			s.Observations, s.Failures)
+	}
+	return nil
+}
+
+// fmtDur renders sub-second durations at microsecond precision so the
+// infra table columns stay aligned and comparable.
+func fmtDur(d time.Duration) string {
+	return d.Round(time.Microsecond).String()
 }
 
 // runTrace walks the delegation chain from the roots over Do53, printing

@@ -160,12 +160,12 @@ func TestDoHQueryInsecure(t *testing.T) {
 	}
 }
 
-// TestTraceOverRealUDP serves the full authoritative hierarchy over real
-// loopback UDP sockets (one 127.0.0.x address per name server, shared
-// port) and walks it with -trace — dig +trace against our own root.
-func TestTraceOverRealUDP(t *testing.T) {
-	// Build loopback zones by hand: root delegates com. to a loopback
-	// address; com. delegates example.com.; the leaf answers.
+// startLoopbackHierarchy serves a three-level delegation chain (root →
+// com. → example.com.) over real loopback UDP sockets, one 127.0.0.x
+// address per name server on a shared random port. It returns the root
+// server address and the shared port.
+func startLoopbackHierarchy(t *testing.T) (rootAddr string, port int) {
+	t.Helper()
 	leafIP := netip.MustParseAddr("127.0.0.3")
 	comIP := netip.MustParseAddr("127.0.0.2")
 	rootIP := netip.MustParseAddr("127.0.0.1")
@@ -187,7 +187,7 @@ func TestTraceOverRealUDP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	port := rootPC.LocalAddr().(*net.UDPAddr).Port
+	port = rootPC.LocalAddr().(*net.UDPAddr).Port
 	comPC, err := net.ListenPacket("udp", fmt.Sprintf("%s:%d", comIP, port))
 	if err != nil {
 		t.Skipf("cannot bind %s:%d: %v", comIP, port, err)
@@ -204,9 +204,16 @@ func TestTraceOverRealUDP(t *testing.T) {
 		go srv.ServeUDP(pair.pc)
 		t.Cleanup(srv.Shutdown)
 	}
+	return fmt.Sprintf("%s:%d", rootIP, port), port
+}
 
+// TestTraceOverRealUDP serves the full authoritative hierarchy over real
+// loopback UDP sockets (one 127.0.0.x address per name server, shared
+// port) and walks it with -trace — dig +trace against our own root.
+func TestTraceOverRealUDP(t *testing.T) {
+	rootAddr, port := startLoopbackHierarchy(t)
 	out, err := capture(t, "-trace",
-		"-roots", fmt.Sprintf("%s:%d", rootIP, port),
+		"-roots", rootAddr,
 		"-glue-port", fmt.Sprintf("%d", port),
 		"www.example.com")
 	if err != nil {
@@ -261,6 +268,38 @@ func TestSpanTrace(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("span trace missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestInfraDump resolves through the latency-aware engine against a real
+// loopback root and checks the per-server SRTT/penalty table comes back
+// with the queried server in it.
+func TestInfraDump(t *testing.T) {
+	z := authdns.NewZone(".")
+	z.SetSOA("a.root.test.", "root.test.", 1, 300)
+	z.AddA("www.example.com.", 300, netip.MustParseAddr("192.0.2.80"))
+	addr := startDo53(t, z)
+
+	out, err := capture(t, "-infra", "-roots", addr, "www.example.com")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"192.0.2.80",
+		";; status: NOERROR",
+		";; infra cache",
+		"SRTT",
+		addr, // the root must appear in the infra table
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("infra output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestInfraRequiresRoots(t *testing.T) {
+	if _, err := capture(t, "-infra", "example.com"); err == nil {
+		t.Fatal("-infra without -roots accepted")
 	}
 }
 

@@ -15,10 +15,13 @@
 //	dnsload -capacity -ramp-start 500 -ramp-max 20000 -ramp-step 500 -targets udp://127.0.0.1:53
 //	dnsload -self do53 -capacity -json          # benchmark the in-process Do53 server
 //	dnsload -self doh -duration 2s -rate 200    # smoke the in-process DoH stack
+//	dnsload -self recursive -capacity -json     # capacity of the full recursive resolver
 //
 // -self spins up an in-process server (do53 over loopback UDP, doh over
-// loopback TLS with an ephemeral CA) and aims the generator at it: the
-// repo measuring its own server stack end to end through real sockets.
+// loopback TLS with an ephemeral CA, recursive = the caching recursive
+// resolver with SRTT selection/hedging/prefetch over the in-memory
+// authoritative hierarchy) and aims the generator at it: the repo
+// measuring its own server stack end to end through real sockets.
 package main
 
 import (
@@ -36,10 +39,12 @@ import (
 	"syscall"
 	"time"
 
+	"encdns/internal/authdns"
 	"encdns/internal/certs"
 	"encdns/internal/dns53"
 	"encdns/internal/doh"
 	"encdns/internal/loadgen"
+	"encdns/internal/resolver"
 	"encdns/internal/transport"
 )
 
@@ -86,7 +91,7 @@ func run(args []string, w io.Writer) error {
 		caCert   = fs.String("cacert", "", "PEM file with a CA to trust for TLS transports")
 		insecure = fs.Bool("insecure", false, "skip TLS certificate verification")
 		reuse    = fs.Bool("reuse", true, "keep connections between exchanges (load tests measure steady state, not handshakes)")
-		self     = fs.String("self", "", "serve an in-process target and load it: do53 or doh (ignores -targets)")
+		self     = fs.String("self", "", "serve an in-process target and load it: do53, doh, or recursive (ignores -targets)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -117,7 +122,7 @@ func run(args []string, w io.Writer) error {
 		if mix.Endpoints, err = loadgen.ParseTargetMix(*targets, *proto); err != nil {
 			return err
 		}
-	case "do53", "doh":
+	case "do53", "doh", "recursive":
 		endpoint, clientTLS, stop, err := startSelf(*self)
 		if err != nil {
 			return err
@@ -125,14 +130,17 @@ func run(args []string, w io.Writer) error {
 		defer stop()
 		tlsCfg = clientTLS
 		mix.Endpoints = []loadgen.WeightedEndpoint{{Endpoint: endpoint, Weight: 1}}
-		if len(mix.Domains) == 0 {
+		if len(mix.Domains) == 0 && *self != "recursive" {
+			// The static self servers only answer selfDomain; the recursive
+			// target serves the full in-memory hierarchy, so the default
+			// measurement-domain mix exercises real referral walks.
 			mix.Domains = []string{selfDomain}
 		}
 		if !*jsonOut && !*csvOut {
 			fmt.Fprintf(w, "# self target: %s\n", endpoint)
 		}
 	default:
-		return fmt.Errorf("unknown -self %q (want do53 or doh)", *self)
+		return fmt.Errorf("unknown -self %q (want do53, doh, or recursive)", *self)
 	}
 
 	sender := loadgen.NewSender(transport.Options{
@@ -230,6 +238,31 @@ func startSelf(kind string) (endpoint string, clientTLS *tls.Config, stop func()
 		srv := &dns53.Server{Handler: handler}
 		go srv.ServeUDP(pc)
 		return "udp://" + pc.LocalAddr().String(), nil, srv.Shutdown, nil
+	case "recursive":
+		// The full resolver stack: a caching recursive resolver with SRTT
+		// selection, hedging, and refresh-ahead over the in-memory
+		// authoritative hierarchy, fronted by a real loopback UDP server —
+		// the capacity baseline recorded in BENCH_pr5.json.
+		h := authdns.BuildHierarchy(authdns.MeasurementLeaves())
+		rec := &resolver.Recursive{
+			Exchange:         h.Registry,
+			Roots:            h.RootServers,
+			Cache:            resolver.NewCache(65536, nil),
+			Infra:            resolver.NewInfra(nil),
+			Hedge:            true,
+			PrefetchFraction: 0.1,
+		}
+		pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+		if err != nil {
+			return "", nil, nil, err
+		}
+		srv := &dns53.Server{Handler: rec}
+		go srv.ServeUDP(pc)
+		stop = func() {
+			srv.Shutdown()
+			rec.Close()
+		}
+		return "udp://" + pc.LocalAddr().String(), nil, stop, nil
 	case "doh":
 		ca, err := certs.NewCA(0)
 		if err != nil {

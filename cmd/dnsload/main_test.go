@@ -96,3 +96,37 @@ func TestFlagErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestSelfRecursiveOpenLoopJSON(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-self", "recursive",
+		"-rate", "200", "-duration", "500ms", "-arrivals", "constant",
+		"-timeout", "2s", "-json",
+	}, &buf)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, buf.String())
+	}
+	var s struct {
+		Mode      string  `json:"mode"`
+		Offered   uint64  `json:"offered"`
+		Received  uint64  `json:"received"`
+		ErrorRate float64 `json:"error_rate"`
+		P99Ms     float64 `json:"p99_ms"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &s); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, buf.String())
+	}
+	if s.Mode != "open" || s.Offered == 0 || s.Received == 0 {
+		t.Fatalf("no traffic recorded: %+v", s)
+	}
+	// The recursive self target serves the measurement domains from its
+	// in-memory hierarchy; after the first walks everything is cache-hot,
+	// so errors mean the resolver stack is broken, not slow.
+	if s.ErrorRate > 0.05 {
+		t.Fatalf("error rate %.2f against the in-process recursive resolver", s.ErrorRate)
+	}
+	if s.P99Ms <= 0 {
+		t.Fatalf("p99 %.3fms, want > 0", s.P99Ms)
+	}
+}

@@ -48,6 +48,17 @@ func (c *VirtualClock) Advance(d time.Duration) {
 	c.mu.Unlock()
 }
 
+// NowFunc adapts a Clock to the bare func() time.Time form that
+// clock-injectable components (resolver cache, infra cache) take, so a
+// virtual-time harness can hand the same clock to every layer. A nil
+// Clock yields nil, which those components read as time.Now.
+func NowFunc(c Clock) func() time.Time {
+	if c == nil {
+		return nil
+	}
+	return c.Now
+}
+
 // WallClock is the real-time clock used by live measurements.
 type WallClock struct{}
 

@@ -414,3 +414,22 @@ func TestItoa(t *testing.T) {
 		}
 	}
 }
+
+func TestNowFuncAdaptsClocks(t *testing.T) {
+	if NowFunc(nil) != nil {
+		t.Fatal("NowFunc(nil) must stay nil so consumers default to time.Now")
+	}
+	vc := NewVirtualClock(CampaignEpoch)
+	now := NowFunc(vc)
+	if !now().Equal(CampaignEpoch) {
+		t.Fatalf("virtual NowFunc = %v, want %v", now(), CampaignEpoch)
+	}
+	vc.Advance(42 * time.Second)
+	if got := now().Sub(CampaignEpoch); got != 42*time.Second {
+		t.Fatalf("advanced NowFunc moved %v, want 42s", got)
+	}
+	wall := NowFunc(WallClock{})
+	if d := time.Since(wall()); d < 0 || d > time.Minute {
+		t.Fatalf("wall NowFunc skew %v", d)
+	}
+}

@@ -66,6 +66,9 @@ func (k cacheKey) shardIndex(mask uint32) uint32 {
 type cacheEntry struct {
 	key     cacheKey
 	expires time.Time
+	// ttl is the entry's original lifetime, kept so hits can report how
+	// deep into the lifetime they landed (refresh-ahead needs the ratio).
+	ttl time.Duration
 	// records is the positive RRset; empty for negative entries.
 	records []dnswire.Record
 	// negative marks an NXDOMAIN/NODATA entry (RFC 2308).
@@ -234,9 +237,11 @@ func (c *Cache) PutRRset(name string, t dnswire.Type, rrs []dnswire.Record) {
 	}
 	cp := make([]dnswire.Record, len(rrs))
 	copy(cp, rrs)
+	d := time.Duration(ttl) * time.Second
 	c.put(&cacheEntry{
 		key:     cacheKey{name: dnswire.CanonicalName(name), typ: t},
-		expires: c.now().Add(time.Duration(ttl) * time.Second),
+		expires: c.now().Add(d),
+		ttl:     d,
 		records: cp,
 	})
 }
@@ -244,9 +249,11 @@ func (c *Cache) PutRRset(name string, t dnswire.Type, rrs []dnswire.Record) {
 // PutNegative caches an NXDOMAIN or NODATA for (name, type) for ttl
 // seconds (the RFC 2308 value: min(SOA TTL, SOA MINIMUM)).
 func (c *Cache) PutNegative(name string, t dnswire.Type, nxdomain bool, ttl uint32) {
+	d := time.Duration(ttl) * time.Second
 	c.put(&cacheEntry{
 		key:      cacheKey{name: dnswire.CanonicalName(name), typ: t},
-		expires:  c.now().Add(time.Duration(ttl) * time.Second),
+		expires:  c.now().Add(d),
+		ttl:      d,
 		negative: true,
 		nxdomain: nxdomain,
 	})
@@ -284,6 +291,11 @@ type LookupResult struct {
 	Negative bool
 	// NXDomain is true when the negative entry is an NXDOMAIN.
 	NXDomain bool
+	// Remaining is the entry's time left before expiry and OrigTTL its
+	// original lifetime, both set on positive hits. Their ratio tells a
+	// refresh-ahead caller how close the hit was to the TTL cliff.
+	Remaining time.Duration
+	OrigTTL   time.Duration
 }
 
 // Lookup returns the cached state for (name, type), expiring stale
@@ -334,7 +346,7 @@ func (c *Cache) LookupInto(dst []dnswire.Record, name string, t dnswire.Type) (L
 			out[i].TTL = aged
 		}
 	}
-	return LookupResult{Records: out}, true
+	return LookupResult{Records: out, Remaining: remaining, OrigTTL: e.ttl}, true
 }
 
 // LookupStale returns an expired positive RRset still inside the

@@ -1,0 +1,341 @@
+package resolver
+
+import (
+	"math/rand/v2"
+	"sort"
+	"sync"
+	"time"
+
+	"encdns/internal/obs"
+)
+
+// Infra instruments. The per-endpoint SRTT table itself is exposed via
+// Snapshot (dnsdig -infra) rather than as labelled gauges: nameserver
+// addresses are unbounded-cardinality, so /metrics carries aggregates and
+// the introspection path carries the table.
+var (
+	infraServers = obs.Default().Gauge("resolver_infra_servers",
+		"Nameservers currently tracked by resolver infra caches.")
+	infraObservations = obs.Default().Counter("resolver_infra_observations_total",
+		"Successful exchanges whose RTT updated a nameserver's SRTT.")
+	infraFailures = obs.Default().Counter("resolver_infra_failures_total",
+		"Failed exchanges that added a decaying penalty to a nameserver.")
+	srttSelections = obs.Default().Counter("resolver_srtt_selections_total",
+		"Nameserver picks made by best-of-N SRTT selection.")
+	srttExplorations = obs.Default().Counter("resolver_srtt_explorations_total",
+		"Nameserver picks deliberately randomised to keep re-probing the set.")
+	resolverHedgeLaunched = obs.Default().Counter("resolver_hedge_launched_total",
+		"Second-best nameservers raced after the SRTT-derived hedge delay.")
+	resolverHedgeWins = obs.Default().Counter("resolver_hedge_wins_total",
+		"Referral exchanges won by the hedged (second-best) nameserver.")
+)
+
+// Tuning constants for the infra cache, in the Unbound/BIND infra-cache
+// family: a fresh server starts optimistic enough to be tried, EWMA weight
+// favours recent samples, and failures cost a penalty that halves on a
+// fixed schedule so a recovered server is re-tried within a few minutes.
+const (
+	// unknownSRTT is the assumed RTT of a never-measured server. Low
+	// enough that new servers get explored ahead of a known-slow one,
+	// high enough that a known-fast server keeps winning.
+	unknownSRTT = 80 * time.Millisecond
+	// srttAlpha is the EWMA weight of a new sample (RFC 6298 uses 1/8
+	// for TCP; resolvers see sparser samples, so weigh them heavier).
+	srttAlpha = 0.3
+	// failPenalty is added to a server's score per observed failure.
+	failPenalty = 400 * time.Millisecond
+	// penaltyHalfLife halves an accumulated penalty, so a recovered
+	// server re-enters rotation instead of being banned forever.
+	penaltyHalfLife = 30 * time.Second
+	// exploreP is the probability a pick ignores the SRTT order and
+	// probes a uniformly random server, keeping stale SRTTs fresh.
+	exploreP = 0.05
+	// hedge delay bounds: the hedge fires after ~2×SRTT of silence,
+	// clamped so a microsecond-fast path still gets a real head start
+	// and a slow path cannot postpone the hedge past usefulness.
+	minHedgeDelay = 2 * time.Millisecond
+	maxHedgeDelay = 500 * time.Millisecond
+	// infraShards spreads server entries over this many lock domains.
+	infraShards = 8
+	// maxInfraPerShard bounds memory; beyond it, stale entries are
+	// dropped arbitrarily (the table self-repopulates in one query).
+	maxInfraPerShard = 2048
+)
+
+// infraEntry is one nameserver's performance record.
+type infraEntry struct {
+	srtt         time.Duration // EWMA of observed RTTs; 0 = never measured
+	rttvar       time.Duration // EWMA of |sample - srtt|
+	penalty      time.Duration // decaying failure penalty as of seen
+	seen         time.Time     // when penalty was last brought current
+	observations uint64
+	failures     uint64
+}
+
+// infraShard is one lock domain of the table.
+type infraShard struct {
+	mu sync.Mutex
+	m  map[string]*infraEntry
+	_  [32]byte // soften false sharing between adjacent shard locks
+}
+
+// Infra is a per-nameserver performance cache: an EWMA smoothed RTT and a
+// decaying failure penalty per server address, the state behind
+// latency-aware server selection (Unbound's infra-cache, BIND's ADB).
+// It is sharded like the RRset cache and safe for concurrent use. The
+// clock is injected so virtual-time campaigns age penalties in simulated
+// time.
+type Infra struct {
+	shards [infraShards]infraShard
+	now    func() time.Time
+}
+
+// NewInfra builds an empty infra cache. now is the clock; nil means
+// time.Now (netsim virtual clocks plug in via their Now method).
+func NewInfra(now func() time.Time) *Infra {
+	if now == nil {
+		now = time.Now
+	}
+	inf := &Infra{now: now}
+	for i := range inf.shards {
+		inf.shards[i].m = make(map[string]*infraEntry)
+	}
+	return inf
+}
+
+func (inf *Infra) shard(server string) *infraShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(server); i++ {
+		h ^= uint32(server[i])
+		h *= 16777619
+	}
+	return &inf.shards[h%infraShards]
+}
+
+// entryLocked returns (creating if needed) the entry for server, with its
+// penalty decayed to now. Callers hold the shard lock.
+func (inf *Infra) entryLocked(s *infraShard, server string, now time.Time) *infraEntry {
+	e, ok := s.m[server]
+	if !ok {
+		if len(s.m) >= maxInfraPerShard {
+			for k := range s.m { // arbitrary eviction; table self-heals
+				delete(s.m, k)
+				infraServers.Dec()
+				break
+			}
+		}
+		e = &infraEntry{seen: now}
+		s.m[server] = e
+		infraServers.Inc()
+		return e
+	}
+	e.penalty = decayPenalty(e.penalty, now.Sub(e.seen))
+	e.seen = now
+	return e
+}
+
+// decayPenalty halves p once per elapsed half-life, interpolating
+// linearly within the final partial half-life.
+func decayPenalty(p time.Duration, dt time.Duration) time.Duration {
+	if p <= 0 || dt <= 0 {
+		return p
+	}
+	halvings := float64(dt) / float64(penaltyHalfLife)
+	if halvings >= 20 {
+		return 0
+	}
+	f := float64(p)
+	for ; halvings >= 1; halvings-- {
+		f /= 2
+	}
+	f -= f * 0.5 * halvings
+	if f < float64(time.Millisecond) {
+		return 0
+	}
+	return time.Duration(f)
+}
+
+// Observe records a successful exchange's RTT for server.
+func (inf *Infra) Observe(server string, rtt time.Duration) {
+	if rtt < 0 {
+		rtt = 0
+	}
+	now := inf.now()
+	s := inf.shard(server)
+	s.mu.Lock()
+	e := inf.entryLocked(s, server, now)
+	if e.observations == 0 {
+		e.srtt = rtt
+		e.rttvar = rtt / 2
+	} else {
+		dev := e.srtt - rtt
+		if dev < 0 {
+			dev = -dev
+		}
+		e.rttvar += time.Duration(srttAlpha * float64(dev-e.rttvar))
+		e.srtt += time.Duration(srttAlpha * float64(rtt-e.srtt))
+	}
+	// Success also halves any residual penalty immediately: one good
+	// answer is stronger evidence than a half-life of silence.
+	e.penalty /= 2
+	e.observations++
+	s.mu.Unlock()
+	infraObservations.Inc()
+}
+
+// Fail records a failed exchange for server, adding a decaying penalty.
+func (inf *Infra) Fail(server string) {
+	now := inf.now()
+	s := inf.shard(server)
+	s.mu.Lock()
+	e := inf.entryLocked(s, server, now)
+	e.penalty += failPenalty
+	e.failures++
+	s.mu.Unlock()
+	infraFailures.Inc()
+}
+
+// scoreLocked is the selection key: smoothed RTT (optimistic default when
+// never measured) plus the failure penalty decayed to now. Callers hold
+// the entry's shard lock; the entry is not mutated.
+func scoreLocked(e *infraEntry, now time.Time) time.Duration {
+	srtt := e.srtt
+	if e.observations == 0 {
+		srtt = unknownSRTT
+	}
+	return srtt + decayPenalty(e.penalty, now.Sub(e.seen))
+}
+
+// score reads one server's selection key, defaulting unknown servers to
+// the optimistic unknownSRTT so they get explored.
+func (inf *Infra) score(server string, now time.Time) time.Duration {
+	s := inf.shard(server)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.m[server]
+	if !ok {
+		return unknownSRTT
+	}
+	return scoreLocked(e, now)
+}
+
+// Select returns the best (lowest-score) and second-best of servers.
+// With probability exploreP the best pick is randomised instead, so a
+// server whose SRTT went stale keeps getting probed and can win back
+// traffic. second is "" when fewer than two servers are offered. rng may
+// be nil (no exploration, deterministic order).
+func (inf *Infra) Select(servers []string, rng *rand.Rand) (best, second string) {
+	switch len(servers) {
+	case 0:
+		return "", ""
+	case 1:
+		srttSelections.Inc()
+		return servers[0], ""
+	}
+	now := inf.now()
+	bi, si := -1, -1
+	var bs, ss time.Duration
+	for i, srv := range servers {
+		sc := inf.score(srv, now)
+		switch {
+		case bi < 0 || sc < bs:
+			si, ss = bi, bs
+			bi, bs = i, sc
+		case si < 0 || sc < ss:
+			si, ss = i, sc
+		}
+	}
+	srttSelections.Inc()
+	if rng != nil && rng.Float64() < exploreP {
+		srttExplorations.Inc()
+		ei := rng.IntN(len(servers))
+		if ei != bi {
+			// The explored server leads; the SRTT winner backs it up.
+			return servers[ei], servers[bi]
+		}
+	}
+	return servers[bi], servers[si]
+}
+
+// HedgeDelay returns how long to wait for server before racing the
+// backup: ~2×SRTT plus the deviation term, clamped to sane bounds.
+func (inf *Infra) HedgeDelay(server string) time.Duration {
+	s := inf.shard(server)
+	s.mu.Lock()
+	e, ok := s.m[server]
+	var srtt, rttvar time.Duration
+	if ok && e.observations > 0 {
+		srtt, rttvar = e.srtt, e.rttvar
+	} else {
+		srtt = unknownSRTT
+	}
+	s.mu.Unlock()
+	d := 2*srtt + 2*rttvar
+	if d < minHedgeDelay {
+		d = minHedgeDelay
+	}
+	if d > maxHedgeDelay {
+		d = maxHedgeDelay
+	}
+	return d
+}
+
+// InfraStat is one server's row in a Snapshot, the dnsdig -infra dump.
+type InfraStat struct {
+	// Server is the nameserver address ("ip:port").
+	Server string
+	// SRTT is the smoothed RTT; 0 when never measured.
+	SRTT time.Duration
+	// RTTVar is the smoothed RTT deviation.
+	RTTVar time.Duration
+	// Penalty is the decayed failure penalty at snapshot time.
+	Penalty time.Duration
+	// Score is SRTT (or the optimistic default) plus Penalty — the
+	// selection key; lowest wins.
+	Score time.Duration
+	// Observations and Failures count updates since the entry was born.
+	Observations uint64
+	Failures     uint64
+}
+
+// Snapshot returns every tracked server sorted by ascending score (the
+// selection order), for introspection and the dnsdig -infra table.
+func (inf *Infra) Snapshot() []InfraStat {
+	now := inf.now()
+	var out []InfraStat
+	for i := range inf.shards {
+		s := &inf.shards[i]
+		s.mu.Lock()
+		for srv, e := range s.m {
+			out = append(out, InfraStat{
+				Server:       srv,
+				SRTT:         e.srtt,
+				RTTVar:       e.rttvar,
+				Penalty:      decayPenalty(e.penalty, now.Sub(e.seen)),
+				Score:        scoreLocked(e, now),
+				Observations: e.observations,
+				Failures:     e.failures,
+			})
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score < out[j].Score
+		}
+		return out[i].Server < out[j].Server
+	})
+	return out
+}
+
+// Len returns the number of tracked servers.
+func (inf *Infra) Len() int {
+	n := 0
+	for i := range inf.shards {
+		s := &inf.shards[i]
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
+}

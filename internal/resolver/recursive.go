@@ -6,10 +6,20 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"strings"
+	"sync"
 	"time"
 
 	"encdns/internal/dnswire"
+	"encdns/internal/obs"
 	"encdns/internal/transport"
+)
+
+// Referral fan-out instruments.
+var (
+	nsFanoutResolves = obs.Default().Counter("resolver_ns_fanout_resolves_total",
+		"Glueless NS hostnames resolved by the bounded parallel fan-out.")
+	nsFanoutShortcut = obs.Default().Counter("resolver_ns_fanout_shortcircuit_total",
+		"Fan-outs cancelled early because enough NS addresses were already known.")
 )
 
 // Exchanger sends one DNS query to one server and returns the response.
@@ -48,10 +58,46 @@ type Recursive struct {
 	QNAMEMinimize bool
 	// rngSeed, when non-zero, makes server selection deterministic.
 	RNGSeed uint64
+	// Infra is the per-nameserver performance cache (EWMA SRTT plus a
+	// decaying failure penalty). When non-nil, referral exchanges pick
+	// the lowest-score server instead of a uniform random one; nil keeps
+	// uniform random selection.
+	Infra *Infra
+	// Hedge races the query against the second-best nameserver after an
+	// SRTT-derived delay when the best one stays silent (tail-latency
+	// hedging over the transport Race primitive). Requires Infra.
+	Hedge bool
+	// PrefetchFraction enables refresh-ahead: a cache hit whose
+	// remaining TTL is inside this final fraction of its original
+	// lifetime is served immediately while a deduplicated, budgeted
+	// background goroutine re-resolves the name, so steady-state hot
+	// names never take a top-level miss. 0 disables; 0.1 is typical.
+	PrefetchFraction float64
+	// PrefetchBudget bounds concurrent background refreshes; zero means 32.
+	PrefetchBudget int
+	// Now is the clock behind RTT measurement and infra aging; nil means
+	// time.Now. Virtual-time tests inject a netsim clock's Now.
+	Now func() time.Time
+
+	// seedOnce draws the process seed exactly once when RNGSeed is zero,
+	// keeping time.Now off the per-query path.
+	seedOnce sync.Once
+	seed     uint64
+
+	// pf tracks in-flight refresh-ahead goroutines so Close can drain them.
+	pf prefetcher
 
 	// sf deduplicates concurrent identical top-level misses so a
 	// thundering herd triggers one upstream walk.
 	sf singleflight
+}
+
+// timeNow reads the resolver's clock.
+func (r *Recursive) timeNow() time.Time {
+	if r.Now != nil {
+		return r.Now()
+	}
+	return time.Now()
 }
 
 func (r *Recursive) maxIter() int {
@@ -166,10 +212,12 @@ func (r *Recursive) resolveOne(ctx context.Context, name string, t dnswire.Type,
 				}
 				return nil, dnswire.RCodeSuccess, nil // NODATA
 			}
+			r.noteRefreshAhead(name, t, res)
 			return res.Records, dnswire.RCodeSuccess, nil
 		}
 		// A cached CNAME lets us skip a full walk.
 		if res, ok := r.Cache.Lookup(name, dnswire.TypeCNAME); ok && !res.Negative {
+			r.noteRefreshAhead(name, dnswire.TypeCNAME, res)
 			return res.Records, dnswire.RCodeSuccess, nil
 		}
 	}
@@ -208,10 +256,9 @@ func (r *Recursive) resolveWalk(ctx context.Context, name string, t dnswire.Type
 			qname = minimizedName(name, curZone)
 		}
 		final := qname == name
-		server := servers[rng.IntN(len(servers))]
 		q := dnswire.NewQuery(uint16(rng.Uint32()), qname, t)
 		q.Header.RD = false
-		resp, err := r.Exchange.Exchange(ctx, q, server)
+		resp, server, err := r.exchangeBest(ctx, q, servers, rng)
 		if err != nil {
 			// Unreachable or lame: drop this server, try others.
 			servers = remove(servers, server)
@@ -229,6 +276,11 @@ func (r *Recursive) resolveWalk(ctx context.Context, name string, t dnswire.Type
 			r.cacheNegative(name, t, true, resp)
 			return nil, dnswire.RCodeNXDomain, nil
 		default:
+			// Lame or broken delegation (SERVFAIL and friends): the
+			// exchange itself worked, but the server is not useful here.
+			if r.Infra != nil {
+				r.Infra.Fail(server)
+			}
 			servers = remove(servers, server)
 			if len(servers) == 0 {
 				return nil, resp.Header.RCode, nil
@@ -286,16 +338,74 @@ func minimizedName(full, zone string) string {
 	return strings.Join(fullLabels[len(fullLabels)-take:], ".") + "."
 }
 
-func (r *Recursive) newRNG(name string, t dnswire.Type) *rand.Rand {
-	seed := r.RNGSeed
-	if seed == 0 {
-		seed = uint64(time.Now().UnixNano())
+// exchangeBest sends q to the best nameserver of servers and returns the
+// response plus the server charged with the outcome. Without an Infra
+// cache the pick is uniform random (the seed behaviour); with one it is
+// best-of-N by SRTT+penalty score, optionally hedged against the
+// second-best after an SRTT-derived delay.
+func (r *Recursive) exchangeBest(ctx context.Context, q *dnswire.Message, servers []string, rng *rand.Rand) (*dnswire.Message, string, error) {
+	if r.Infra == nil {
+		server := servers[rng.IntN(len(servers))]
+		resp, err := r.Exchange.Exchange(ctx, q, server)
+		return resp, server, err
 	}
+	best, second := r.Infra.Select(servers, rng)
+	if !r.Hedge || second == "" {
+		resp, err := r.exchangeObserved(ctx, q, best)
+		return resp, best, err
+	}
+	targets := []string{best, second}
+	attempts := make([]func(context.Context) (*dnswire.Message, error), len(targets))
+	for i, srv := range targets {
+		attempts[i] = func(c context.Context) (*dnswire.Message, error) {
+			if i > 0 {
+				resolverHedgeLaunched.Inc()
+			}
+			return r.exchangeObserved(c, q, srv)
+		}
+	}
+	resp, winner, err := transport.Race(ctx, r.Infra.HedgeDelay(best), attempts)
+	if err != nil {
+		return nil, best, err
+	}
+	if winner > 0 {
+		resolverHedgeWins.Inc()
+	}
+	return resp, targets[winner], nil
+}
+
+// exchangeObserved is one upstream exchange with infra bookkeeping: the
+// RTT feeds the server's SRTT on success, a failure adds a decaying
+// penalty. A failure caused by our own cancellation (a hedge loser, a
+// caller giving up) is not charged to the server.
+func (r *Recursive) exchangeObserved(ctx context.Context, q *dnswire.Message, server string) (*dnswire.Message, error) {
+	start := r.timeNow()
+	resp, err := r.Exchange.Exchange(ctx, q, server)
+	if err != nil {
+		if ctx.Err() == nil {
+			r.Infra.Fail(server)
+		}
+		return nil, err
+	}
+	r.Infra.Observe(server, r.timeNow().Sub(start))
+	return resp, nil
+}
+
+func (r *Recursive) newRNG(name string, t dnswire.Type) *rand.Rand {
+	// The process seed is drawn once per Recursive (lazily): the previous
+	// code called time.Now().UnixNano() on every query, a syscall on the
+	// hot path that also made concurrent same-name queries diverge.
+	r.seedOnce.Do(func() {
+		r.seed = r.RNGSeed
+		if r.seed == 0 {
+			r.seed = uint64(time.Now().UnixNano())
+		}
+	})
 	var mix uint64 = 1469598103934665603
 	for _, b := range []byte(name) {
 		mix = (mix ^ uint64(b)) * 1099511628211
 	}
-	return rand.New(rand.NewPCG(seed, mix^uint64(t)))
+	return rand.New(rand.NewPCG(r.seed, mix^uint64(t)))
 }
 
 // startServers finds the closest enclosing NS set in cache, defaulting to
@@ -346,35 +456,124 @@ func referral(resp *dnswire.Message) (hosts []string, cut string, glue map[strin
 	return hosts, cut, glue
 }
 
-// serverAddrs maps NS hostnames to "ip:53" addresses using glue, cache, or
-// (bounded) recursive resolution.
+// Glueless fan-out bounds: at most nsFanout NS-host resolutions run
+// concurrently, and the fan-out short-circuits (cancelling stragglers)
+// once nsTargetHosts hosts have yielded addresses — a referral only needs
+// a couple of reachable servers, not the whole NS set resolved.
+const (
+	nsFanout      = 4
+	nsTargetHosts = 2
+)
+
+// serverAddrs maps NS hostnames to "ip:port" addresses using glue (A and
+// AAAA), cached A/AAAA RRsets, or — for glueless delegations — bounded
+// parallel recursive resolution with first-K-wins short-circuiting.
 func (r *Recursive) serverAddrs(ctx context.Context, hosts []string, glue map[string][]string, depth int) []string {
 	var out []string
+	var glueless []string
+	haveHosts := 0
 	for _, h := range hosts {
 		h = dnswire.CanonicalName(h)
 		if addrs := glue[h]; len(addrs) > 0 {
 			out = append(out, addrs...)
+			haveHosts++
 			continue
 		}
-		if r.Cache != nil {
-			if res, ok := r.Cache.Lookup(h, dnswire.TypeA); ok && !res.Negative {
-				for _, rr := range res.Records {
-					if a, ok := rr.Data.(*dnswire.A); ok {
-						out = append(out, a.Addr.String()+":53")
-					}
-				}
-				continue
-			}
-		}
-		// Glueless delegation: resolve the NS address, guarding depth.
-		rrs, rcode, err := r.Resolve(ctx, h, dnswire.TypeA, depth+1)
-		if err != nil || rcode != dnswire.RCodeSuccess {
+		if addrs := r.cachedAddrs(h); len(addrs) > 0 {
+			out = append(out, addrs...)
+			haveHosts++
 			continue
 		}
-		for _, rr := range rrs {
+		glueless = append(glueless, h)
+	}
+	if len(glueless) == 0 {
+		return out
+	}
+	if haveHosts >= nsTargetHosts {
+		// Enough servers known already: skip the glueless resolutions
+		// entirely instead of paying a full recursive walk per host.
+		nsFanoutShortcut.Inc()
+		return out
+	}
+	return append(out, r.resolveNSHosts(ctx, glueless, depth, nsTargetHosts-haveHosts)...)
+}
+
+// cachedAddrs maps an NS hostname to cached addresses. Both address
+// families are accepted: A entries become "ip:53", AAAA entries the
+// bracketed "[ip]:53" form the transport endpoint grammar expects.
+func (r *Recursive) cachedAddrs(h string) []string {
+	if r.Cache == nil {
+		return nil
+	}
+	var out []string
+	if res, ok := r.Cache.Lookup(h, dnswire.TypeA); ok && !res.Negative {
+		for _, rr := range res.Records {
 			if a, ok := rr.Data.(*dnswire.A); ok {
 				out = append(out, a.Addr.String()+":53")
 			}
+		}
+	}
+	if res, ok := r.Cache.Lookup(h, dnswire.TypeAAAA); ok && !res.Negative {
+		for _, rr := range res.Records {
+			if a, ok := rr.Data.(*dnswire.AAAA); ok {
+				out = append(out, "["+a.Addr.String()+"]:53")
+			}
+		}
+	}
+	return out
+}
+
+// resolveNSHosts resolves glueless NS hostnames concurrently, at most
+// nsFanout in flight, cancelling the stragglers once need hosts have
+// yielded addresses. The previous implementation resolved every host
+// sequentially, so one slow glueless server stalled the whole referral.
+func (r *Recursive) resolveNSHosts(ctx context.Context, hosts []string, depth, need int) []string {
+	fanCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make(chan []string, len(hosts)) // buffered: stragglers never block
+	sem := make(chan struct{}, nsFanout)
+	for _, h := range hosts {
+		go func(h string) {
+			select {
+			case sem <- struct{}{}:
+				defer func() { <-sem }()
+			case <-fanCtx.Done():
+				results <- nil
+				return
+			}
+			if fanCtx.Err() != nil {
+				results <- nil
+				return
+			}
+			nsFanoutResolves.Inc()
+			// Glueless delegation: resolve the NS address, guarding depth.
+			rrs, rcode, err := r.Resolve(fanCtx, h, dnswire.TypeA, depth+1)
+			if err != nil || rcode != dnswire.RCodeSuccess {
+				results <- nil
+				return
+			}
+			var addrs []string
+			for _, rr := range rrs {
+				if a, ok := rr.Data.(*dnswire.A); ok {
+					addrs = append(addrs, a.Addr.String()+":53")
+				}
+			}
+			results <- addrs
+		}(h)
+	}
+	var out []string
+	resolved := 0
+	for range hosts {
+		addrs := <-results
+		if len(addrs) == 0 {
+			continue
+		}
+		out = append(out, addrs...)
+		if resolved++; resolved >= need {
+			// First-K-wins: the remaining resolutions are cancelled and
+			// drain into the buffered channel on their own.
+			nsFanoutShortcut.Inc()
+			break
 		}
 	}
 	return out

@@ -19,11 +19,17 @@
 # emits one flat JSON object with the headline fields
 # (max_sustainable_qps, achieved_qps, *_at_max) extracted line-by-line
 # from dnsload's indented JSON — no JSON parser required, which is the
-# point of keeping those keys unique at the top level.
+# point of keeping those keys unique at the top level. An optional second
+# argument labels the object so multiple capacity runs (do53 echo server,
+# recursive resolver, ...) can sit side by side in one artifact:
+#
+#   ... | scripts/benchjson.sh capacity recursive
+#
+# adds "target": "recursive" to the output.
 set -eu
 
 if [ "${1:-}" = "capacity" ]; then
-    exec awk '
+    exec awk -v target="${2:-}" '
     function grab(key,   re) {
         re = "\"" key "\":"
         if ($0 ~ re && !(key in seen)) {
@@ -41,6 +47,10 @@ if [ "${1:-}" = "capacity" ]; then
         printf "{"
         n = split("max_sustainable_qps achieved_qps p50_ms_at_max p99_ms_at_max p999_ms_at_max error_rate_at_max", keys, " ")
         first = 1
+        if (target != "") {
+            printf "\"target\": \"%s\"", target
+            first = 0
+        }
         for (i = 1; i <= n; i++) {
             k = keys[i]
             v = (k in seen) ? seen[k] : "null"
