@@ -32,6 +32,7 @@ import (
 	"strings"
 	"time"
 
+	"encdns/internal/dialer"
 	"encdns/internal/dns53"
 	"encdns/internal/dnswire"
 	"encdns/internal/loadgen"
@@ -56,6 +57,9 @@ func run(args []string, w io.Writer) error {
 		insecure = fs.Bool("insecure", false, "skip TLS certificate verification")
 		timeout  = fs.Duration("timeout", 5*time.Second, "query timeout")
 		retries  = fs.Int("retries", 3, "total exchange attempts (shared transport retry policy)")
+		chain    = fs.String("chain", "", "dialer-chain prefix for -server, e.g. \"split:3|tlsfrag:sni\" (layers: split:N, tlsfrag:sni|N, delay:DUR[:every])")
+		eyeballs = fs.Bool("eyeballs", false, "resolve every A/AAAA address of the server host and race address families with a staggered start (RFC 8305)")
+		stagger  = fs.Duration("stagger", 0, "happy-eyeballs attempt stagger; 0 uses the RFC 8305 default (250ms)")
 		short    = fs.Bool("short", false, "print only the answer RDATA")
 		trace    = fs.Bool("trace", false, "with -roots: iterate from the roots printing each step; without: print the query's span tree")
 		infra    = fs.Bool("infra", false, "resolve via the latency-aware recursive engine (requires -roots) and dump the per-server SRTT/penalty table")
@@ -103,11 +107,22 @@ func run(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	ex, err := transport.Dial(endpoint.String(), transport.Options{
+	spec := endpoint.String()
+	if *chain != "" {
+		// -chain prepends layers to whatever the -server spec already
+		// carries; transport.ParseChain validates the combination.
+		spec = *chain + "|" + spec
+	}
+	opts := transport.Options{
 		TLS:     tlsCfg,
 		Timeout: *timeout,
 		Retry:   &transport.RetryPolicy{MaxAttempts: *retries},
-	})
+	}
+	if *eyeballs {
+		opts.Resolve = dialer.NetResolve(nil)
+		opts.Stagger = *stagger
+	}
+	ex, err := transport.Dial(spec, opts)
 	if err != nil {
 		return err
 	}
@@ -115,7 +130,7 @@ func run(args []string, w io.Writer) error {
 
 	var tr *obs.Trace
 	if *trace {
-		ctx, tr = obs.StartTrace(ctx, fmt.Sprintf("dnsdig %s %s via %s", name, qtype, endpoint))
+		ctx, tr = obs.StartTrace(ctx, fmt.Sprintf("dnsdig %s %s via %s", name, qtype, spec))
 	}
 	q := dnswire.NewQuery(dns53.NewID(), name, qtype)
 	start := time.Now()
@@ -137,7 +152,7 @@ func run(args []string, w io.Writer) error {
 		return nil
 	}
 	fmt.Fprint(w, resp)
-	fmt.Fprintf(w, ";; Query time: %d msec\n;; SERVER: %s (%s)\n", elapsed.Milliseconds(), endpoint, endpoint.Scheme)
+	fmt.Fprintf(w, ";; Query time: %d msec\n;; SERVER: %s (%s)\n", elapsed.Milliseconds(), spec, endpoint.Scheme)
 	if tr != nil {
 		fmt.Fprintln(w, ";; Trace:")
 		fmt.Fprint(w, tr.String())

@@ -317,3 +317,44 @@ func TestArgErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestChainFlag queries a real DoT server through a -chain dialer: the
+// ClientHello goes out fragmented (the server reassembles it per RFC
+// 8446), the answer comes back, and the SERVER line names the chain.
+func TestChainFlag(t *testing.T) {
+	ca, err := certs.NewCA(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvTLS, err := ca.ServerConfig(nil, []net.IP{net.ParseIP("127.0.0.1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := &dns53.Server{Handler: static()}
+	srv := &dot.Server{DNS: inner, TLS: srvTLS}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { ln.Close(); inner.Shutdown() })
+	caPath := filepath.Join(t.TempDir(), "ca.pem")
+	if err := os.WriteFile(caPath, pemEncode(ca), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := capture(t, "-chain", "split:3|tlsfrag:sni",
+		"-server", "tls://"+ln.Addr().String(), "-cacert", caPath,
+		"-eyeballs", "google.com")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{"142.250.64.78", "split:3|tlsfrag:sni|tls://"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if _, err := capture(t, "-chain", "warp:9", "-server", "tls://"+ln.Addr().String(), "google.com"); err == nil {
+		t.Error("bogus -chain layer accepted")
+	}
+}

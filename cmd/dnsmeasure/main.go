@@ -71,6 +71,7 @@ func run(args []string, stdout *os.File) error {
 		summarize = fs.Bool("summary", true, "print per-resolver summary table")
 		listV     = fs.Bool("list-vantages", false, "list vantage point names and exit")
 		listR     = fs.Bool("list-resolvers", false, "list known resolver hosts and exit")
+		reach     = fs.Bool("reachability", false, "run the middlebox-vantage reachability scenario (deterministic, in-process) and print the per-vantage classification")
 		confPath  = fs.String("config", "", "JSON config file (flags override its values)")
 		metrics   = fs.String("metrics-addr", "", "serve /metrics (Prometheus) and /debug/obs on this address during the run")
 		verbose   = fs.Bool("v", false, "debug-level logging")
@@ -108,6 +109,10 @@ func run(args []string, stdout *os.File) error {
 			fmt.Fprintf(stdout, "%-42s %s%s\n", r.Host, r.Region, tag)
 		}
 		return nil
+	}
+
+	if *reach {
+		return runReachability(stdout)
 	}
 
 	targets, err := parseTargets(*resolvers)

@@ -245,3 +245,28 @@ func TestProtoAffectsSimTiming(t *testing.T) {
 		t.Errorf("doh/do53 ratio = %.2f, want ~3", ratio)
 	}
 }
+
+// TestReachabilityScenario runs the -reachability campaign: the report
+// must classify every vantage/endpoint pair and name evasion chains.
+func TestReachabilityScenario(t *testing.T) {
+	out, err := capture(t, "-reachability")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"Reachability by vantage",
+		"open-net", "sni-censor", "large-record-filter", "blackhole",
+		"reachable-plain", "reachable-evasion", "unreachable",
+		"tls://dns.google:853",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// The sni-censor vantage must need evasion for every endpoint.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "sni-censor") && !strings.Contains(line, "reachable-evasion") {
+			t.Errorf("sni-censor row not classified as evasion: %s", line)
+		}
+	}
+}

@@ -13,20 +13,27 @@ import (
 // dnsmeasure), so "-server"/"-targets" plus a legacy "-proto" behave
 // identically everywhere instead of drifting per command.
 
-// ParseTarget resolves one target flag value into a scheme-addressed
+// ParseTarget resolves one target flag value into a chain-addressed
 // endpoint. An explicit scheme (udp://, tcp://, tls://, https://) wins; a
 // bare host[:port] takes its scheme from proto: "do53"/"udp" (default),
-// "tcp", "dot"/"tls", or "doh"/"https".
-func ParseTarget(spec, proto string) (transport.Endpoint, error) {
+// "tcp", "dot"/"tls", or "doh"/"https". A dialer-chain prefix
+// ("tlsfrag:sni|dns.quad9.net" with -proto dot) applies to the endpoint
+// element only — the proto default is filled in after the chain is
+// stripped, so chains compose with bare hosts.
+func ParseTarget(spec, proto string) (transport.ChainEndpoint, error) {
 	spec = strings.TrimSpace(spec)
-	if !strings.Contains(spec, "://") {
+	chain, ep := "", spec
+	if i := strings.LastIndex(spec, "|"); i >= 0 {
+		chain, ep = spec[:i+1], spec[i+1:]
+	}
+	if !strings.Contains(ep, "://") {
 		scheme, err := schemeForProto(proto)
 		if err != nil {
-			return transport.Endpoint{}, err
+			return transport.ChainEndpoint{}, err
 		}
-		spec = scheme + "://" + spec
+		ep = scheme + "://" + ep
 	}
-	return transport.ParseEndpoint(spec)
+	return transport.ParseChain(chain + ep)
 }
 
 // schemeForProto maps the legacy -proto vocabulary onto endpoint schemes.

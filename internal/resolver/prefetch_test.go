@@ -3,13 +3,13 @@ package resolver
 import (
 	"context"
 	"errors"
-	"runtime"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"encdns/internal/authdns"
 	"encdns/internal/dnswire"
+	"encdns/internal/testutil"
 )
 
 // countingExchanger counts exchanges through an inner Exchanger, with an
@@ -196,7 +196,7 @@ func TestPrefetchStalledFallsBackToServeStale(t *testing.T) {
 // TestPrefetchCloseDrains is the goroutine-leak proof: Close must wait for
 // every background refresh and afterwards refuse new ones.
 func TestPrefetchCloseDrains(t *testing.T) {
-	before := runtime.NumGoroutine()
+	before := testutil.GoroutineBaseline()
 	clk := &fixedClock{now: time.Unix(1_700_000_000, 0)}
 	h := authdns.BuildHierarchy(authdns.MeasurementLeaves())
 	upstream := &countingExchanger{inner: h.Registry, gate: make(chan struct{})}
@@ -233,13 +233,7 @@ func TestPrefetchCloseDrains(t *testing.T) {
 	if inflight != 0 {
 		t.Fatalf("inflight after Close = %d", inflight)
 	}
-	deadline := time.Now().Add(2 * time.Second)
-	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
-		time.Sleep(10 * time.Millisecond)
-	}
-	if n := runtime.NumGoroutine(); n > before {
-		t.Fatalf("goroutines leaked: %d before, %d after Close", before, n)
-	}
+	testutil.WaitNoLeaks(t, before)
 }
 
 // TestResolverStressRace mixes prefetch, serve-stale, and concurrent

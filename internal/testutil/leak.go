@@ -1,0 +1,36 @@
+// Package testutil holds small helpers shared across the repo's test
+// suites. Production code must not import it.
+package testutil
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// GoroutineBaseline snapshots the current goroutine count. Call it
+// before starting the code under test and pass the result to
+// WaitNoLeaks afterwards.
+func GoroutineBaseline() int {
+	return runtime.NumGoroutine()
+}
+
+// WaitNoLeaks polls until the goroutine count returns to the baseline or
+// two seconds elapse, then fails the test with a full stack dump if
+// goroutines are still outstanding. The polling loop absorbs the
+// scheduling lag between closing a component and its goroutines actually
+// exiting; a hard sleep would either flake or waste the full window on
+// every run.
+func WaitNoLeaks(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<16)
+	t.Errorf("goroutines leaked: %d > baseline %d\n%s",
+		runtime.NumGoroutine(), baseline, buf[:runtime.Stack(buf, true)])
+}

@@ -1,0 +1,133 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"strings"
+
+	"encdns/internal/dialer"
+	"encdns/internal/dns53"
+	"encdns/internal/obs"
+)
+
+// ChainEndpoint is an endpoint plus the dialer-chain prefix that decides
+// how its connections are established: "split:3|tlsfrag:sni|tls://9.9.9.9:853"
+// is the tls endpoint reached through ClientHello fragmentation and a
+// 3-byte first-segment split. An empty Layers slice is the plain dial
+// every pre-chain endpoint string still means.
+type ChainEndpoint struct {
+	Endpoint
+	// Layers are the chain layers, leftmost nearest the wire.
+	Layers []dialer.Spec
+}
+
+// String reassembles the canonical chain-endpoint string; without layers
+// it is exactly Endpoint.String, so plain endpoints round-trip unchanged.
+func (c ChainEndpoint) String() string {
+	if len(c.Layers) == 0 {
+		return c.Endpoint.String()
+	}
+	return dialer.FormatSpecs(c.Layers) + "|" + c.Endpoint.String()
+}
+
+// ParseChain parses "layer|…|endpoint": everything before the last "|"
+// is the dialer chain (see dialer.ParseSpecs for the layer vocabulary),
+// the final element is an ordinary endpoint. Plain endpoint strings
+// (no "|") parse with no layers, so every existing spec keeps working.
+func ParseChain(s string) (ChainEndpoint, error) {
+	s = strings.TrimSpace(s)
+	i := strings.LastIndex(s, "|")
+	if i < 0 {
+		ep, err := ParseEndpoint(s)
+		if err != nil {
+			return ChainEndpoint{}, err
+		}
+		return ChainEndpoint{Endpoint: ep}, nil
+	}
+	if strings.TrimSpace(s[:i]) == "" {
+		return ChainEndpoint{}, fmt.Errorf("transport: chain %q has an empty layer prefix", s)
+	}
+	specs, err := dialer.ParseSpecs(s[:i])
+	if err != nil {
+		return ChainEndpoint{}, fmt.Errorf("transport: chain %q: %w", s, err)
+	}
+	ep, err := ParseEndpoint(s[i+1:])
+	if err != nil {
+		return ChainEndpoint{}, err
+	}
+	if len(specs) > 0 && ep.Scheme == SchemeUDP {
+		return ChainEndpoint{}, fmt.Errorf("transport: chain layers apply to stream schemes, not %q (%s)", ep.Scheme, s)
+	}
+	return ChainEndpoint{Endpoint: ep, Layers: specs}, nil
+}
+
+// buildDialer composes the endpoint's full dialer stack and returns it in
+// the ContextDialer shape the protocol clients accept:
+//
+//	eyeballs → chain layers (outermost = rightmost spec) → base dial
+//
+// The base dial is opts.Dialer (kernel sockets when nil); happy-eyeballs
+// wraps the whole chain only when opts.Resolve is set, so each raced
+// address pays the same evasion layers. Every stream dial failure is
+// counted by scheme and failing layer.
+func buildDialer(ce ChainEndpoint, opts Options) (dns53.ContextDialer, error) {
+	stream, err := dialer.BuildStream(ce.Layers, dialer.StreamOf(opts.Dialer))
+	if err != nil {
+		return nil, err
+	}
+	if opts.Resolve != nil {
+		stream = &dialer.HappyEyeballs{Inner: stream, Resolve: opts.Resolve, Stagger: opts.Stagger}
+	}
+	return &dialer.NetDialer{
+		Stream: &countedStream{inner: stream, scheme: ce.Scheme},
+		Packet: &countedPacket{inner: dialer.PacketOf(opts.Dialer), scheme: ce.Scheme},
+	}, nil
+}
+
+// DialFailures reads the dial-failure counter for a scheme/layer pair —
+// reports and tests use it rather than scraping the registry by hand.
+func DialFailures(scheme, layer string) uint64 {
+	return dialFailureCounter(scheme, layer).Value()
+}
+
+// dialFailureCounter registers-or-retrieves the per-scheme, per-layer
+// dial failure counter. Dial failures are the cold path, so the registry
+// lookup (needed because layer values are open-ended) costs nothing that
+// matters.
+func dialFailureCounter(scheme, layer string) *obs.Counter {
+	return obs.Default().Counter("transport_dial_failures_total",
+		"Connection-establishment failures by endpoint scheme and failing dialer-chain layer.",
+		"scheme", scheme, "layer", layer)
+}
+
+// countedStream counts stream dial failures by failing chain layer.
+type countedStream struct {
+	inner  dialer.StreamDialer
+	scheme string
+}
+
+// DialStream implements dialer.StreamDialer.
+func (d *countedStream) DialStream(ctx context.Context, addr string) (net.Conn, error) {
+	conn, err := d.inner.DialStream(ctx, addr)
+	if err != nil {
+		dialFailureCounter(d.scheme, dialer.Layer(err)).Inc()
+	}
+	return conn, err
+}
+
+// countedPacket counts packet dial failures (always layer "base": chain
+// layers are stream-only).
+type countedPacket struct {
+	inner  dialer.PacketDialer
+	scheme string
+}
+
+// DialPacket implements dialer.PacketDialer.
+func (d *countedPacket) DialPacket(ctx context.Context, addr string) (net.Conn, error) {
+	conn, err := d.inner.DialPacket(ctx, addr)
+	if err != nil {
+		dialFailureCounter(d.scheme, "base").Inc()
+	}
+	return conn, err
+}

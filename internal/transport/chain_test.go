@@ -1,0 +1,76 @@
+package transport
+
+import (
+	"testing"
+)
+
+func TestParseChain(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    string // canonical String form
+		layers  int
+		wantErr bool
+	}{
+		{in: "tls://9.9.9.9:853", want: "tls://9.9.9.9:853"},
+		{in: "9.9.9.9", want: "udp://9.9.9.9:53"},
+		{in: "tlsfrag:sni|tls://9.9.9.9:853", want: "tlsfrag:sni|tls://9.9.9.9:853", layers: 1},
+		{in: "split:3|tlsfrag:sni|tls://9.9.9.9", want: "split:3|tlsfrag:sni|tls://9.9.9.9:853", layers: 2},
+		{in: "delay:50ms|https://dns.example/dns-query", want: "delay:50ms|https://dns.example/dns-query", layers: 1},
+		{in: "split:2|tcp://9.9.9.9:53", want: "split:2|tcp://9.9.9.9:53", layers: 1},
+		{in: "split:3|udp://9.9.9.9:53", wantErr: true}, // stream layers on a datagram scheme
+		{in: "split:3|9.9.9.9", wantErr: true},          // ditto, scheme defaulted
+		{in: "bogus:1|tls://9.9.9.9", wantErr: true},
+		{in: "tlsfrag:sni|", wantErr: true},
+		{in: "|tls://9.9.9.9", wantErr: true},
+	}
+	for _, tc := range cases {
+		ce, err := ParseChain(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("ParseChain(%q): want error, got %v", tc.in, ce)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseChain(%q): %v", tc.in, err)
+			continue
+		}
+		if got := ce.String(); got != tc.want {
+			t.Errorf("ParseChain(%q).String() = %q, want %q", tc.in, got, tc.want)
+		}
+		if len(ce.Layers) != tc.layers {
+			t.Errorf("ParseChain(%q) layers = %d, want %d", tc.in, len(ce.Layers), tc.layers)
+		}
+		// Canonical form is a fixed point.
+		again, err := ParseChain(ce.String())
+		if err != nil || again.String() != ce.String() {
+			t.Errorf("canonical %q does not re-parse to itself: %q, %v", ce.String(), again.String(), err)
+		}
+	}
+}
+
+// TestPoolChainIdentity: the same endpoint with different chains must be
+// distinct pooled exchangers — they establish connections differently.
+func TestPoolChainIdentity(t *testing.T) {
+	p := NewPool(Options{})
+	defer p.Close()
+	a, err := p.Get("tls://9.9.9.9:853")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Get("tlsfrag:sni|tls://9.9.9.9:853")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Error("plain and chained endpoints share one exchanger")
+	}
+	// Same chain spec → same exchanger.
+	b2, err := p.Get("tlsfrag:sni|tls://9.9.9.9:853")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != b2 {
+		t.Error("identical chain endpoint dialled twice")
+	}
+}

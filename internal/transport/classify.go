@@ -2,10 +2,12 @@ package transport
 
 import (
 	"context"
+	"crypto/tls"
 	"errors"
 	"net"
 	"os"
 	"strings"
+	"syscall"
 
 	"encdns/internal/doh"
 	"encdns/internal/netsim"
@@ -23,6 +25,16 @@ func Classify(err error) netsim.ErrClass {
 	var httpErr *doh.HTTPError
 	if errors.As(err, &httpErr) {
 		return netsim.ErrHTTP
+	}
+	// Typed cases first; dialer.LayerError and net.OpError wrappers all
+	// unwrap through errors.Is/As, so chain-layer failures classify the
+	// same as their underlying cause.
+	var recErr tls.RecordHeaderError
+	if errors.As(err, &recErr) {
+		return netsim.ErrTLS
+	}
+	if errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.ECONNREFUSED) {
+		return netsim.ErrConnect
 	}
 	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, os.ErrDeadlineExceeded) {
 		return netsim.ErrTimeout

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"encdns/internal/dialer"
 	"encdns/internal/dns53"
 	"encdns/internal/dnswire"
 	"encdns/internal/doh"
@@ -39,6 +40,14 @@ type Options struct {
 	// Retry is the shared retry policy applied to every scheme; nil
 	// applies DefaultRetryPolicy. Pass NoRetry() for single attempts.
 	Retry *RetryPolicy
+	// Resolve enables happy-eyeballs endpoint racing for hostname
+	// endpoints: all A/AAAA addresses are resolved through it and the
+	// address families raced with a staggered start. nil dials the
+	// endpoint host as written (IP literals always bypass the race).
+	Resolve dialer.ResolveFunc
+	// Stagger is the delay between successive happy-eyeballs connection
+	// attempts; zero uses dialer.DefaultStagger (250ms, RFC 8305).
+	Stagger time.Duration
 }
 
 func (o Options) retry() RetryPolicy {
@@ -48,44 +57,52 @@ func (o Options) retry() RetryPolicy {
 	return DefaultRetryPolicy()
 }
 
-// Dial parses a scheme-addressed endpoint and binds an Exchanger to it,
+// Dial parses a chain-addressed endpoint and binds an Exchanger to it,
 // wrapping the protocol client in the shared retry middleware. This is
 // the one place protocol selection happens; every consumer above speaks
-// Exchanger.
+// Exchanger. The endpoint may carry a dialer-chain prefix
+// ("tlsfrag:sni|tls://…"); how the connection is established is decided
+// entirely by the composed dialer stack (see buildDialer), never here.
 func Dial(endpoint string, opts Options) (Exchanger, error) {
-	ep, err := ParseEndpoint(endpoint)
+	ce, err := ParseChain(endpoint)
+	if err != nil {
+		return nil, err
+	}
+	cd, err := buildDialer(ce, opts)
 	if err != nil {
 		return nil, err
 	}
 	var ex Exchanger
-	switch ep.Scheme {
+	switch ce.Scheme {
 	case SchemeUDP:
 		// Retries: -1 turns off the client's built-in retry loop — the
 		// shared middleware owns retry policy for every scheme.
 		ex = &udpExchanger{
-			client: &dns53.Client{Timeout: opts.Timeout, Retries: -1, Dialer: opts.Dialer},
-			addr:   ep.Addr(),
+			client: &dns53.Client{Timeout: opts.Timeout, Retries: -1, Dialer: cd},
+			addr:   ce.Addr(),
 		}
 	case SchemeTCP:
 		ex = &tcpExchanger{
-			client: &dns53.Client{Timeout: opts.Timeout, Dialer: opts.Dialer},
-			addr:   ep.Addr(),
+			client: &dns53.Client{Timeout: opts.Timeout, Dialer: cd},
+			addr:   ce.Addr(),
 		}
 	case SchemeTLS:
 		ex = &dotExchanger{
-			client: &dot.Client{TLS: opts.TLS, Timeout: opts.Timeout, Dialer: opts.Dialer, Reuse: opts.Reuse},
-			addr:   ep.Addr(),
+			client: &dot.Client{TLS: opts.TLS, Timeout: opts.Timeout, Dialer: cd, Reuse: opts.Reuse},
+			addr:   ce.Addr(),
 		}
 	case SchemeHTTPS:
-		c := doh.NewClient(opts.TLS, opts.Dialer, opts.Reuse)
+		c := doh.NewClient(opts.TLS, cd, opts.Reuse)
 		if opts.HTTPClient != nil {
+			// Injected HTTP clients own their transport; chain layers and
+			// eyeballs do not apply.
 			c = &doh.Client{HTTP: opts.HTTPClient}
 		}
 		c.Timeout = opts.Timeout
 		c.UserAgent = opts.UserAgent
-		ex = &dohExchanger{client: c, url: ep.String(), fresh: !opts.Reuse}
+		ex = &dohExchanger{client: c, url: ce.Endpoint.String(), fresh: !opts.Reuse}
 	}
-	return WithRetry(instrument(ex, ep.Scheme), opts.retry()), nil
+	return WithRetry(instrument(ex, ce.Scheme), opts.retry()), nil
 }
 
 // udpExchanger adapts dns53.Client (UDP with TCP truncation fallback).
@@ -168,12 +185,14 @@ func NewPool(opts Options) *Pool {
 }
 
 // Get returns the pool's exchanger for endpoint, dialling on first use.
+// Chain prefixes are part of the identity: "tlsfrag:sni|tls://host" and
+// "tls://host" are distinct exchangers.
 func (p *Pool) Get(endpoint string) (Exchanger, error) {
-	ep, err := ParseEndpoint(endpoint)
+	ce, err := ParseChain(endpoint)
 	if err != nil {
 		return nil, err
 	}
-	key := ep.String()
+	key := ce.String()
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if ex, ok := p.exs[key]; ok {

@@ -41,15 +41,19 @@ type Endpoint struct {
 // Addr returns the dialable "host:port" form.
 func (e Endpoint) Addr() string { return net.JoinHostPort(e.Host, e.Port) }
 
-// String reassembles the canonical endpoint string.
+// String reassembles the canonical endpoint string. The canonical form
+// always carries an explicit port (scheme defaults applied at parse
+// time), so parse → String → parse is a fixed point for every scheme. An
+// IPv6 zone ID ("fe80::1%eth0") is held raw in Host; the https form
+// re-escapes it per RFC 6874 ("%25"), matching what url.Parse accepts.
 func (e Endpoint) String() string {
 	if e.Scheme == SchemeHTTPS {
 		host := e.Host
 		if strings.Contains(host, ":") {
-			host = "[" + host + "]"
+			host = "[" + strings.ReplaceAll(host, "%", "%25") + "]"
 		}
 		if e.Port != defaultPortHTTPS {
-			host = net.JoinHostPort(e.Host, e.Port)
+			host += ":" + e.Port
 		}
 		return "https://" + host + e.Path
 	}

@@ -3,13 +3,13 @@ package transport
 import (
 	"context"
 	"errors"
-	"runtime"
 	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"encdns/internal/dnswire"
+	"encdns/internal/testutil"
 )
 
 func TestRaceFirstSuccessWins(t *testing.T) {
@@ -115,20 +115,6 @@ func (d *delayExchanger) Exchange(ctx context.Context, q *dnswire.Message) (*dns
 
 func (d *delayExchanger) Close() error { d.closed.Store(true); return nil }
 
-func waitForGoroutines(t *testing.T, baseline int) {
-	t.Helper()
-	deadline := time.Now().Add(2 * time.Second)
-	for time.Now().Before(deadline) {
-		if runtime.NumGoroutine() <= baseline {
-			return
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
-	buf := make([]byte, 1<<16)
-	t.Errorf("goroutines leaked: %d > baseline %d\n%s",
-		runtime.NumGoroutine(), baseline, buf[:runtime.Stack(buf, true)])
-}
-
 // TestHedgedLoserDiscarded is the hedged-exchange acceptance test: the
 // fast endpoint's answer is returned, the slow endpoint's context is
 // cancelled, and no goroutine outlives the exchange.
@@ -138,7 +124,7 @@ func TestHedgedLoserDiscarded(t *testing.T) {
 	slow := &delayExchanger{delay: time.Hour, msg: slowMsg}
 	fast := &delayExchanger{delay: 0, msg: fastMsg}
 
-	baseline := runtime.NumGoroutine()
+	baseline := testutil.GoroutineBaseline()
 	ex := NewHedged(0, slow, fast)
 	resp, err := ex.Exchange(context.Background(), query())
 	if err != nil {
@@ -147,7 +133,7 @@ func TestHedgedLoserDiscarded(t *testing.T) {
 	if resp != fastMsg {
 		t.Errorf("winner = %v, want the fast exchanger's answer", resp.Questions)
 	}
-	waitForGoroutines(t, baseline)
+	testutil.WaitNoLeaks(t, baseline)
 	if !slow.cancelled.Load() {
 		t.Error("loser's context was not cancelled")
 	}
