@@ -44,6 +44,8 @@ import (
 	"encdns/internal/dns53"
 	"encdns/internal/doh"
 	"encdns/internal/loadgen"
+	"encdns/internal/monitor"
+	"encdns/internal/obs"
 	"encdns/internal/resolver"
 	"encdns/internal/transport"
 )
@@ -86,6 +88,7 @@ func run(args []string, w io.Writer) error {
 		sloP99   = fs.Duration("slo-p99", 50*time.Millisecond, "SLO: p99 latency bound; 0 disables")
 		sloErr   = fs.Float64("slo-errors", 0.01, "SLO: max (errors+drops)/offered")
 
+		metrics  = fs.String("metrics-addr", "", "serve /metrics (Prometheus), /debug/obs, /debug/watch, and /debug/pprof on this address during the run")
 		jsonOut  = fs.Bool("json", false, "write the result as JSON")
 		csvOut   = fs.Bool("csv", false, "write the per-second timeline (or ramp steps) as CSV")
 		caCert   = fs.String("cacert", "", "PEM file with a CA to trust for TLS transports")
@@ -143,11 +146,34 @@ func run(args []string, w io.Writer) error {
 		return fmt.Errorf("unknown -self %q (want do53, doh, or recursive)", *self)
 	}
 
-	sender := loadgen.NewSender(transport.Options{
+	topts := transport.Options{
 		Timeout: *timeout,
 		TLS:     tlsCfg,
 		Reuse:   *reuse,
-	})
+	}
+	if *metrics != "" {
+		// Per-endpoint health and windowed latency during the load run:
+		// the transport outcome hook feeds a watchtower tracker served
+		// next to the scrape endpoint. One-second buckets match load-test
+		// cadence (dnsmeasure's default 10s suits probing cadence).
+		obs.RegisterRuntimeMetrics(obs.Default())
+		tracker := monitor.New(monitor.Config{Interval: time.Second})
+		topts.OnOutcome = func(endpoint string, rtt time.Duration, err error) {
+			class := ""
+			if err != nil {
+				class = transport.Classify(err).String()
+			}
+			tracker.ObserveProbe(endpoint, err == nil, rtt, class)
+		}
+		bound, shutdown, err := obs.ServeHandler(*metrics,
+			obs.NewHTTPHandler(obs.Default(), obs.WithWatch(tracker)))
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		defer shutdown()
+		fmt.Fprintf(os.Stderr, "introspection: http://%s (/metrics /debug/obs /debug/watch /debug/pprof)\n", bound)
+	}
+	sender := loadgen.NewSender(topts)
 	defer sender.Close()
 
 	cfg := loadgen.Config{

@@ -26,6 +26,8 @@ package main
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -37,6 +39,7 @@ import (
 	"encdns/internal/core"
 	"encdns/internal/dataset"
 	"encdns/internal/loadgen"
+	"encdns/internal/monitor"
 	"encdns/internal/netsim"
 	"encdns/internal/obs"
 	"encdns/internal/report"
@@ -73,12 +76,16 @@ func run(args []string, stdout *os.File) error {
 		listR     = fs.Bool("list-resolvers", false, "list known resolver hosts and exit")
 		reach     = fs.Bool("reachability", false, "run the middlebox-vantage reachability scenario (deterministic, in-process) and print the per-vantage classification")
 		confPath  = fs.String("config", "", "JSON config file (flags override its values)")
-		metrics   = fs.String("metrics-addr", "", "serve /metrics (Prometheus) and /debug/obs on this address during the run")
+		metrics   = fs.String("metrics-addr", "", "serve /metrics (Prometheus), /debug/obs, /debug/watch, and /debug/pprof on this address during the run")
+		watch     = fs.Bool("watch", false, "continuous watchtower mode: probe forever, tracking per-target health, SLO burn alerts, and a live dashboard at /debug/watch/ui (interval defaults to 10s; stop with ^C)")
+		watchPace = fs.Duration("watch-pace", 0, "real-time floor between watch rounds (sim mode: virtual time still advances one -interval per round)")
 		verbose   = fs.Bool("v", false, "debug-level logging")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
 	level := obs.LevelInfo
 	if *verbose {
 		level = obs.LevelDebug
@@ -89,8 +96,6 @@ func run(args []string, stdout *os.File) error {
 		if err != nil {
 			return err
 		}
-		set := map[string]bool{}
-		fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
 		conf.apply(set, resolvers, domains, vantage, mode, output, rounds, interval, seed)
 	}
 
@@ -158,31 +163,75 @@ func run(args []string, stdout *os.File) error {
 		return fmt.Errorf("unknown mode %q", *mode)
 	}
 
+	// Watch mode: probe continuously at a monitoring cadence (10s unless
+	// -interval is explicit), feed a monitor.Tracker, and always serve
+	// the introspection endpoints — that surface IS the output.
+	var tracker *monitor.Tracker
+	if *watch {
+		if !set["interval"] {
+			*interval = 10 * time.Second
+		}
+		if *metrics == "" {
+			*metrics = "127.0.0.1:0"
+		}
+		tracker = monitor.New(monitor.Config{
+			Now:      netsim.NowFunc(clock),
+			Interval: *interval,
+		})
+	}
+
 	if *metrics != "" {
-		bound, shutdown, err := obs.Serve(*metrics, obs.Default())
+		obs.RegisterRuntimeMetrics(obs.Default())
+		var hopts []obs.HandlerOption
+		if tracker != nil {
+			hopts = append(hopts, obs.WithWatch(tracker))
+		}
+		bound, shutdown, err := obs.ServeHandler(*metrics, obs.NewHTTPHandler(obs.Default(), hopts...))
 		if err != nil {
 			return fmt.Errorf("metrics listener: %w", err)
 		}
 		defer shutdown()
 		logger.Info("serving introspection endpoints", "addr", bound,
-			"paths", "/metrics,/debug/obs")
+			"paths", "/metrics,/debug/obs,/debug/watch,/debug/pprof")
+		if tracker != nil {
+			fmt.Fprintf(os.Stderr, "watchtower dashboard: http://%s/debug/watch/ui\n", bound)
+		}
 	}
 	logger.Debug("campaign configured", "mode", *mode, "targets", len(targets),
-		"domains", len(domainList), "rounds", *rounds)
+		"domains", len(domainList), "rounds", *rounds, "watch", *watch)
 
 	cfg := core.CampaignConfig{
 		Vantages: vantages,
 		Targets:  targets,
 		Domains:  domainList,
 		Rounds:   *rounds,
-		Interval: *interval,
-		Clock:    clock,
+		// -watch runs forever unless -rounds was given explicitly (a
+		// bounded watch, useful for smoke tests).
+		Continuous: *watch && !set["rounds"],
+		Pace:       *watchPace,
+		Interval:   *interval,
+		Clock:      clock,
 		Progress: func(round, total int) {
 			logger.Debug("round complete", "round", round, "total", total)
 			if total >= 10 && round%(total/10) == 0 {
 				fmt.Fprintf(os.Stderr, "round %d/%d\n", round, total)
 			}
 		},
+	}
+	if tracker != nil {
+		cfg.Observer = tracker
+	}
+	if *watch && *output != "" {
+		// An unbounded run cannot buffer records: stream them as JSON
+		// Lines instead.
+		f, err := os.Create(*output)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		enc := json.NewEncoder(f)
+		cfg.Sink = func(rec core.Record) error { return enc.Encode(rec) }
+		cfg.DiscardResults = true
 	}
 	campaign, err := core.NewCampaign(cfg, prober)
 	if err != nil {
@@ -192,8 +241,18 @@ func run(args []string, stdout *os.File) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	results, runErr := campaign.Run(ctx)
-	if runErr != nil {
+	if runErr != nil && !(*watch && errors.Is(runErr, context.Canceled)) {
 		fmt.Fprintf(os.Stderr, "campaign interrupted: %v (reporting partial results)\n", runErr)
+	}
+
+	if *watch {
+		rep := tracker.WatchReport()
+		fmt.Fprintf(stdout, "watch stopped: %d targets tracked, %d journal events\n",
+			len(rep.Targets), tracker.Journal().Len())
+		if *output != "" {
+			fmt.Fprintf(stdout, "streamed records to %s\n", *output)
+		}
+		return nil
 	}
 
 	if *output != "" {

@@ -115,10 +115,12 @@ func run() error {
 	if *dohAddr != "" {
 		mux := http.NewServeMux()
 		mux.Handle(doh.DefaultPath, &doh.Handler{DNS: handler})
-		// Introspection rides the same mux: /metrics (Prometheus text) and
-		// /debug/obs (JSON snapshot).
-		mux.Handle("/metrics", obs.NewHTTPHandler(obs.Default()))
-		mux.Handle("/debug/obs", obs.NewHTTPHandler(obs.Default()))
+		// Introspection rides the same mux: /metrics (Prometheus text),
+		// /debug/obs (JSON snapshot), and /debug/pprof (profiles).
+		obs.RegisterRuntimeMetrics(obs.Default())
+		introspection := obs.NewHTTPHandler(obs.Default())
+		mux.Handle("/metrics", introspection)
+		mux.Handle("/debug/", introspection)
 		httpSrv = &http.Server{
 			Addr:      *dohAddr,
 			Handler:   mux,

@@ -46,12 +46,13 @@ func run(args []string) error {
 		return err
 	}
 	if *metrics != "" {
+		obs.RegisterRuntimeMetrics(obs.Default())
 		bound, shutdown, err := obs.Serve(*metrics, obs.Default())
 		if err != nil {
 			return fmt.Errorf("metrics listener: %w", err)
 		}
 		defer shutdown()
-		fmt.Fprintf(os.Stderr, "serving /metrics and /debug/obs on %s\n", bound)
+		fmt.Fprintf(os.Stderr, "serving /metrics, /debug/obs, and /debug/pprof on %s\n", bound)
 	}
 
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {

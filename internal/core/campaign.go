@@ -31,8 +31,25 @@ type CampaignConfig struct {
 	Vantages []netsim.Vantage
 	Targets  []Target
 	Domains  []string
-	// Rounds is the number of measurement rounds; must be positive.
+	// Rounds is the number of measurement rounds; must be positive
+	// unless Continuous is set.
 	Rounds int
+	// Continuous runs rounds forever (until ctx cancellation) — the
+	// watchtower deployment mode. Rounds is ignored; records are not
+	// retained in memory unless a Sink wants them first (a run with no
+	// Sink forces DiscardResults so an always-on watch cannot grow
+	// without bound).
+	Continuous bool
+	// Pace is a real-time floor between rounds. A wall clock already
+	// paces itself by sleeping Interval; Pace matters for virtual-clock
+	// continuous runs (watch-over-netsim), where time would otherwise
+	// advance as fast as the CPU allows.
+	Pace time.Duration
+	// Observer, when non-nil, receives every query outcome as it
+	// happens — the feed for monitor.Tracker. Targets are keyed
+	// "proto:host" (e.g. "doh:dns.google") so one resolver probed over
+	// several protocols tracks independently.
+	Observer ProbeObserver
 	// Interval is the virtual (or real) time between rounds.
 	Interval time.Duration
 	// Clock timestamps records and advances between rounds; nil uses a
@@ -59,7 +76,17 @@ type CampaignConfig struct {
 	// use to enable it.
 	Parallel bool
 	// Progress, when non-nil, receives a callback after each round.
+	// total is 0 for continuous campaigns.
 	Progress func(round, total int)
+}
+
+// ProbeObserver consumes per-query outcomes as the campaign produces
+// them. monitor.Tracker implements it; ok carries whether the query
+// succeeded, rtt its duration, and errClass the failure classification
+// (empty on success). Implementations must be safe for concurrent use
+// when the campaign runs Parallel.
+type ProbeObserver interface {
+	ObserveProbe(target string, ok bool, rtt time.Duration, errClass string)
 }
 
 // Campaign executes measurement rounds through a Prober.
@@ -87,7 +114,7 @@ func NewCampaign(cfg CampaignConfig, prober Prober) (*Campaign, error) {
 	if len(cfg.Domains) == 0 {
 		return nil, fmt.Errorf("core: campaign needs at least one domain")
 	}
-	if cfg.Rounds <= 0 {
+	if cfg.Rounds <= 0 && !cfg.Continuous {
 		return nil, fmt.Errorf("core: campaign needs a positive round count")
 	}
 	if cfg.Clock == nil {
@@ -96,7 +123,12 @@ func NewCampaign(cfg CampaignConfig, prober Prober) (*Campaign, error) {
 	if cfg.Interval <= 0 {
 		cfg.Interval = 8 * time.Hour
 	}
-	if cfg.DiscardResults && cfg.Sink == nil {
+	if cfg.Continuous && cfg.Sink == nil {
+		// An unbounded run must not accumulate records forever; the
+		// Observer/monitor side is the continuous consumer.
+		cfg.DiscardResults = true
+	}
+	if cfg.DiscardResults && cfg.Sink == nil && !cfg.Continuous {
 		return nil, fmt.Errorf("core: DiscardResults needs a Sink")
 	}
 	c := &Campaign{
@@ -117,10 +149,12 @@ func NewCampaign(cfg CampaignConfig, prober Prober) (*Campaign, error) {
 // Run executes every round, following the paper's §3.2 measurement
 // procedure per (vantage, resolver): a dig-style query per domain, then
 // one ICMP probe. It stops early (returning partial results and the
-// context's error) when ctx is cancelled.
+// context's error) when ctx is cancelled — for Continuous campaigns
+// cancellation is the only way the loop ends, and it is a clean stop,
+// not an error to alarm on.
 func (c *Campaign) Run(ctx context.Context) (*ResultSet, error) {
 	rs := NewResultSet()
-	for round := 0; round < c.cfg.Rounds; round++ {
+	for round := 0; c.cfg.Continuous || round < c.cfg.Rounds; round++ {
 		if err := ctx.Err(); err != nil {
 			return rs, err
 		}
@@ -166,13 +200,56 @@ func (c *Campaign) Run(ctx context.Context) (*ResultSet, error) {
 				}
 			}
 		}
-		c.cfg.Clock.Advance(c.cfg.Interval)
 		campaignRounds.Inc()
 		if c.cfg.Progress != nil {
-			c.cfg.Progress(round+1, c.cfg.Rounds)
+			total := c.cfg.Rounds
+			if c.cfg.Continuous {
+				total = 0
+			}
+			c.cfg.Progress(round+1, total)
+		}
+		last := !c.cfg.Continuous && round == c.cfg.Rounds-1
+		if err := c.waitRound(ctx, last); err != nil {
+			return rs, err
 		}
 	}
 	return rs, nil
+}
+
+// sleeper is the optional real-time side of a clock: WallClock has it,
+// VirtualClock deliberately does not, so virtual-time runs never block.
+type sleeper interface {
+	Sleep(ctx context.Context, d time.Duration) error
+}
+
+// waitRound advances the clock by one interval and, for paced runs,
+// waits out the real time before the next round. Bounded simulated
+// campaigns keep their historical behaviour: advance and continue
+// immediately.
+func (c *Campaign) waitRound(ctx context.Context, last bool) error {
+	c.cfg.Clock.Advance(c.cfg.Interval) // wall clocks no-op; time is real
+	if last {
+		return ctx.Err()
+	}
+	if s, ok := c.cfg.Clock.(sleeper); ok && (c.cfg.Continuous || c.cfg.Pace > 0) {
+		d := c.cfg.Interval
+		if c.cfg.Pace > d {
+			d = c.cfg.Pace
+		}
+		return s.Sleep(ctx, d)
+	}
+	if c.cfg.Pace > 0 {
+		// Virtual clock with a real-time floor: virtual time already
+		// advanced a full interval; the pace only throttles the host CPU.
+		t := time.NewTimer(c.cfg.Pace)
+		defer t.Stop()
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-t.C:
+		}
+	}
+	return ctx.Err()
 }
 
 // probeVantage runs one round's probes from one vantage point, following
@@ -182,6 +259,11 @@ func (c *Campaign) probeVantage(ctx context.Context, v netsim.Vantage, round int
 	defer campaignInflight.Dec()
 	out := make([]Record, 0, len(c.cfg.Targets)*(len(c.cfg.Domains)+1))
 	for _, t := range c.cfg.Targets {
+		proto := protoName(c.prober, t)
+		var obsKey string
+		if c.cfg.Observer != nil {
+			obsKey = observerTarget(proto, c.prober, t)
+		}
 		for _, domain := range c.cfg.Domains {
 			q := c.prober.Query(ctx, v, t, domain, round)
 			c.probes[t.Host].Inc()
@@ -193,7 +275,7 @@ func (c *Campaign) probeVantage(ctx context.Context, v netsim.Vantage, round int
 				Vantage:      v.Name,
 				Resolver:     t.Host,
 				Kind:         KindQuery,
-				Protocol:     protoName(c.prober, t),
+				Protocol:     proto,
 				Domain:       domain,
 				Round:        round,
 				Milliseconds: float64(q.Duration) / float64(time.Millisecond),
@@ -203,6 +285,9 @@ func (c *Campaign) probeVantage(ctx context.Context, v netsim.Vantage, round int
 				rec.Error = q.Err.String()
 			} else {
 				rec.RCode = q.RCode.String()
+			}
+			if c.cfg.Observer != nil {
+				c.cfg.Observer.ObserveProbe(obsKey, rec.OK, q.Duration, rec.Error)
 			}
 			out = append(out, rec)
 		}
@@ -225,6 +310,19 @@ func (c *Campaign) probeVantage(ctx context.Context, v netsim.Vantage, round int
 		}
 	}
 	return out
+}
+
+// observerTarget is the monitor key for a target. Sim targets key on
+// the protocol-qualified hostname ("doh:dns.google"); live targets are
+// additionally port-qualified so two resolvers on one host (or one host
+// probed over two ports) track independently.
+func observerTarget(proto string, p Prober, t Target) string {
+	if _, live := p.(*LiveProber); live && t.Endpoint != "" {
+		if ep, err := transport.ParseEndpoint(t.Endpoint); err == nil {
+			return proto + ":" + ep.Addr()
+		}
+	}
+	return proto + ":" + t.Host
 }
 
 // protoName extracts a protocol label for the records. Live targets are

@@ -1,0 +1,478 @@
+package monitor
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"encdns/internal/obs"
+)
+
+// State is a target's health as the watchtower sees it.
+type State int
+
+// Health states. Transitions have hysteresis: a target goes Down on
+// consecutive failures, but must string together consecutive successes
+// (and clear the degraded ratio band) to be Healthy again, so a resolver
+// flapping at 50% doesn't flap the state with it.
+const (
+	StateHealthy State = iota
+	StateDegraded
+	StateDown
+)
+
+// String names the state as the journal and /debug/watch spell it.
+func (s State) String() string {
+	switch s {
+	case StateDegraded:
+		return "degraded"
+	case StateDown:
+		return "down"
+	}
+	return "healthy"
+}
+
+// Config parameterises a Tracker. The zero value is usable: it yields
+// wall-clock time, 10-second buckets, a 99% availability objective, the
+// SRE-workbook burn windows, and production-shaped hysteresis.
+type Config struct {
+	// Now is the clock; nil uses time.Now. Hand it netsim.NowFunc(clock)
+	// and the whole watchtower runs in virtual time.
+	Now func() time.Time
+	// Interval is the windowed-bucket width (default 10s).
+	Interval time.Duration
+	// SeriesPoints is how many intervals the dashboard timeseries keeps
+	// (default 60: ten minutes at the default interval). It also sets
+	// the window the top-level availability/quantile readings cover.
+	SeriesPoints int
+	// Objective is the availability SLO in (0,1) (default 0.99); the
+	// error budget for burn rates is 1-Objective.
+	Objective float64
+	// Burn is the multi-window multi-burn-rate alert configuration
+	// (default DefaultBurnWindows: fast 5m/1h ×14.4, slow 6h/3d ×1).
+	Burn []BurnWindow
+	// DownAfter is the consecutive-failure count that forces Down
+	// (default 3). HealthyAfter is the consecutive-success count
+	// required to leave Degraded/Down (default 3).
+	DownAfter    int
+	HealthyAfter int
+	// DegradedRatio is the failure fraction over DegradedWindow that
+	// demotes Healthy to Degraded (default 0.1 over 1m); recovery
+	// additionally requires the ratio back under DegradedRatio/2.
+	DegradedRatio  float64
+	DegradedWindow time.Duration
+	// MinSamples gates ratio judgements so one early failure cannot
+	// mark a target degraded (default 5).
+	MinSamples int
+	// JournalCap bounds the event journal (default 1024 events).
+	JournalCap int
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Interval <= 0 {
+		out.Interval = 10 * time.Second
+	}
+	if out.SeriesPoints <= 0 {
+		out.SeriesPoints = 60
+	}
+	if out.Objective <= 0 || out.Objective >= 1 {
+		out.Objective = 0.99
+	}
+	if len(out.Burn) == 0 {
+		out.Burn = DefaultBurnWindows()
+	}
+	if out.DownAfter <= 0 {
+		out.DownAfter = 3
+	}
+	if out.HealthyAfter <= 0 {
+		out.HealthyAfter = 3
+	}
+	if out.DegradedRatio <= 0 {
+		out.DegradedRatio = 0.1
+	}
+	if out.DegradedWindow <= 0 {
+		out.DegradedWindow = time.Minute
+	}
+	if out.MinSamples <= 0 {
+		out.MinSamples = 5
+	}
+	if out.JournalCap <= 0 {
+		out.JournalCap = 1024
+	}
+	return out
+}
+
+// Tracker-level instruments, shared process-wide like the campaign's.
+var (
+	monTransitions = obs.Default().Counter("monitor_state_transitions_total",
+		"Target health-state transitions recorded by monitor trackers.")
+	monAlertsFired = obs.Default().Counter("monitor_alerts_fired_total",
+		"Burn-rate alerts that started firing.")
+	monAlertsResolved = obs.Default().Counter("monitor_alerts_resolved_total",
+		"Burn-rate alerts that cleared.")
+	monTargets = obs.Default().Gauge("monitor_targets",
+		"Targets currently tracked across monitor trackers.")
+)
+
+// Tracker is the watchtower: it ingests probe outcomes and maintains
+// per-target windowed availability, latency, error breakdowns, a health
+// state machine, and burn-rate alert evaluations. It implements
+// core.ProbeObserver (feeding), and obs.WatchSource + obs.EventSource
+// (serving /debug/watch). Safe for concurrent use.
+type Tracker struct {
+	cfg     Config
+	journal *Journal
+
+	mu      sync.Mutex
+	targets map[string]*target
+
+	// ring geometry derived from cfg in New
+	fineSlots      int
+	coarseInterval time.Duration
+	coarseSlots    int
+}
+
+type target struct {
+	name  string
+	state State
+	since time.Time
+
+	consecFail, consecOK int
+
+	// fine rings (cfg.Interval buckets) back the short burn windows, the
+	// degraded ratio, and the dashboard; coarse rings back the long burn
+	// windows without holding days of fine buckets.
+	okFine, failFine     *obs.WindowedCounter
+	okCoarse, failCoarse *obs.WindowedCounter
+	rtt                  *obs.WindowedHistogram
+	errClasses           map[string]*obs.WindowedCounter
+
+	alerts map[string]*alertState // keyed by BurnWindow.Name
+
+	stateGauge *obs.Gauge
+}
+
+// New builds a Tracker and journals its effective configuration.
+func New(cfg Config) *Tracker {
+	cfg = cfg.withDefaults()
+	t := &Tracker{
+		cfg:     cfg,
+		journal: NewJournal(cfg.JournalCap),
+		targets: make(map[string]*target),
+	}
+	// The fine ring must cover every short window, the degraded window,
+	// and the dashboard span; the coarse ring covers the longest long
+	// window at a granularity bounded to ~1k slots.
+	fineSpan := time.Duration(cfg.SeriesPoints) * cfg.Interval
+	maxLong := cfg.Interval
+	for _, b := range cfg.Burn {
+		if b.Short > fineSpan {
+			fineSpan = b.Short
+		}
+		if b.Long > maxLong {
+			maxLong = b.Long
+		}
+	}
+	if cfg.DegradedWindow > fineSpan {
+		fineSpan = cfg.DegradedWindow
+	}
+	t.fineSlots = int(fineSpan/cfg.Interval) + 1
+	t.coarseInterval = cfg.Interval
+	if ci := maxLong / 1024; ci > t.coarseInterval {
+		t.coarseInterval = ci
+	}
+	t.coarseSlots = int(maxLong/t.coarseInterval) + 1
+	t.journal.Append(Event{
+		Time: t.now(), Type: EventConfig,
+		Detail: fmt.Sprintf("interval=%s objective=%g burn-windows=%d down-after=%d healthy-after=%d",
+			cfg.Interval, cfg.Objective, len(cfg.Burn), cfg.DownAfter, cfg.HealthyAfter),
+	})
+	return t
+}
+
+func (t *Tracker) now() time.Time {
+	if t.cfg.Now == nil {
+		return time.Now()
+	}
+	return t.cfg.Now()
+}
+
+// Journal returns the tracker's event journal.
+func (t *Tracker) Journal() *Journal { return t.journal }
+
+// WriteEventsJSONL implements obs.EventSource.
+func (t *Tracker) WriteEventsJSONL(w io.Writer) error { return t.journal.WriteJSONL(w) }
+
+// State reports a target's current health; ok is false for an untracked
+// target.
+func (t *Tracker) State(name string) (State, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tg, ok := t.targets[name]
+	if !ok {
+		return StateHealthy, false
+	}
+	return tg.state, true
+}
+
+// getTarget finds or creates a target's tracking state. Callers hold
+// t.mu.
+func (t *Tracker) getTarget(name string) *target {
+	if tg, ok := t.targets[name]; ok {
+		return tg
+	}
+	mk := func() *obs.WindowedCounter {
+		c := obs.NewWindowedCounter(t.cfg.Interval, t.fineSlots)
+		c.SetNow(t.cfg.Now)
+		return c
+	}
+	mkCoarse := func() *obs.WindowedCounter {
+		c := obs.NewWindowedCounter(t.coarseInterval, t.coarseSlots)
+		c.SetNow(t.cfg.Now)
+		return c
+	}
+	rtt := obs.NewWindowedHistogram(t.cfg.Interval, t.cfg.SeriesPoints+1, nil)
+	rtt.SetNow(t.cfg.Now)
+	tg := &target{
+		name:       name,
+		state:      StateHealthy,
+		since:      t.now(),
+		okFine:     mk(),
+		failFine:   mk(),
+		okCoarse:   mkCoarse(),
+		failCoarse: mkCoarse(),
+		rtt:        rtt,
+		errClasses: make(map[string]*obs.WindowedCounter),
+		alerts:     make(map[string]*alertState, len(t.cfg.Burn)),
+		stateGauge: obs.Default().Gauge("monitor_state",
+			"Target health (0 healthy, 1 degraded, 2 down).", "target", name),
+	}
+	for _, b := range t.cfg.Burn {
+		tg.alerts[b.Name] = &alertState{}
+	}
+	t.targets[name] = tg
+	monTargets.Inc()
+	return tg
+}
+
+// ObserveProbe ingests one probe outcome: target health bookkeeping,
+// windowed counters, and alert evaluation. rtt is recorded only for
+// successful probes (failure durations are timeout artifacts, not
+// response times); errClass labels the windowed error breakdown.
+// It implements core.ProbeObserver.
+func (t *Tracker) ObserveProbe(name string, ok bool, rtt time.Duration, errClass string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tg := t.getTarget(name)
+	now := t.now()
+	if ok {
+		tg.okFine.Inc()
+		tg.okCoarse.Inc()
+		tg.rtt.ObserveDuration(rtt)
+		tg.consecOK++
+		tg.consecFail = 0
+	} else {
+		tg.failFine.Inc()
+		tg.failCoarse.Inc()
+		tg.consecFail++
+		tg.consecOK = 0
+		if errClass == "" {
+			errClass = "unknown"
+		}
+		ec, have := tg.errClasses[errClass]
+		if !have {
+			ec = obs.NewWindowedCounter(t.cfg.Interval, t.fineSlots)
+			ec.SetNow(t.cfg.Now)
+			tg.errClasses[errClass] = ec
+		}
+		ec.Inc()
+	}
+	t.stepState(tg, now)
+	t.evaluateAlerts(tg, now)
+}
+
+// transition moves a target to next, journaling and instrumenting the
+// change. Callers hold t.mu.
+func (t *Tracker) transition(tg *target, next State, now time.Time, detail string) {
+	if tg.state == next {
+		return
+	}
+	t.journal.Append(Event{
+		Time: now, Type: EventState, Target: tg.name,
+		From: tg.state.String(), To: next.String(), Detail: detail,
+	})
+	tg.state = next
+	tg.since = now
+	tg.stateGauge.Set(int64(next))
+	monTransitions.Inc()
+}
+
+// stepState runs the hysteresis state machine after one observation.
+// Callers hold t.mu.
+func (t *Tracker) stepState(tg *target, now time.Time) {
+	fails := tg.failFine.SumWindow(t.cfg.DegradedWindow)
+	total := fails + tg.okFine.SumWindow(t.cfg.DegradedWindow)
+	ratio := 0.0
+	if total > 0 {
+		ratio = float64(fails) / float64(total)
+	}
+	switch {
+	case tg.consecFail >= t.cfg.DownAfter:
+		t.transition(tg, StateDown, now,
+			fmt.Sprintf("%d consecutive failures", tg.consecFail))
+	case tg.state == StateHealthy:
+		if total >= uint64(t.cfg.MinSamples) && ratio >= t.cfg.DegradedRatio {
+			t.transition(tg, StateDegraded, now,
+				fmt.Sprintf("failure ratio %.2f over %s", ratio, t.cfg.DegradedWindow))
+		}
+	default: // Degraded or Down: recover only through the hysteresis band
+		if tg.consecOK >= t.cfg.HealthyAfter && ratio < t.cfg.DegradedRatio/2 {
+			t.transition(tg, StateHealthy, now,
+				fmt.Sprintf("%d consecutive successes, ratio %.2f", tg.consecOK, ratio))
+		}
+	}
+}
+
+// rates returns failures and totals over the trailing window d, picking
+// the ring whose span covers it. Callers hold t.mu.
+func (t *Tracker) rates(tg *target, d time.Duration) (failures, total uint64) {
+	if d <= tg.okFine.Span() {
+		failures = tg.failFine.SumWindow(d)
+		return failures, failures + tg.okFine.SumWindow(d)
+	}
+	failures = tg.failCoarse.SumWindow(d)
+	return failures, failures + tg.okCoarse.SumWindow(d)
+}
+
+// evaluateAlerts re-evaluates every burn window for a target, journaling
+// fire/resolve edges. Callers hold t.mu.
+func (t *Tracker) evaluateAlerts(tg *target, now time.Time) {
+	budget := 1 - t.cfg.Objective
+	for _, b := range t.cfg.Burn {
+		as := tg.alerts[b.Name]
+		failS, totS := t.rates(tg, b.Short)
+		failL, totL := t.rates(tg, b.Long)
+		as.burnShort = burnRate(failS, totS, budget)
+		as.burnLong = burnRate(failL, totL, budget)
+		firing := as.burnShort > b.Factor && as.burnLong > b.Factor
+		if firing == as.firing {
+			continue
+		}
+		as.firing = firing
+		as.since = now
+		if firing {
+			monAlertsFired.Inc()
+			t.journal.Append(Event{
+				Time: now, Type: EventAlertFire, Target: tg.name, Alert: b.Name,
+				Detail: fmt.Sprintf("burn %.1f/%.1f over %s/%s exceeds ×%g (objective %g)",
+					as.burnShort, as.burnLong, b.Short, b.Long, b.Factor, t.cfg.Objective),
+			})
+		} else {
+			monAlertsResolved.Inc()
+			t.journal.Append(Event{
+				Time: now, Type: EventAlertResolve, Target: tg.name, Alert: b.Name,
+				Detail: fmt.Sprintf("burn %.1f/%.1f back under ×%g", as.burnShort, as.burnLong, b.Factor),
+			})
+		}
+	}
+}
+
+// AlertFiring reports whether the named burn alert is firing for a
+// target.
+func (t *Tracker) AlertFiring(name, burnWindow string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tg, ok := t.targets[name]
+	if !ok {
+		return false
+	}
+	as, ok := tg.alerts[burnWindow]
+	return ok && as.firing
+}
+
+// noNaN maps the empty-window NaN quantile onto 0 so reports stay
+// JSON-encodable.
+func noNaN(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
+}
+
+// WatchReport implements obs.WatchSource: the /debug/watch JSON body.
+func (t *Tracker) WatchReport() obs.WatchReport {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	window := time.Duration(t.cfg.SeriesPoints) * t.cfg.Interval
+	rep := obs.WatchReport{
+		Now:          t.now().UTC(),
+		WindowSecs:   window.Seconds(),
+		IntervalSecs: t.cfg.Interval.Seconds(),
+		Targets:      make([]obs.WatchTarget, 0, len(t.targets)),
+	}
+	names := make([]string, 0, len(t.targets))
+	for name := range t.targets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		tg := t.targets[name]
+		fails := tg.failFine.SumWindow(window)
+		total := fails + tg.okFine.SumWindow(window)
+		avail := 1.0
+		if total > 0 {
+			avail = float64(total-fails) / float64(total)
+		}
+		wt := obs.WatchTarget{
+			Target:       name,
+			State:        tg.state.String(),
+			Since:        tg.since.UTC(),
+			Samples:      total,
+			Failures:     fails,
+			Availability: avail,
+			P50Ms:        noNaN(tg.rtt.Quantile(0.5, window)) * 1000,
+			P95Ms:        noNaN(tg.rtt.Quantile(0.95, window)) * 1000,
+			P99Ms:        noNaN(tg.rtt.Quantile(0.99, window)) * 1000,
+		}
+		for class, c := range tg.errClasses {
+			if n := c.SumWindow(window); n > 0 {
+				if wt.Errors == nil {
+					wt.Errors = make(map[string]uint64)
+				}
+				wt.Errors[class] = n
+			}
+		}
+		for _, b := range t.cfg.Burn {
+			as := tg.alerts[b.Name]
+			wt.Alerts = append(wt.Alerts, obs.WatchAlert{
+				Window: b.Name, Firing: as.firing, Factor: b.Factor,
+				BurnShort: noNaN(as.burnShort), BurnLong: noNaN(as.burnLong),
+				Since: as.since,
+			})
+		}
+		okB := tg.okFine.Buckets(window)
+		failB := tg.failFine.Buckets(window)
+		qs := tg.rtt.BucketQuantiles(window, 0.5, 0.95, 0.99)
+		n := len(okB)
+		if len(qs) < n {
+			n = len(qs)
+		}
+		wt.Series = make([]obs.WatchPoint, 0, n)
+		for i := 0; i < n; i++ {
+			wt.Series = append(wt.Series, obs.WatchPoint{
+				Time:     okB[i].Start,
+				Total:    okB[i].Count + failB[i].Count,
+				Failures: failB[i].Count,
+				P50Ms:    noNaN(qs[i].Q[0]) * 1000,
+				P95Ms:    noNaN(qs[i].Q[1]) * 1000,
+				P99Ms:    noNaN(qs[i].Q[2]) * 1000,
+			})
+		}
+		rep.Targets = append(rep.Targets, wt)
+	}
+	return rep
+}

@@ -1,0 +1,52 @@
+package monitor
+
+import "time"
+
+// BurnWindow is one multi-window burn-rate alert rule: the alert fires
+// when the error budget is being consumed at more than Factor times the
+// sustainable rate over BOTH the long window (evidence the problem is
+// real) and the short window (evidence it is still happening — this is
+// what makes alerts auto-resolve quickly after recovery).
+//
+// Burn rate is errorRate / (1 - objective): burning at exactly 1.0
+// consumes the whole budget over the SLO period; 14.4 over a 1h window
+// consumes 2% of a 30-day budget in that hour.
+type BurnWindow struct {
+	// Name labels the pair in alerts and the journal ("fast", "slow").
+	Name string
+	// Short and Long are the two evaluation windows; Short must not
+	// exceed Long.
+	Short time.Duration
+	Long  time.Duration
+	// Factor is the burn-rate threshold both windows must exceed.
+	Factor float64
+}
+
+// DefaultBurnWindows returns the two-pair configuration from the SRE
+// workbook: a fast pair that pages within minutes of a hard outage and a
+// slow pair that catches a simmering budget leak. Tests scale these to
+// virtual time; production watches run them as-is.
+func DefaultBurnWindows() []BurnWindow {
+	return []BurnWindow{
+		{Name: "fast", Short: 5 * time.Minute, Long: time.Hour, Factor: 14.4},
+		{Name: "slow", Short: 6 * time.Hour, Long: 3 * 24 * time.Hour, Factor: 1},
+	}
+}
+
+// alertState tracks one (target, burn window) alert across evaluations.
+type alertState struct {
+	firing bool
+	since  time.Time
+	// burnShort/burnLong are the most recent evaluation, surfaced in
+	// the watch report.
+	burnShort, burnLong float64
+}
+
+// burnRate converts windowed failure/total counts into a burn rate
+// against the error budget. No samples means no evidence: burn 0.
+func burnRate(failures, total uint64, budget float64) float64 {
+	if total == 0 || budget <= 0 {
+		return 0
+	}
+	return (float64(failures) / float64(total)) / budget
+}

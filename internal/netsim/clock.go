@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"context"
 	"sync"
 	"time"
 )
@@ -67,3 +68,21 @@ func (WallClock) Now() time.Time { return time.Now() }
 
 // Advance is a no-op; real time advances on its own.
 func (WallClock) Advance(time.Duration) {}
+
+// Sleep blocks for d or until ctx is done, returning ctx.Err in the
+// latter case. Continuous campaigns use it to pace rounds in real time;
+// VirtualClock deliberately has no Sleep, so virtual-time runs fall back
+// to Advance and never block a test.
+func (WallClock) Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -41,7 +41,7 @@ func (r *Registry) Histogram(name, help string, bounds []float64, labels ...stri
 		bounds = DefaultRTTBounds
 	}
 	h := &Histogram{
-		desc:    desc{name: name, help: help, typ: "histogram", labels: labelString(labels)},
+		desc:    newDesc(name, help, "histogram", labels),
 		bounds:  bounds,
 		buckets: make([]atomic.Uint64, len(bounds)+1),
 	}
@@ -104,10 +104,17 @@ func (h *Histogram) Merge(o *Histogram) error {
 // bounds). Returns NaN for an empty histogram; values in the +Inf bucket
 // clamp to the last finite bound.
 func (h *Histogram) Quantile(q float64) float64 {
+	cumulative, _, _ := h.snapshot()
+	return quantileFromCumulative(cumulative, h.bounds, q)
+}
+
+// quantileFromCumulative interpolates the q-th quantile from cumulative
+// bucket counts (len(bounds)+1 entries, the last being +Inf) — shared by
+// Histogram and WindowedHistogram.
+func quantileFromCumulative(cumulative []uint64, bounds []float64, q float64) float64 {
 	if q < 0 || q > 1 || math.IsNaN(q) {
 		panic("obs: histogram quantile out of range")
 	}
-	cumulative, _, _ := h.snapshot()
 	total := cumulative[len(cumulative)-1]
 	if total == 0 {
 		return math.NaN()
@@ -121,24 +128,24 @@ func (h *Histogram) Quantile(q float64) float64 {
 		if float64(c) < rank {
 			continue
 		}
-		if i == len(h.bounds) {
+		if i == len(bounds) {
 			// +Inf bucket: no upper edge to interpolate towards.
-			return h.bounds[len(h.bounds)-1]
+			return bounds[len(bounds)-1]
 		}
 		lo := 0.0
 		var below uint64
 		if i > 0 {
-			lo = h.bounds[i-1]
+			lo = bounds[i-1]
 			below = cumulative[i-1]
 		}
 		width := float64(c - below)
 		if width == 0 {
-			return h.bounds[i]
+			return bounds[i]
 		}
 		frac := (rank - float64(below)) / width
-		return lo + frac*(h.bounds[i]-lo)
+		return lo + frac*(bounds[i]-lo)
 	}
-	return h.bounds[len(h.bounds)-1]
+	return bounds[len(bounds)-1]
 }
 
 // Observe records one value (in seconds).

@@ -1,19 +1,51 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"time"
 )
+
+// HandlerOption configures NewHTTPHandler.
+type HandlerOption func(*handlerConfig)
+
+type handlerConfig struct {
+	watch  WatchSource
+	events EventSource
+}
+
+// WithWatch backs /debug/watch with src. When src also implements
+// EventSource (monitor.Tracker does), /debug/watch/events serves its
+// journal as JSON Lines.
+func WithWatch(src WatchSource) HandlerOption {
+	return func(c *handlerConfig) {
+		c.watch = src
+		if es, ok := src.(EventSource); ok {
+			c.events = es
+		}
+	}
+}
 
 // NewHTTPHandler returns the live introspection endpoint for r:
 //
-//	/metrics    Prometheus text exposition format
-//	/debug/obs  JSON snapshot of every instrument
+//	/metrics             Prometheus text exposition format
+//	/debug/obs           JSON snapshot of every instrument
+//	/debug/watch         windowed per-target timeseries (JSON; see WatchReport)
+//	/debug/watch/events  monitor event journal as JSON Lines
+//	/debug/watch/ui      dependency-free auto-refreshing HTML dashboard
+//	/debug/pprof/...     net/http/pprof profiles (goroutine, heap, profile, trace, ...)
 //
 // Mount it on any mux (dohserver mounts it next to /dns-query) or serve
-// it standalone with Serve.
-func NewHTTPHandler(r *Registry) http.Handler {
+// it standalone with Serve/ServeHandler. Without a WithWatch option the
+// watch endpoints answer with an empty (but well-formed) report.
+func NewHTTPHandler(r *Registry, opts ...HandlerOption) http.Handler {
+	var cfg handlerConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -25,19 +57,68 @@ func NewHTTPHandler(r *Registry) http.Handler {
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(r.Snapshot())
 	})
+	mux.HandleFunc("/debug/watch", func(w http.ResponseWriter, _ *http.Request) {
+		rep := WatchReport{Now: time.Now().UTC(), Targets: []WatchTarget{}}
+		if cfg.watch != nil {
+			rep = cfg.watch.WatchReport()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(rep)
+	})
+	mux.HandleFunc("/debug/watch/events", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		if cfg.events != nil {
+			_ = cfg.events.WriteEventsJSONL(w)
+		}
+	})
+	mux.HandleFunc("/debug/watch/ui", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		_, _ = w.Write([]byte(watchDashboardHTML))
+	})
+	// net/http/pprof registers on DefaultServeMux via side effect; this
+	// handler owns its mux, so mount the profile endpoints explicitly.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
 }
+
+// shutdownDrain bounds how long Serve's shutdown waits for in-flight
+// scrapes before force-closing their connections. A variable so the
+// slow-client test can tighten it.
+var shutdownDrain = 2 * time.Second
 
 // Serve listens on addr (":0" picks a free port) and serves the
 // introspection endpoints for r over plain HTTP. It returns the bound
 // address and a shutdown function. This backs the -metrics-addr flag in
-// dnsmeasure and repro.
+// dnsmeasure, dnsload, and repro.
 func Serve(addr string, r *Registry) (bound string, shutdown func() error, err error) {
+	return ServeHandler(addr, NewHTTPHandler(r))
+}
+
+// ServeHandler is Serve for a prebuilt handler (one carrying WithWatch).
+// The shutdown function drains gracefully with a deadline: in-flight
+// requests get shutdownDrain to finish, then their connections are
+// force-closed — a stuck scrape cannot wedge process exit.
+func ServeHandler(addr string, h http.Handler) (bound string, shutdown func() error, err error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, err
 	}
-	srv := &http.Server{Handler: NewHTTPHandler(r)}
+	srv := &http.Server{Handler: h, ReadHeaderTimeout: 5 * time.Second}
 	go func() { _ = srv.Serve(ln) }()
-	return ln.Addr().String(), srv.Close, nil
+	shutdown = func() error {
+		ctx, cancel := context.WithTimeout(context.Background(), shutdownDrain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			// Deadline expired with connections still busy: close them.
+			return srv.Close()
+		}
+		return nil
+	}
+	return ln.Addr().String(), shutdown, nil
 }

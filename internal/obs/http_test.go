@@ -3,10 +3,12 @@ package obs
 import (
 	"encoding/json"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestHTTPHandlerMetrics(t *testing.T) {
@@ -83,5 +85,136 @@ func TestServe(t *testing.T) {
 	resp.Body.Close()
 	if !strings.Contains(string(body), "srv_total 1") {
 		t.Errorf("scrape via Serve missing series:\n%s", body)
+	}
+}
+
+// fakeWatch backs /debug/watch and /debug/watch/events in handler tests.
+type fakeWatch struct{ rep WatchReport }
+
+func (f *fakeWatch) WatchReport() WatchReport { return f.rep }
+func (f *fakeWatch) WriteEventsJSONL(w io.Writer) error {
+	_, err := io.WriteString(w, `{"type":"state-transition","target":"x"}`+"\n")
+	return err
+}
+
+func TestHTTPHandlerWatch(t *testing.T) {
+	src := &fakeWatch{rep: WatchReport{
+		WindowSecs: 600, IntervalSecs: 10,
+		Targets: []WatchTarget{{Target: "doh:x", State: "degraded", Availability: 0.93}},
+	}}
+	srv := httptest.NewServer(NewHTTPHandler(NewRegistry(), WithWatch(src)))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/debug/watch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type = %q", ct)
+	}
+	var rep WatchReport
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Targets) != 1 || rep.Targets[0].State != "degraded" {
+		t.Errorf("report = %+v, want the fake source's target", rep)
+	}
+
+	// WithWatch auto-detects the EventSource side of the same value.
+	resp2, err := http.Get(srv.URL + "/debug/watch/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if ct := resp2.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("events content type = %q", ct)
+	}
+	if !strings.Contains(string(body), `"state-transition"`) {
+		t.Errorf("events body = %q, want the fake journal line", body)
+	}
+}
+
+func TestHTTPHandlerWatchWithoutSource(t *testing.T) {
+	srv := httptest.NewServer(NewHTTPHandler(NewRegistry()))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/watch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rep WatchReport
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatalf("sourceless /debug/watch not valid JSON: %v", err)
+	}
+	if rep.Targets == nil || len(rep.Targets) != 0 {
+		t.Errorf("sourceless report targets = %v, want empty non-null array", rep.Targets)
+	}
+}
+
+func TestHTTPHandlerDashboardAndPprof(t *testing.T) {
+	srv := httptest.NewServer(NewHTTPHandler(NewRegistry()))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/debug/watch/ui")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.HasPrefix(resp.Header.Get("Content-Type"), "text/html") {
+		t.Errorf("ui content type = %q", resp.Header.Get("Content-Type"))
+	}
+	if !strings.Contains(string(body), "encdns watchtower") {
+		t.Errorf("dashboard HTML missing title")
+	}
+
+	resp2, err := http.Get(srv.URL + "/debug/pprof/goroutine?debug=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK || !strings.Contains(string(prof), "goroutine profile:") {
+		t.Errorf("pprof goroutine status=%d body=%.80q", resp2.StatusCode, prof)
+	}
+}
+
+// TestShutdownForceClosesSlowClient: a client that opens a request and
+// never reads the response must not wedge shutdown past the drain
+// deadline.
+func TestShutdownForceClosesSlowClient(t *testing.T) {
+	oldDrain := shutdownDrain
+	shutdownDrain = 50 * time.Millisecond
+	defer func() { shutdownDrain = oldDrain }()
+
+	blocked := make(chan struct{})
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(blocked)
+		<-r.Context().Done() // hold the connection until forced shut
+	})
+	bound, shutdown, err := ServeHandler("127.0.0.1:0", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	conn, err := net.Dial("tcp", bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("GET /hang HTTP/1.1\r\nHost: x\r\n\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	<-blocked
+
+	done := make(chan error, 1)
+	go func() { done <- shutdown() }()
+	select {
+	case <-done:
+		// Force-closed the wedged connection; fast exit is the contract.
+	case <-time.After(5 * time.Second):
+		t.Fatal("shutdown wedged behind a slow client")
 	}
 }

@@ -68,7 +68,10 @@ func Default() *Registry { return defaultRegistry }
 
 // labelString renders alternating key, value pairs as `k="v",k2="v2"`.
 // It panics on an odd pair count — labels are always literals at
-// registration sites, so this is a programming error, not input.
+// registration sites, so this is a programming error, not input. Label
+// names are sanitized to the Prometheus grammar and values escaped per
+// the text exposition format, so a resolver hostname (or any other
+// external string) is always legal as a label value.
 func labelString(pairs []string) string {
 	if len(pairs) == 0 {
 		return ""
@@ -81,7 +84,95 @@ func labelString(pairs []string) string {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%s=%q", pairs[i], pairs[i+1])
+		b.WriteString(sanitizeLabelName(pairs[i]))
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(pairs[i+1]))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// newDesc builds the shared descriptor, sanitizing the metric name and
+// rendering the label pairs. Every registration funnels through here so
+// invalid names cannot reach a scrape.
+func newDesc(name, help, typ string, labels []string) desc {
+	return desc{name: sanitizeMetricName(name), help: help, typ: typ, labels: labelString(labels)}
+}
+
+// sanitizeMetricName maps an arbitrary string onto the Prometheus metric
+// name grammar [a-zA-Z_:][a-zA-Z0-9_:]*: invalid runes become '_', a
+// leading digit gains a '_' prefix, and the empty string becomes "_".
+func sanitizeMetricName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	valid := func(r rune, first bool) bool {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			return true
+		case r >= '0' && r <= '9':
+			return !first
+		}
+		return false
+	}
+	clean := true
+	for i, r := range name {
+		if !valid(r, i == 0) {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		return name
+	}
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i, r := range name {
+		switch {
+		case valid(r, false):
+			if i == 0 && !valid(r, true) {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// sanitizeLabelName maps an arbitrary string onto the label name grammar
+// [a-zA-Z_][a-zA-Z0-9_]* (no colons, unlike metric names).
+func sanitizeLabelName(name string) string {
+	s := strings.ReplaceAll(sanitizeMetricName(name), ":", "_")
+	if s[0] >= '0' && s[0] <= '9' {
+		s = "_" + s
+	}
+	return s
+}
+
+// escapeLabelValue escapes a label value per the Prometheus text
+// exposition format: backslash, double quote, and newline only. All
+// other bytes — including tabs and multi-byte UTF-8 — pass through raw,
+// which is what conforming parsers expect (unlike %q, which invents Go
+// escapes the format does not define).
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 8)
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(v[i])
+		}
 	}
 	return b.String()
 }
@@ -135,7 +226,7 @@ type Counter struct {
 // Counter registers (or retrieves) a counter named name with optional
 // alternating label key, value pairs.
 func (r *Registry) Counter(name, help string, labels ...string) *Counter {
-	c := &Counter{desc: desc{name: name, help: help, typ: "counter", labels: labelString(labels)}}
+	c := &Counter{desc: newDesc(name, help, "counter", labels)}
 	return r.register(c).(*Counter)
 }
 
@@ -158,7 +249,7 @@ type Gauge struct {
 // Gauge registers (or retrieves) a gauge named name with optional
 // alternating label key, value pairs.
 func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
-	g := &Gauge{desc: desc{name: name, help: help, typ: "gauge", labels: labelString(labels)}}
+	g := &Gauge{desc: newDesc(name, help, "gauge", labels)}
 	return r.register(g).(*Gauge)
 }
 
@@ -187,7 +278,7 @@ type GaugeFunc struct {
 // GaugeFunc registers a computed gauge. Re-registering the same name
 // keeps the first function.
 func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...string) *GaugeFunc {
-	g := &GaugeFunc{desc: desc{name: name, help: help, typ: "gauge", labels: labelString(labels)}, fn: fn}
+	g := &GaugeFunc{desc: newDesc(name, help, "gauge", labels), fn: fn}
 	return r.register(g).(*GaugeFunc)
 }
 

@@ -41,6 +41,20 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 			}
 			fmt.Fprintf(w, "%s %s\n", series(name+"_sum", labels), formatFloat(sum))
 			fmt.Fprintf(w, "%s %d\n", series(name+"_count", labels), count)
+		case *WindowedCounter:
+			// Windowed counters scrape as a gauge: the event count inside
+			// the trailing span, which rises and falls with the window.
+			fmt.Fprintf(w, "%s %d\n", series(name, labels), v.Total())
+		case *WindowedHistogram:
+			v.mu.Lock()
+			cumulative, count, sum := v.windowMerge(v.Span())
+			v.mu.Unlock()
+			for i, bound := range v.bounds {
+				fmt.Fprintf(w, "%s %d\n", series(name+"_bucket", joinLabels(labels, `le="`+formatFloat(bound)+`"`)), cumulative[i])
+			}
+			fmt.Fprintf(w, "%s %d\n", series(name+"_bucket", joinLabels(labels, `le="+Inf"`)), cumulative[len(cumulative)-1])
+			fmt.Fprintf(w, "%s %s\n", series(name+"_sum", labels), formatFloat(sum))
+			fmt.Fprintf(w, "%s %d\n", series(name+"_count", labels), count)
 		}
 	}
 }
@@ -111,6 +125,17 @@ func (r *Registry) Snapshot() map[string]any {
 			snap := SummarySnapshot{Count: count, Sum: sum, Quantiles: make(map[string]float64, len(quantiles))}
 			for i, q := range SummaryQuantiles {
 				snap.Quantiles[formatFloat(q)] = quantiles[i]
+			}
+			out[key] = snap
+		case *WindowedCounter:
+			out[key] = v.Total()
+		case *WindowedHistogram:
+			v.mu.Lock()
+			cumulative, _, sum := v.windowMerge(v.Span())
+			v.mu.Unlock()
+			snap := HistogramSnapshot{Count: cumulative[len(cumulative)-1], Sum: sum}
+			for i, bound := range v.bounds {
+				snap.Buckets = append(snap.Buckets, BucketSnapshot{LE: bound, Count: cumulative[i]})
 			}
 			out[key] = snap
 		}

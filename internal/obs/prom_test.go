@@ -73,6 +73,47 @@ func TestWritePrometheusOneHeaderPerFamily(t *testing.T) {
 	}
 }
 
+// TestWritePrometheusConformance pins label-value escaping and name
+// sanitization against the exposition-format spec: label values escape
+// exactly backslash, double-quote, and newline (NOT tabs or other Go %q
+// escapes), metric names collapse invalid runes to '_', and label names
+// may not contain colons.
+func TestWritePrometheusConformance(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "Escaping.", "path", `C:\dns "cache"`).Add(1)
+	r.Counter("esc_total", "Escaping.", "q", "line1\nline2").Add(2)
+	r.Counter("esc_total", "Escaping.", "name", "солвер.example").Add(3)
+	// Invalid metric name runes collapse to '_'; a leading digit gets a
+	// '_' prefix; colons are legal in metric names but not label names.
+	r.Counter("dns.query-count", "Dots and dashes.").Add(4)
+	r.Counter("7seconds", "Leading digit.").Add(5)
+	r.Counter("ns:esc_total2", "Colons.", "a:b", "v").Add(6)
+
+	want := strings.Join([]string{
+		"# HELP _7seconds Leading digit.",
+		"# TYPE _7seconds counter",
+		"_7seconds 5",
+		"# HELP dns_query_count Dots and dashes.",
+		"# TYPE dns_query_count counter",
+		"dns_query_count 4",
+		"# HELP esc_total Escaping.",
+		"# TYPE esc_total counter",
+		`esc_total{name="солвер.example"} 3`,
+		`esc_total{path="C:\\dns \"cache\""} 1`,
+		`esc_total{q="line1\nline2"} 2`,
+		"# HELP ns:esc_total2 Colons.",
+		"# TYPE ns:esc_total2 counter",
+		`ns:esc_total2{a_b="v"} 6`,
+		"",
+	}, "\n")
+
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	if got := b.String(); got != want {
+		t.Errorf("conformance mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
 func TestSnapshot(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("snap_total", "help").Add(7)

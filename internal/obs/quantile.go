@@ -25,7 +25,7 @@ type Summary struct {
 
 // Summary registers (or retrieves) a summary tracking SummaryQuantiles.
 func (r *Registry) Summary(name, help string, labels ...string) *Summary {
-	s := &Summary{desc: desc{name: name, help: help, typ: "summary", labels: labelString(labels)}}
+	s := &Summary{desc: newDesc(name, help, "summary", labels)}
 	s.est = make([]p2, len(SummaryQuantiles))
 	for i, q := range SummaryQuantiles {
 		s.est[i].init(q)

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"os"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// RegisterRuntimeMetrics registers the process self-metrics a long-lived
+// watchtower needs next to its measurement series: goroutine count, heap
+// footprint, GC activity, and open file descriptors. A continuous
+// campaign that leaks goroutines or connections shows it here, on the
+// same scrape as the resolver metrics it is distorting.
+//
+// Memory readings share one ReadMemStats snapshot refreshed at most once
+// per second, so a scrape costs one stop-the-world sample, not one per
+// gauge. Registering twice is a no-op (the registry keeps the first
+// instrument per name).
+func RegisterRuntimeMetrics(r *Registry) {
+	rc := &runtimeCollector{}
+	r.GaugeFunc("process_goroutines",
+		"Current number of goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("process_heap_alloc_bytes",
+		"Bytes of allocated heap objects (runtime.MemStats.HeapAlloc).",
+		rc.gauge(func(m *runtime.MemStats) float64 { return float64(m.HeapAlloc) }))
+	r.GaugeFunc("process_heap_sys_bytes",
+		"Bytes of heap obtained from the OS (runtime.MemStats.HeapSys).",
+		rc.gauge(func(m *runtime.MemStats) float64 { return float64(m.HeapSys) }))
+	r.GaugeFunc("process_gc_runs",
+		"Completed GC cycles (runtime.MemStats.NumGC).",
+		rc.gauge(func(m *runtime.MemStats) float64 { return float64(m.NumGC) }))
+	r.GaugeFunc("process_gc_pause_last_seconds",
+		"Duration of the most recent GC stop-the-world pause.",
+		rc.gauge(func(m *runtime.MemStats) float64 {
+			if m.NumGC == 0 {
+				return 0
+			}
+			return float64(m.PauseNs[(m.NumGC+255)%256]) / 1e9
+		}))
+	r.GaugeFunc("process_gc_pause_total_seconds",
+		"Cumulative GC stop-the-world pause time.",
+		rc.gauge(func(m *runtime.MemStats) float64 { return float64(m.PauseTotalNs) / 1e9 }))
+	r.GaugeFunc("process_open_fds",
+		"Open file descriptors (-1 where /proc is unavailable).",
+		func() float64 { return float64(countOpenFDs()) })
+}
+
+// runtimeCollector caches one MemStats snapshot so every memory gauge on
+// a scrape reads a coherent view without its own stop-the-world.
+type runtimeCollector struct {
+	mu      sync.Mutex
+	refresh time.Time
+	mem     runtime.MemStats
+}
+
+func (c *runtimeCollector) gauge(read func(*runtime.MemStats) float64) func() float64 {
+	return func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if now := time.Now(); now.Sub(c.refresh) > time.Second {
+			runtime.ReadMemStats(&c.mem)
+			c.refresh = now
+		}
+		return read(&c.mem)
+	}
+}
+
+// countOpenFDs counts entries in /proc/self/fd; -1 on platforms without
+// procfs (the gauge stays present so dashboards keep one shape).
+func countOpenFDs() int {
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		return -1
+	}
+	return len(ents)
+}

@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegisterRuntimeMetrics(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntimeMetrics(r)
+	RegisterRuntimeMetrics(r) // idempotent: registry keeps the first
+
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, name := range []string{
+		"process_goroutines",
+		"process_heap_alloc_bytes",
+		"process_heap_sys_bytes",
+		"process_gc_runs",
+		"process_gc_pause_last_seconds",
+		"process_gc_pause_total_seconds",
+		"process_open_fds",
+	} {
+		if strings.Count(out, "# HELP "+name) != 1 {
+			t.Errorf("scrape should carry %s exactly once:\n%s", name, out)
+		}
+	}
+
+	asFloat := func(v any) float64 {
+		switch n := v.(type) {
+		case float64:
+			return n
+		case int64:
+			return float64(n)
+		case uint64:
+			return float64(n)
+		}
+		return -1
+	}
+	snap := r.Snapshot()
+	if g := asFloat(snap["process_goroutines"]); g < 1 {
+		t.Errorf("process_goroutines = %v, want >= 1", snap["process_goroutines"])
+	}
+	if h := asFloat(snap["process_heap_alloc_bytes"]); h <= 0 {
+		t.Errorf("process_heap_alloc_bytes = %v, want > 0", snap["process_heap_alloc_bytes"])
+	}
+}

@@ -1,0 +1,356 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Windowed instruments are the time-aware half of the registry: where a
+// Counter or Histogram accumulates since process start, the windowed
+// variants keep a ring of per-interval buckets so readings answer "what
+// happened over the last N minutes" instead of "what happened ever".
+// That distinction is the paper's whole premise — availability is a
+// property of a time window, and a resolver that goes dark for ten
+// minutes mid-campaign is invisible in a cumulative p99 but obvious in a
+// windowed one (TestWindowedVsCumulativeDivergence pins this).
+//
+// Both types are clock-injectable via SetNow so netsim virtual time
+// drives them deterministically, and both register into a Registry
+// (rendered as a windowed gauge / histogram on scrape) or stand alone
+// via their New constructors.
+
+// WindowBucket is one interval's worth of a windowed counter, for
+// timeseries readouts (/debug/watch).
+type WindowBucket struct {
+	// Start is the beginning of the interval.
+	Start time.Time `json:"ts"`
+	// Count is the number of events recorded in the interval.
+	Count uint64 `json:"count"`
+}
+
+// counterSlot is one ring cell: the interval epoch it currently holds
+// and the count recorded during it. A slot whose epoch has fallen out of
+// the span is dead weight until the ring wraps back onto it.
+type counterSlot struct {
+	epoch int64
+	count uint64
+}
+
+// WindowedCounter counts events into a ring of fixed intervals. The
+// zero value is unusable; use NewWindowedCounter or
+// Registry.WindowedCounter. All methods are safe for concurrent use
+// (one mutex — windowed instruments sit on probe-rate paths, not the
+// packet hot path).
+type WindowedCounter struct {
+	desc
+	mu       mutexNow
+	interval time.Duration
+	slots    []counterSlot
+}
+
+// mutexNow bundles the lock with the injectable clock every windowed
+// instrument needs.
+type mutexNow struct {
+	sync.Mutex
+	now func() time.Time
+}
+
+func (m *mutexNow) clock() time.Time {
+	if m.now == nil {
+		return time.Now()
+	}
+	return m.now()
+}
+
+// NewWindowedCounter builds a standalone windowed counter with the given
+// bucket interval and slot count (span = interval × slots). interval
+// must be positive; slots must be at least 1.
+func NewWindowedCounter(interval time.Duration, slots int) *WindowedCounter {
+	if interval <= 0 {
+		panic("obs: windowed counter needs a positive interval")
+	}
+	if slots < 1 {
+		panic("obs: windowed counter needs at least one slot")
+	}
+	return &WindowedCounter{
+		desc:     desc{typ: "gauge"},
+		interval: interval,
+		slots:    make([]counterSlot, slots),
+	}
+}
+
+// WindowedCounter registers (or retrieves) a windowed counter. On scrape
+// it renders as a gauge whose value is the count over the full span.
+func (r *Registry) WindowedCounter(name, help string, interval time.Duration, slots int, labels ...string) *WindowedCounter {
+	w := NewWindowedCounter(interval, slots)
+	w.desc = newDesc(name, help, "gauge", labels)
+	return r.register(w).(*WindowedCounter)
+}
+
+// SetNow injects the clock; nil restores time.Now. Call before the first
+// observation — swapping clocks mid-stream mixes epochs.
+func (w *WindowedCounter) SetNow(now func() time.Time) {
+	w.mu.Lock()
+	w.mu.now = now
+	w.mu.Unlock()
+}
+
+// Interval returns the bucket width.
+func (w *WindowedCounter) Interval() time.Duration { return w.interval }
+
+// Span returns the total observable window (interval × slots).
+func (w *WindowedCounter) Span() time.Duration {
+	return w.interval * time.Duration(len(w.slots))
+}
+
+// epochOf maps an instant to its interval index since the epoch.
+func epochOf(t time.Time, interval time.Duration) int64 {
+	return t.UnixNano() / int64(interval)
+}
+
+// slotFor returns the live slot for epoch e, resetting it if the ring
+// has wrapped since it last held e. Callers hold the lock.
+func (w *WindowedCounter) slotFor(e int64) *counterSlot {
+	s := &w.slots[int(e%int64(len(w.slots)))]
+	if s.epoch != e {
+		s.epoch = e
+		s.count = 0
+	}
+	return s
+}
+
+// Inc adds one to the current interval.
+func (w *WindowedCounter) Inc() { w.Add(1) }
+
+// Add adds n to the current interval.
+func (w *WindowedCounter) Add(n uint64) {
+	w.mu.Lock()
+	w.slotFor(epochOf(w.mu.clock(), w.interval)).count += n
+	w.mu.Unlock()
+}
+
+// Total returns the count over the full span ending now.
+func (w *WindowedCounter) Total() uint64 { return w.SumWindow(w.Span()) }
+
+// SumWindow returns the count over the trailing window d (including the
+// current, partially filled interval). d is clamped to [interval, span].
+func (w *WindowedCounter) SumWindow(d time.Duration) uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	nowE := epochOf(w.mu.clock(), w.interval)
+	k := intervalsIn(d, w.interval, len(w.slots))
+	var total uint64
+	for i := range w.slots {
+		if e := w.slots[i].epoch; e > nowE-int64(k) && e <= nowE {
+			total += w.slots[i].count
+		}
+	}
+	return total
+}
+
+// Buckets returns the per-interval counts for the trailing window d,
+// oldest first, one entry per interval (empty intervals included) — the
+// timeseries the dashboard plots.
+func (w *WindowedCounter) Buckets(d time.Duration) []WindowBucket {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	nowE := epochOf(w.mu.clock(), w.interval)
+	k := intervalsIn(d, w.interval, len(w.slots))
+	out := make([]WindowBucket, 0, k)
+	for e := nowE - int64(k) + 1; e <= nowE; e++ {
+		b := WindowBucket{Start: time.Unix(0, e*int64(w.interval)).UTC()}
+		s := &w.slots[int(e%int64(len(w.slots)))]
+		if s.epoch == e {
+			b.Count = s.count
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// intervalsIn converts a trailing window into a whole interval count,
+// clamped to [1, slots].
+func intervalsIn(d, interval time.Duration, slots int) int {
+	k := int((d + interval - 1) / interval)
+	if k < 1 {
+		k = 1
+	}
+	if k > slots {
+		k = slots
+	}
+	return k
+}
+
+// histSlot is one ring cell of a windowed histogram.
+type histSlot struct {
+	epoch   int64
+	buckets []uint64 // one per bound, plus +Inf
+	count   uint64
+	sum     float64
+}
+
+// WindowedHistogram observes values into a ring of per-interval
+// fixed-bucket histograms, answering quantile queries over any trailing
+// window up to the span. The zero value is unusable; use
+// NewWindowedHistogram or Registry.WindowedHistogram.
+type WindowedHistogram struct {
+	desc
+	mu       mutexNow
+	interval time.Duration
+	bounds   []float64
+	slots    []histSlot
+}
+
+// NewWindowedHistogram builds a standalone windowed histogram. bounds
+// are ascending upper bounds in seconds; nil selects DefaultRTTBounds.
+func NewWindowedHistogram(interval time.Duration, slots int, bounds []float64) *WindowedHistogram {
+	if interval <= 0 {
+		panic("obs: windowed histogram needs a positive interval")
+	}
+	if slots < 1 {
+		panic("obs: windowed histogram needs at least one slot")
+	}
+	if bounds == nil {
+		bounds = DefaultRTTBounds
+	}
+	return &WindowedHistogram{
+		desc:     desc{typ: "histogram"},
+		interval: interval,
+		bounds:   bounds,
+		slots:    make([]histSlot, slots),
+	}
+}
+
+// WindowedHistogram registers (or retrieves) a windowed histogram. On
+// scrape it renders as a histogram of the observations inside the span.
+func (r *Registry) WindowedHistogram(name, help string, interval time.Duration, slots int, bounds []float64, labels ...string) *WindowedHistogram {
+	w := NewWindowedHistogram(interval, slots, bounds)
+	w.desc = newDesc(name, help, "histogram", labels)
+	return r.register(w).(*WindowedHistogram)
+}
+
+// SetNow injects the clock; nil restores time.Now.
+func (w *WindowedHistogram) SetNow(now func() time.Time) {
+	w.mu.Lock()
+	w.mu.now = now
+	w.mu.Unlock()
+}
+
+// Interval returns the bucket width.
+func (w *WindowedHistogram) Interval() time.Duration { return w.interval }
+
+// Span returns the total observable window.
+func (w *WindowedHistogram) Span() time.Duration {
+	return w.interval * time.Duration(len(w.slots))
+}
+
+// Bounds returns the bucket upper bounds (shared, not a copy).
+func (w *WindowedHistogram) Bounds() []float64 { return w.bounds }
+
+// Observe records one value (in seconds) into the current interval.
+func (w *WindowedHistogram) Observe(v float64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	e := epochOf(w.mu.clock(), w.interval)
+	s := &w.slots[int(e%int64(len(w.slots)))]
+	if s.epoch != e || s.buckets == nil {
+		s.epoch = e
+		s.count = 0
+		s.sum = 0
+		if s.buckets == nil {
+			s.buckets = make([]uint64, len(w.bounds)+1)
+		} else {
+			clear(s.buckets)
+		}
+	}
+	i := 0
+	for i < len(w.bounds) && v > w.bounds[i] {
+		i++
+	}
+	s.buckets[i]++
+	s.count++
+	s.sum += v
+}
+
+// ObserveDuration records one duration into the current interval.
+func (w *WindowedHistogram) ObserveDuration(d time.Duration) { w.Observe(d.Seconds()) }
+
+// windowMerge returns cumulative bucket counts, count, and sum over the
+// trailing window d. Callers hold the lock.
+func (w *WindowedHistogram) windowMerge(d time.Duration) (cumulative []uint64, count uint64, sum float64) {
+	nowE := epochOf(w.mu.clock(), w.interval)
+	k := intervalsIn(d, w.interval, len(w.slots))
+	merged := make([]uint64, len(w.bounds)+1)
+	for i := range w.slots {
+		s := &w.slots[i]
+		if s.epoch > nowE-int64(k) && s.epoch <= nowE && s.buckets != nil {
+			for j, n := range s.buckets {
+				merged[j] += n
+			}
+			count += s.count
+			sum += s.sum
+		}
+	}
+	var running uint64
+	for i := range merged {
+		running += merged[i]
+		merged[i] = running
+	}
+	return merged, count, sum
+}
+
+// CountWindow returns the number of observations in the trailing window.
+func (w *WindowedHistogram) CountWindow(d time.Duration) uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	_, count, _ := w.windowMerge(d)
+	return count
+}
+
+// Quantile estimates the q-th quantile over the trailing window d, by
+// the same bucket interpolation as Histogram.Quantile. NaN when the
+// window is empty.
+func (w *WindowedHistogram) Quantile(q float64, d time.Duration) float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	cumulative, _, _ := w.windowMerge(d)
+	return quantileFromCumulative(cumulative, w.bounds, q)
+}
+
+// WindowQuantiles is one interval's latency readout for timeseries
+// plotting: the interval start, its observation count, and the requested
+// quantiles (NaN-free: empty intervals report zeros).
+type WindowQuantiles struct {
+	Start time.Time `json:"ts"`
+	Count uint64    `json:"count"`
+	Q     []float64 `json:"q"`
+}
+
+// BucketQuantiles returns per-interval quantile estimates for the
+// trailing window d, oldest first, one entry per interval. qs are the
+// quantiles evaluated per interval; empty intervals report zero values.
+func (w *WindowedHistogram) BucketQuantiles(d time.Duration, qs ...float64) []WindowQuantiles {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	nowE := epochOf(w.mu.clock(), w.interval)
+	k := intervalsIn(d, w.interval, len(w.slots))
+	out := make([]WindowQuantiles, 0, k)
+	cumulative := make([]uint64, len(w.bounds)+1)
+	for e := nowE - int64(k) + 1; e <= nowE; e++ {
+		wq := WindowQuantiles{Start: time.Unix(0, e*int64(w.interval)).UTC(), Q: make([]float64, len(qs))}
+		s := &w.slots[int(e%int64(len(w.slots)))]
+		if s.epoch == e && s.count > 0 {
+			wq.Count = s.count
+			var running uint64
+			for i, n := range s.buckets {
+				running += n
+				cumulative[i] = running
+			}
+			for i, q := range qs {
+				wq.Q[i] = quantileFromCumulative(cumulative, w.bounds, q)
+			}
+		}
+		out = append(out, wq)
+	}
+	return out
+}

@@ -48,6 +48,12 @@ type Options struct {
 	// Stagger is the delay between successive happy-eyeballs connection
 	// attempts; zero uses dialer.DefaultStagger (250ms, RFC 8305).
 	Stagger time.Duration
+	// OnOutcome, when non-nil, is invoked by Pool.Exchange after every
+	// exchange with the endpoint, the wall-clock duration, and the error
+	// (nil on success) — the hook that lets a load generator or custom
+	// harness feed monitor.Tracker without re-plumbing its send path.
+	// It runs on the exchanging goroutine; keep it fast.
+	OnOutcome func(endpoint string, rtt time.Duration, err error)
 }
 
 func (o Options) retry() RetryPolicy {
@@ -207,13 +213,23 @@ func (p *Pool) Get(endpoint string) (Exchanger, error) {
 	return ex, nil
 }
 
-// Exchange implements Multi.
+// Exchange implements Multi. When Options.OnOutcome is set it observes
+// every exchange (including dial failures, with zero duration).
 func (p *Pool) Exchange(ctx context.Context, q *dnswire.Message, endpoint string) (*dnswire.Message, error) {
 	ex, err := p.Get(endpoint)
 	if err != nil {
+		if p.opts.OnOutcome != nil {
+			p.opts.OnOutcome(endpoint, 0, err)
+		}
 		return nil, err
 	}
-	return ex.Exchange(ctx, q)
+	if p.opts.OnOutcome == nil {
+		return ex.Exchange(ctx, q)
+	}
+	start := time.Now()
+	resp, err := ex.Exchange(ctx, q)
+	p.opts.OnOutcome(endpoint, time.Since(start), err)
+	return resp, err
 }
 
 // Stats aggregates pool counters across every dialled exchanger that
