@@ -48,6 +48,7 @@ import (
 	"encdns/internal/obs"
 	"encdns/internal/resolver"
 	"encdns/internal/transport"
+	"encdns/internal/udpbatch"
 )
 
 func main() {
@@ -95,6 +96,10 @@ func run(args []string, w io.Writer) error {
 		insecure = fs.Bool("insecure", false, "skip TLS certificate verification")
 		reuse    = fs.Bool("reuse", true, "keep connections between exchanges (load tests measure steady state, not handshakes)")
 		self     = fs.String("self", "", "serve an in-process target and load it: do53, doh, or recursive (ignores -targets)")
+
+		selfSockets = fs.Int("self-udp-sockets", 1, "-self do53/recursive: SO_REUSEPORT UDP sockets (Linux)")
+		selfWorkers = fs.Int("self-udp-workers", 0, "-self do53/recursive: UDP worker-pool size; 0 means 32*GOMAXPROCS (min 64)")
+		selfBatch   = fs.Int("self-udp-batch", 0, "-self do53/recursive: max datagrams per batched read/write; 0 means 32, 1 disables batching")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -126,7 +131,9 @@ func run(args []string, w io.Writer) error {
 			return err
 		}
 	case "do53", "doh", "recursive":
-		endpoint, clientTLS, stop, err := startSelf(*self)
+		endpoint, clientTLS, stop, err := startSelf(*self, selfOptions{
+			sockets: *selfSockets, workers: *selfWorkers, batch: *selfBatch,
+		})
 		if err != nil {
 			return err
 		}
@@ -248,22 +255,41 @@ func run(args []string, w io.Writer) error {
 	}
 }
 
+// selfOptions tunes the -self UDP frontends: listener socket count
+// (SO_REUSEPORT fan-out), worker-pool size, and batch depth.
+type selfOptions struct {
+	sockets, workers, batch int
+}
+
+// serveSelfUDP binds the configured number of reuseport sockets on a
+// fresh loopback port and serves each on srv, returning the shared
+// endpoint address.
+func serveSelfUDP(srv *dns53.Server, opts selfOptions) (string, error) {
+	pcs, err := udpbatch.Listen("udp", "127.0.0.1:0", opts.sockets)
+	if err != nil {
+		return "", err
+	}
+	for _, pc := range pcs {
+		go srv.ServeUDP(pc)
+	}
+	return pcs[0].LocalAddr().String(), nil
+}
+
 // startSelf boots an in-process server over real loopback sockets and
 // returns the endpoint to load, the client TLS config that trusts it
 // (doh only), and a stop function.
-func startSelf(kind string) (endpoint string, clientTLS *tls.Config, stop func(), err error) {
+func startSelf(kind string, opts selfOptions) (endpoint string, clientTLS *tls.Config, stop func(), err error) {
 	handler := dns53.Static(map[string][]net.IP{
 		selfDomain: {net.ParseIP("192.0.2.1")},
 	})
 	switch kind {
 	case "do53":
-		pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+		srv := &dns53.Server{Handler: handler, UDPWorkers: opts.workers, UDPBatch: opts.batch}
+		addr, err := serveSelfUDP(srv, opts)
 		if err != nil {
 			return "", nil, nil, err
 		}
-		srv := &dns53.Server{Handler: handler}
-		go srv.ServeUDP(pc)
-		return "udp://" + pc.LocalAddr().String(), nil, srv.Shutdown, nil
+		return "udp://" + addr, nil, srv.Shutdown, nil
 	case "recursive":
 		// The full resolver stack: a caching recursive resolver with SRTT
 		// selection, hedging, and refresh-ahead over the in-memory
@@ -278,17 +304,16 @@ func startSelf(kind string) (endpoint string, clientTLS *tls.Config, stop func()
 			Hedge:            true,
 			PrefetchFraction: 0.1,
 		}
-		pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+		srv := &dns53.Server{Handler: rec, UDPWorkers: opts.workers, UDPBatch: opts.batch}
+		addr, err := serveSelfUDP(srv, opts)
 		if err != nil {
 			return "", nil, nil, err
 		}
-		srv := &dns53.Server{Handler: rec}
-		go srv.ServeUDP(pc)
 		stop = func() {
 			srv.Shutdown()
 			rec.Close()
 		}
-		return "udp://" + pc.LocalAddr().String(), nil, stop, nil
+		return "udp://" + addr, nil, stop, nil
 	case "doh":
 		ca, err := certs.NewCA(0)
 		if err != nil {

@@ -22,6 +22,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"encdns/internal/authdns"
 	"encdns/internal/certs"
@@ -31,6 +32,8 @@ import (
 	"encdns/internal/dot"
 	"encdns/internal/obs"
 	"encdns/internal/resolver"
+	"encdns/internal/transport"
+	"encdns/internal/udpbatch"
 )
 
 func main() {
@@ -51,6 +54,12 @@ func run() error {
 		zoneOrig = flag.String("zone-origin", ".", "origin of -zone")
 		cacheN   = flag.Int("cache", 65536, "cache entries")
 		verbose  = flag.Bool("v", false, "debug-level logging")
+
+		udpSockets = flag.Int("udp-sockets", 1, "SO_REUSEPORT UDP sockets for Do53 (Linux; >1 spreads receive load)")
+		udpWorkers = flag.Int("udp-workers", 0, "UDP worker-pool size; 0 means 32*GOMAXPROCS (min 64)")
+		udpBatch   = flag.Int("udp-batch", 0, "max datagrams per batched read/write; 0 means 32, 1 disables batching")
+		maxConns   = flag.Int("max-conns", 4096, "max concurrent connections per stream listener (Do53/TCP, DoT, DoH); 0 unlimited")
+		idleTO     = flag.Duration("idle-timeout", 60*time.Second, "disconnect stream clients idle this long")
 	)
 	flag.Parse()
 	level := obs.LevelInfo
@@ -66,7 +75,13 @@ func run() error {
 	if cache != nil {
 		defer cache.Close()
 	}
-	inner := &dns53.Server{Handler: handler, Logger: logger}
+	inner := &dns53.Server{
+		Handler:     handler,
+		Logger:      logger,
+		UDPWorkers:  *udpWorkers,
+		UDPBatch:    *udpBatch,
+		ReadTimeout: *idleTO, // doubles as the per-read stream idle timeout
+	}
 
 	ca, err := certs.NewCA(0)
 	if err != nil {
@@ -89,7 +104,7 @@ func run() error {
 	errCh := make(chan error, 4)
 
 	if *do53Addr != "" {
-		pc, err := net.ListenPacket("udp", *do53Addr)
+		pcs, err := udpbatch.Listen("udp", *do53Addr, *udpSockets)
 		if err != nil {
 			return fmt.Errorf("do53 udp: %w", err)
 		}
@@ -97,9 +112,11 @@ func run() error {
 		if err != nil {
 			return fmt.Errorf("do53 tcp: %w", err)
 		}
-		go func() { errCh <- inner.ServeUDP(pc) }()
-		go func() { errCh <- inner.ServeTCP(ln) }()
-		logger.Info("do53 listening", "addr", *do53Addr)
+		for _, pc := range pcs {
+			go func() { errCh <- inner.ServeUDP(pc) }()
+		}
+		go func() { errCh <- inner.ServeTCP(transport.LimitListener(ln, *maxConns, 0, "do53-tcp")) }()
+		logger.Info("do53 listening", "addr", *do53Addr, "udp-sockets", len(pcs))
 	}
 	if *dotAddr != "" {
 		ln, err := net.Listen("tcp", *dotAddr)
@@ -108,7 +125,9 @@ func run() error {
 		}
 		defer ln.Close()
 		srv := &dot.Server{DNS: inner, TLS: tlsCfg}
-		go func() { errCh <- srv.Serve(ln) }()
+		// The conn cap rejects fast at the TCP layer; idle disconnects come
+		// from the dns53 read deadline, so LimitListener's own idle stays 0.
+		go func() { errCh <- srv.Serve(transport.LimitListener(ln, *maxConns, 0, "dot")) }()
 		logger.Info("dot listening", "addr", *dotAddr)
 	}
 	var httpSrv *http.Server
@@ -122,11 +141,15 @@ func run() error {
 		mux.Handle("/metrics", introspection)
 		mux.Handle("/debug/", introspection)
 		httpSrv = &http.Server{
-			Addr:      *dohAddr,
-			Handler:   mux,
-			TLSConfig: tlsCfg.Clone(),
+			Handler:     mux,
+			TLSConfig:   tlsCfg.Clone(),
+			IdleTimeout: *idleTO,
 		}
-		go func() { errCh <- httpSrv.ListenAndServeTLS("", "") }()
+		ln, err := net.Listen("tcp", *dohAddr)
+		if err != nil {
+			return fmt.Errorf("doh: %w", err)
+		}
+		go func() { errCh <- httpSrv.ServeTLS(transport.LimitListener(ln, *maxConns, 0, "doh"), "", "") }()
 		logger.Info("doh listening", "addr", *dohAddr, "path", doh.DefaultPath)
 	}
 

@@ -5,12 +5,14 @@ import (
 	"encoding/binary"
 	"errors"
 	"net"
+	"runtime"
 	"sync"
 	"time"
 
 	"encdns/internal/bufpool"
 	"encdns/internal/dnswire"
 	"encdns/internal/obs"
+	"encdns/internal/udpbatch"
 )
 
 // Server-side instruments shared by every frontend that dispatches
@@ -24,21 +26,55 @@ var (
 		"Handler latency per dispatched query.", nil)
 	serverMalformed = obs.Default().Counter("dns53_server_malformed_total",
 		"Dropped queries that failed wire parsing.")
+	// Worker-pool instruments: queue depth counts jobs handed off but not
+	// yet picked up (including producers blocked on a full channel), the
+	// worker gauge counts live pool goroutines across servers.
+	workerQueueDepth = obs.Default().Gauge("dns53_udp_worker_queue_depth",
+		"UDP queries queued for the worker pool, not yet being handled.")
+	workerCount = obs.Default().Gauge("dns53_udp_workers",
+		"Live UDP worker-pool goroutines across servers.")
 )
+
+// maxUDPDatagram sizes receive buffers: a UDP DNS message cannot exceed
+// the 64 KiB UDP payload limit.
+const maxUDPDatagram = 64 * 1024
 
 // Server serves DNS over UDP and TCP. Configure Handler, then pass
 // listeners to ServeUDP/ServeTCP (each blocks; run them in goroutines) and
 // call Shutdown to stop. The zero value is not usable; populate Handler.
+//
+// The UDP frontend is a batched worker-pool pipeline: each listener
+// socket gets one receive loop that pulls up to UDPBatch datagrams per
+// syscall (recvmmsg on Linux via internal/udpbatch) directly into pooled
+// buffers and hands them to a bounded pool of workers; workers parse with
+// per-worker reusable decode state, run the handler, pack into pooled
+// buffers, and push responses through a flush-combining writer that sends
+// whole batches back per syscall (sendmmsg). Steady-state load therefore
+// runs without per-packet goroutine spawns or buffer allocations. Pass
+// several SO_REUSEPORT sockets from udpbatch.Listen to ServeUDP (one call
+// each) to spread receive load across loops.
 type Server struct {
 	Handler Handler
 	// Logger receives malformed-packet and handler-failure notices; nil
 	// discards them (the obs.Logger convention: quiet by default).
 	Logger *obs.Logger
-	// ReadTimeout bounds each TCP read; zero means 10 seconds.
+	// ReadTimeout bounds each TCP read, which also serves as the per-
+	// connection idle timeout for TCP and DoT streams; zero means 10
+	// seconds.
 	ReadTimeout time.Duration
 	// MaxUDPResponse truncates UDP responses longer than this (TC bit set);
 	// zero means dnswire.MaxUDPSize, raised per-query by EDNS.
 	MaxUDPResponse int
+	// UDPWorkers bounds the worker pool shared by every UDP listener on
+	// this server, and with it handler concurrency: handlers that block
+	// on upstream I/O (forwarders, recursion) need enough workers to
+	// cover rate × handler latency. Zero means 32×GOMAXPROCS with a
+	// floor of 64 — generous for blocking handlers, still a hard bound.
+	// The pool starts with the first ServeUDP call.
+	UDPWorkers int
+	// UDPBatch caps datagrams moved per batched read or write; zero means
+	// udpbatch.DefaultBatch. One means strict packet-at-a-time behaviour.
+	UDPBatch int
 
 	mu       sync.Mutex
 	closed   bool
@@ -46,6 +82,10 @@ type Server struct {
 	tcpLns   []net.Listener
 	conns    map[net.Conn]struct{}
 	wg       sync.WaitGroup
+
+	jobs     chan udpJob
+	udpLoops sync.WaitGroup
+	workerWG sync.WaitGroup
 }
 
 // logger returns the configured logger; a nil *obs.Logger discards, so
@@ -57,6 +97,27 @@ func (s *Server) readTimeout() time.Duration {
 		return s.ReadTimeout
 	}
 	return 10 * time.Second
+}
+
+func (s *Server) udpWorkers() int {
+	if s.UDPWorkers > 0 {
+		return s.UDPWorkers
+	}
+	n := 32 * runtime.GOMAXPROCS(0)
+	if n < 64 {
+		n = 64
+	}
+	return n
+}
+
+func (s *Server) udpBatch() int {
+	switch {
+	case s.UDPBatch > udpbatch.MaxBatch:
+		return udpbatch.MaxBatch
+	case s.UDPBatch > 0:
+		return s.UDPBatch
+	}
+	return udpbatch.DefaultBatch
 }
 
 // track registers a listener or conn for Shutdown. It reports false when
@@ -87,10 +148,17 @@ func (s *Server) untrackConn(c net.Conn) {
 	s.mu.Unlock()
 }
 
-// Shutdown closes all listeners and connections and waits for in-flight
-// handlers to finish.
+// Shutdown closes all listeners and connections, drains in-flight
+// queries (queued UDP jobs are still answered; new packets are refused
+// because the sockets are closed), stops the worker pool, and waits for
+// everything to finish. It is idempotent.
 func (s *Server) Shutdown() {
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
 	s.closed = true
 	for _, pc := range s.udpConns {
 		pc.Close()
@@ -101,36 +169,95 @@ func (s *Server) Shutdown() {
 	for c := range s.conns {
 		c.Close()
 	}
+	jobs := s.jobs
 	s.mu.Unlock()
+	// Receive loops exit once their sockets close; only then is it safe
+	// to close the job channel the workers drain.
+	s.udpLoops.Wait()
+	if jobs != nil {
+		close(jobs)
+	}
+	s.workerWG.Wait()
 	s.wg.Wait()
 }
 
-// ServeUDP answers queries arriving on pc until the connection is closed.
+// startUDPWorkers launches the bounded worker pool once, sized by
+// UDPWorkers. The job channel is buffered so receive loops can hand off
+// a full batch without a context switch per packet; beyond that they
+// block, pushing overload back into the kernel socket buffer where
+// excess is dropped cheaply instead of ballooning goroutines.
+func (s *Server) startUDPWorkers() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.jobs != nil || s.closed {
+		return
+	}
+	n := s.udpWorkers()
+	s.jobs = make(chan udpJob, 4*n)
+	s.workerWG.Add(n)
+	workerCount.Add(int64(n))
+	for i := 0; i < n; i++ {
+		go s.udpWorker()
+	}
+}
+
+// udpJob is one received datagram awaiting a worker: the pooled buffer
+// holding the packet, its origin, and the writer to answer through.
+type udpJob struct {
+	w    *udpWriter
+	bp   *[]byte
+	addr net.Addr
+}
+
+// ServeUDP answers queries arriving on pc until the connection is
+// closed. It blocks; call it once per listener socket (multiple calls
+// share one worker pool). Any net.PacketConn works — kernel UDP sockets
+// take the batched fast path, everything else (tests, netsim virtual
+// conns) the portable one-datagram adapter.
 func (s *Server) ServeUDP(pc net.PacketConn) error {
 	if !s.track(pc, nil, nil) {
 		pc.Close()
 		return errors.New("dns53: server closed")
 	}
-	buf := make([]byte, 64*1024)
+	s.startUDPWorkers()
+	bc := udpbatch.NewConn(pc)
+	w := &udpWriter{conn: bc, logger: s.logger()}
+	batch := s.udpBatch()
+	pkts := make([]udpbatch.Packet, batch)
+	bufs := make([]*[]byte, batch)
+	release := func() {
+		for i, bp := range bufs {
+			if bp != nil {
+				bufpool.Put(bp)
+				bufs[i] = nil
+			}
+		}
+	}
+	s.udpLoops.Add(1)
+	defer s.udpLoops.Done()
+	defer release()
 	for {
-		n, from, err := pc.ReadFrom(buf)
+		for i := range pkts {
+			if bufs[i] == nil {
+				bufs[i] = bufpool.GetN(maxUDPDatagram)
+			}
+			pkts[i].Buf = (*bufs[i])[:maxUDPDatagram]
+			pkts[i].Addr = nil
+		}
+		n, err := bc.ReadBatch(pkts)
 		if err != nil {
 			if s.isClosed() {
 				return nil
 			}
 			return err
 		}
-		// Hand the packet to the worker in a pooled buffer; the worker
-		// returns it once the response is on the wire.
-		bp := bufpool.Get()
-		pkt := append((*bp)[:0], buf[:n]...)
-		*bp = pkt
-		s.wg.Add(1)
-		go func() {
-			defer s.wg.Done()
-			defer bufpool.Put(bp)
-			s.handleUDP(pc, from, pkt)
-		}()
+		for i := 0; i < n; i++ {
+			bp := bufs[i]
+			*bp = pkts[i].Buf // sliced to the datagram read
+			bufs[i] = nil     // ownership moves to the job
+			workerQueueDepth.Inc()
+			s.jobs <- udpJob{w: w, bp: bp, addr: pkts[i].Addr}
+		}
 	}
 }
 
@@ -140,16 +267,31 @@ func (s *Server) isClosed() bool {
 	return s.closed
 }
 
-func (s *Server) handleUDP(pc net.PacketConn, from net.Addr, pkt []byte) {
-	// The query is parsed into a pooled message: its records and strings
-	// are recycled once the response has been written (handlers hand back
-	// fresh responses; the only query data they retain are interned name
-	// strings, which stay valid forever).
+// udpWorker drains the job channel with per-worker reusable parse state:
+// one pooled Message whose decoder arenas are recycled across every
+// packet this worker handles.
+func (s *Server) udpWorker() {
+	defer s.workerWG.Done()
+	defer workerCount.Dec()
 	query := dnswire.AcquireMessage()
 	defer dnswire.ReleaseMessage(query)
-	if err := query.Unpack(pkt); err != nil {
+	for job := range s.jobs {
+		workerQueueDepth.Dec()
+		s.serveUDPPacket(job, query)
+	}
+}
+
+// serveUDPPacket handles one datagram end to end: parse (into the
+// worker's reusable message), dispatch, pack into a pooled buffer, and
+// enqueue the response on the batching writer. The packet buffer returns
+// to the pool as soon as parsing is done — handlers retain only interned
+// name strings from the query, never the raw bytes.
+func (s *Server) serveUDPPacket(job udpJob, query *dnswire.Message) {
+	err := query.Unpack(*job.bp)
+	bufpool.Put(job.bp)
+	if err != nil {
 		serverMalformed.Inc()
-		s.logger().Debug("dropping malformed UDP query", "from", from, "err", err)
+		s.logger().Debug("dropping malformed UDP query", "from", job.addr, "err", err)
 		return
 	}
 	resp := s.respond(query)
@@ -162,9 +304,9 @@ func (s *Server) handleUDP(pc net.PacketConn, from net.Addr, pkt []byte) {
 		limit = int(opt.UDPSize)
 	}
 	out := bufpool.Get()
-	defer bufpool.Put(out)
 	wire, err := resp.AppendPack((*out)[:0])
 	if err != nil {
+		bufpool.Put(out)
 		s.logger().Warn("packing response", "err", err)
 		return
 	}
@@ -172,13 +314,68 @@ func (s *Server) handleUDP(pc net.PacketConn, from net.Addr, pkt []byte) {
 	if len(wire) > limit {
 		wire, err = truncateTo(resp, limit, wire[:0])
 		if err != nil || len(wire) > limit {
+			bufpool.Put(out)
 			return
 		}
 		*out = wire
 	}
-	if _, err := pc.WriteTo(wire, from); err != nil {
-		s.logger().Debug("writing UDP response", "from", from, "err", err)
+	job.w.enqueue(out, job.addr)
+}
+
+// outPacket is one packed response awaiting a batched write.
+type outPacket struct {
+	bp   *[]byte
+	addr net.Addr
+}
+
+// udpWriter batches responses back to a socket with flush combining: the
+// first worker to enqueue onto an idle writer becomes the flusher and
+// keeps writing until the pending queue is empty, while other workers
+// just append and return. Under load, responses accumulating during the
+// flusher's WriteBatch syscall form the next batch automatically; under
+// light load every response flushes immediately, adding no latency. No
+// dedicated goroutine, so there is no writer lifecycle to manage when a
+// socket closes mid-flight.
+type udpWriter struct {
+	conn   udpbatch.Conn
+	logger *obs.Logger
+
+	mu       sync.Mutex
+	pend     []outPacket
+	spare    []outPacket // recycled backing array for pend
+	flushing bool
+	scratch  []udpbatch.Packet // flusher-owned WriteBatch argument
+}
+
+func (w *udpWriter) enqueue(bp *[]byte, addr net.Addr) {
+	w.mu.Lock()
+	w.pend = append(w.pend, outPacket{bp: bp, addr: addr})
+	if w.flushing {
+		w.mu.Unlock()
+		return
 	}
+	w.flushing = true
+	for len(w.pend) > 0 {
+		batch := w.pend
+		w.pend = w.spare[:0]
+		w.mu.Unlock()
+
+		w.scratch = w.scratch[:0]
+		for _, p := range batch {
+			w.scratch = append(w.scratch, udpbatch.Packet{Buf: *p.bp, Addr: p.addr})
+		}
+		if _, err := w.conn.WriteBatch(w.scratch); err != nil {
+			w.logger.Debug("writing UDP responses", "err", err)
+		}
+		for _, p := range batch {
+			bufpool.Put(p.bp)
+		}
+
+		w.mu.Lock()
+		w.spare = batch[:0]
+	}
+	w.flushing = false
+	w.mu.Unlock()
 }
 
 // truncateTo re-packs resp into buf with answers removed and TC set so it

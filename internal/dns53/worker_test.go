@@ -1,0 +1,138 @@
+package dns53
+
+import (
+	"context"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"encdns/internal/dnswire"
+	"encdns/internal/testutil"
+	"encdns/internal/udpbatch"
+)
+
+// TestWorkerPoolShutdownDrains exercises the full batched UDP pipeline
+// under concurrent load and then shuts down mid-stream: every in-flight
+// query must either be answered or dropped cleanly, the worker pool must
+// exit (no leaked goroutines), and post-shutdown ServeUDP must refuse.
+func TestWorkerPoolShutdownDrains(t *testing.T) {
+	baseline := testutil.GoroutineBaseline()
+
+	var served sync.WaitGroup
+	handler := HandlerFunc(func(_ context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+		return q.Reply(), nil
+	})
+	s := &Server{Handler: handler, UDPWorkers: 4, UDPBatch: 8}
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served.Add(1)
+	go func() {
+		defer served.Done()
+		if err := s.ServeUDP(pc); err != nil {
+			t.Errorf("ServeUDP: %v", err)
+		}
+	}()
+
+	// Hammer the server from several client sockets while it runs.
+	q := dnswire.NewQuery(7, "drain.example.", dnswire.TypeA)
+	wire, err := q.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	answered := make(chan struct{}, 1024)
+	var clients sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		clients.Add(1)
+		go func() {
+			defer clients.Done()
+			c, err := net.ListenPacket("udp", "127.0.0.1:0")
+			if err != nil {
+				return
+			}
+			defer c.Close()
+			buf := make([]byte, 512)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := c.WriteTo(wire, pc.LocalAddr()); err != nil {
+					return
+				}
+				_ = c.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+				if _, _, err := c.ReadFrom(buf); err == nil {
+					select {
+					case answered <- struct{}{}:
+					default:
+					}
+				}
+			}
+		}()
+	}
+
+	// Wait for proof the pipeline works end to end before shutting down.
+	select {
+	case <-answered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("no query answered through the batched pipeline")
+	}
+	s.Shutdown()
+	close(stop)
+	clients.Wait()
+	served.Wait()
+
+	// ServeUDP after shutdown must refuse and close the socket.
+	pc2, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ServeUDP(pc2); err == nil {
+		t.Error("ServeUDP after Shutdown returned nil error")
+	}
+
+	testutil.WaitNoLeaks(t, baseline)
+}
+
+// TestShutdownIdempotent verifies repeated Shutdown calls return without
+// hanging or double-closing the worker channel.
+func TestShutdownIdempotent(t *testing.T) {
+	s := &Server{Handler: HandlerFunc(func(_ context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+		return q.Reply(), nil
+	})}
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = s.ServeUDP(pc)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	s.Shutdown()
+	s.Shutdown()
+	s.Shutdown()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("ServeUDP did not return after Shutdown")
+	}
+}
+
+// TestUDPBatchClamped ensures a configured batch above udpbatch.MaxBatch
+// is clamped rather than over-allocating vectors.
+func TestUDPBatchClamped(t *testing.T) {
+	s := &Server{UDPBatch: udpbatch.MaxBatch * 10}
+	if got := s.udpBatch(); got != udpbatch.MaxBatch {
+		t.Errorf("udpBatch() = %d, want %d", got, udpbatch.MaxBatch)
+	}
+	s.UDPBatch = 0
+	if got := s.udpBatch(); got != udpbatch.DefaultBatch {
+		t.Errorf("udpBatch() = %d, want %d", got, udpbatch.DefaultBatch)
+	}
+}

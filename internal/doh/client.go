@@ -52,9 +52,31 @@ type Client struct {
 	UserAgent string
 }
 
+// Handshake-outcome counters, labelled like the DoT pair so dashboards
+// can compare resumption rates across encrypted transports.
+var (
+	handshakesResumed = obs.Default().Counter("transport_doh_handshakes_total",
+		"Completed DoH TLS handshakes by resumption outcome.", "resumed", "true")
+	handshakesFull = obs.Default().Counter("transport_doh_handshakes_total",
+		"Completed DoH TLS handshakes by resumption outcome.", "resumed", "false")
+)
+
 // NewClient builds a client with its own transport configured from tlsCfg
-// and dialer (either may be nil). Keep-alives follow reuse.
+// and dialer (either may be nil). Keep-alives follow reuse. Session
+// tickets are cached even with reuse off: fresh-connection probes then
+// measure the abbreviated handshake on repeat targets, matching how stub
+// resolvers behave after their first contact with a server. Probes that
+// need a guaranteed full handshake should pass a tlsCfg whose
+// ClientSessionCache they control.
 func NewClient(tlsCfg *tls.Config, dialer dns53.ContextDialer, reuse bool) *Client {
+	if tlsCfg == nil {
+		tlsCfg = &tls.Config{}
+	} else {
+		tlsCfg = tlsCfg.Clone()
+	}
+	if tlsCfg.ClientSessionCache == nil {
+		tlsCfg.ClientSessionCache = tls.NewLRUClientSessionCache(32)
+	}
 	tr := &http.Transport{
 		TLSClientConfig:   tlsCfg,
 		ForceAttemptHTTP2: true,
@@ -180,21 +202,41 @@ func (c *Client) Exchange(ctx context.Context, query *dnswire.Message, endpoint 
 }
 
 // withClientTrace attaches an httptrace hook that records dial, TLS
-// handshake, and first-byte spans on the context's current obs span.
-// With no trace in ctx it returns ctx unchanged, so untraced queries pay
-// nothing. The HTTP transport invokes the callbacks sequentially for a
-// single request, so the captured span variables need no locking.
+// handshake, and first-byte spans on the context's current obs span, and
+// counts handshake resumption outcomes. Untraced queries still count
+// handshakes (the counters are process-wide); everything else costs
+// nothing without a span in ctx. The HTTP transport invokes the callbacks
+// sequentially for a single request, so the captured span variables need
+// no locking.
 func withClientTrace(ctx context.Context) context.Context {
 	sp := obs.SpanFromContext(ctx)
+	countHandshake := func(cs tls.ConnectionState, err error) {
+		if err != nil {
+			return
+		}
+		if cs.DidResume {
+			handshakesResumed.Inc()
+		} else {
+			handshakesFull.Inc()
+		}
+	}
 	if sp == nil {
-		return ctx
+		return httptrace.WithClientTrace(ctx, &httptrace.ClientTrace{
+			TLSHandshakeDone: countHandshake,
+		})
 	}
 	var dialSp, tlsSp, fbSp *obs.Span
 	return httptrace.WithClientTrace(ctx, &httptrace.ClientTrace{
 		ConnectStart:      func(_, _ string) { dialSp = sp.Start("dial") },
 		ConnectDone:       func(_, _ string, _ error) { dialSp.End() },
 		TLSHandshakeStart: func() { tlsSp = sp.Start("tls-handshake") },
-		TLSHandshakeDone:  func(_ tls.ConnectionState, _ error) { tlsSp.End() },
+		TLSHandshakeDone: func(cs tls.ConnectionState, err error) {
+			tlsSp.End()
+			countHandshake(cs, err)
+			if err == nil && cs.DidResume {
+				sp.Annotate("doh: abbreviated handshake (session resumed)")
+			}
+		},
 		GotConn: func(info httptrace.GotConnInfo) {
 			if info.Reused {
 				sp.Annotate("doh: reused pooled connection")

@@ -33,6 +33,10 @@ var (
 		"Cached DoT sessions dropped for staleness or bound.")
 	poolIdle = obs.Default().Gauge("transport_dot_pool_idle",
 		"Currently cached DoT sessions across clients.")
+	handshakesResumed = obs.Default().Counter("transport_dot_handshakes_total",
+		"Completed DoT TLS handshakes by resumption outcome.", "resumed", "true")
+	handshakesFull = obs.Default().Counter("transport_dot_handshakes_total",
+		"Completed DoT TLS handshakes by resumption outcome.", "resumed", "false")
 )
 
 // DefaultPort is the IANA-assigned DoT port.
@@ -58,10 +62,11 @@ type Client struct {
 	// means 60 seconds (matching the DoH transport's idle timeout).
 	IdleTimeout time.Duration
 
-	mu    sync.Mutex
-	conns map[string]*idleConn // cached connections when Reuse is set
-	stats PoolStats
-	now   func() time.Time // test hook; nil means time.Now
+	mu       sync.Mutex
+	conns    map[string]*idleConn // cached connections when Reuse is set
+	stats    PoolStats
+	sessions tls.ClientSessionCache // lazily created, shared across dials
+	now      func() time.Time       // test hook; nil means time.Now
 }
 
 // idleConn is one cached TLS session and when it was last used.
@@ -290,6 +295,9 @@ func (c *Client) dial(ctx context.Context, server string) (*tls.Conn, error) {
 		}
 		cfg.ServerName = host
 	}
+	if cfg.ClientSessionCache == nil {
+		cfg.ClientSessionCache = c.sessionCache()
+	}
 	conn := tls.Client(raw, cfg)
 	hsSp := obs.SpanFromContext(ctx).Start("tls-handshake")
 	if err := conn.HandshakeContext(ctx); err != nil {
@@ -298,7 +306,31 @@ func (c *Client) dial(ctx context.Context, server string) (*tls.Conn, error) {
 		return nil, fmt.Errorf("dot: TLS handshake with %s: %w", server, err)
 	}
 	hsSp.End()
+	// Session-ticket resumption skips the certificate exchange on repeat
+	// dials (abbreviated handshake) — the second-biggest encrypted-DNS
+	// latency saving after connection reuse itself, and the one that still
+	// applies when a middlebox or NAT rebinding kills the cached TCP
+	// connection.
+	if conn.ConnectionState().DidResume {
+		handshakesResumed.Inc()
+		obs.Annotate(ctx, "dot: abbreviated handshake (session resumed) with %s", server)
+	} else {
+		handshakesFull.Inc()
+	}
 	return conn, nil
+}
+
+// sessionCache returns the client's TLS session-ticket cache, creating it
+// on first use. Sharing one cache across dials is what lets a fresh
+// connection to a previously-seen server resume instead of paying the
+// full handshake.
+func (c *Client) sessionCache() tls.ClientSessionCache {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.sessions == nil {
+		c.sessions = tls.NewLRUClientSessionCache(32)
+	}
+	return c.sessions
 }
 
 // exchangeOn runs one framed exchange on an established connection,

@@ -1,0 +1,79 @@
+package dot
+
+import (
+	"context"
+	"crypto/tls"
+	"testing"
+
+	"encdns/internal/dnswire"
+)
+
+// TestSessionResumptionAbbreviatedHandshake proves the server hands out
+// session tickets and the client's shared cache uses them: the second
+// connection must complete an abbreviated handshake (DidResume). Raw
+// tls.Client connections against the DoT server keep the assertion on
+// tls.ConnectionState itself rather than on counters.
+func TestSessionResumptionAbbreviatedHandshake(t *testing.T) {
+	addr, cliTLS := startDoT(t, static())
+	cfg := cliTLS.Clone()
+	cfg.ClientSessionCache = tls.NewLRUClientSessionCache(4)
+
+	connect := func() tls.ConnectionState {
+		t.Helper()
+		conn, err := tls.Dial("tcp", addr, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		if err := conn.Handshake(); err != nil {
+			t.Fatal(err)
+		}
+		// TLS 1.3 delivers session tickets after the handshake; they are
+		// processed during reads, so run one framed exchange before
+		// disconnecting or there is nothing to resume with.
+		q := dnswire.NewQuery(1, "google.com.", dnswire.TypeA)
+		wire, err := q.Pack()
+		if err != nil {
+			t.Fatal(err)
+		}
+		frame := append([]byte{byte(len(wire) >> 8), byte(len(wire))}, wire...)
+		if _, err := conn.Write(frame); err != nil {
+			t.Fatal(err)
+		}
+		hdr := make([]byte, 2)
+		if _, err := conn.Read(hdr); err != nil {
+			t.Fatalf("reading response frame: %v", err)
+		}
+		return conn.ConnectionState()
+	}
+
+	if cs := connect(); cs.DidResume {
+		t.Fatal("first connection resumed; expected a full handshake")
+	}
+	if cs := connect(); !cs.DidResume {
+		t.Fatal("second connection did not resume; session tickets are not working")
+	}
+}
+
+// TestClientResumesAcrossDials exercises the same property through the
+// dot.Client path: with Reuse off every exchange dials fresh, so the
+// second dial must hit the client's session cache and bump the resumed
+// handshake counter.
+func TestClientResumesAcrossDials(t *testing.T) {
+	addr, cliTLS := startDoT(t, static())
+	c := &Client{TLS: cliTLS} // Reuse off: each Exchange dials a new connection
+
+	resumedBefore := handshakesResumed.Value()
+	fullBefore := handshakesFull.Value()
+	for i := 0; i < 2; i++ {
+		if _, err := c.Query(context.Background(), addr, "google.com", dnswire.TypeA); err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+	}
+	if got := handshakesFull.Value() - fullBefore; got < 1 {
+		t.Errorf("full handshakes = %d, want >= 1", got)
+	}
+	if got := handshakesResumed.Value() - resumedBefore; got < 1 {
+		t.Errorf("resumed handshakes = %d, want >= 1 (second dial should resume)", got)
+	}
+}

@@ -1,0 +1,296 @@
+//go:build linux && !nobatch && (amd64 || arm64)
+
+package udpbatch
+
+import (
+	"net"
+	"sync"
+	"syscall"
+	"unsafe"
+
+	"encdns/internal/obs"
+)
+
+// mmsghdr mirrors the kernel's struct mmsghdr: one msghdr plus the
+// per-message byte count recvmmsg/sendmmsg fill in. The trailing pad
+// matches the C layout (the struct is 8-byte aligned).
+type mmsghdr struct {
+	Hdr syscall.Msghdr
+	Len uint32
+	_   [4]byte
+}
+
+// mmsgConn is the Linux fast path: recvmmsg/sendmmsg through the
+// netpoller via syscall.RawConn, so a blocked read still parks on the
+// poller instead of burning a thread, and Close still unblocks it.
+// All vector state is preallocated; steady-state batches allocate only
+// the per-packet peer addresses.
+type mmsgConn struct {
+	uc   *net.UDPConn
+	rc   syscall.RawConn
+	inst *instruments
+
+	rmu sync.Mutex // one reader at a time over the shared read vectors
+	rv  vectors
+
+	wmu sync.Mutex // one writer at a time over the shared write vectors
+	wv  vectors
+}
+
+// vectors is the preallocated per-direction syscall plumbing.
+type vectors struct {
+	hdrs  []mmsghdr
+	iovs  []syscall.Iovec
+	names []syscall.RawSockaddrAny
+}
+
+func (v *vectors) grow(n int) {
+	if n > MaxBatch {
+		n = MaxBatch
+	}
+	if len(v.hdrs) >= n {
+		return
+	}
+	v.hdrs = make([]mmsghdr, n)
+	v.iovs = make([]syscall.Iovec, n)
+	v.names = make([]syscall.RawSockaddrAny, n)
+}
+
+var mmsgConns = obs.Default().Counter("udpbatch_mmsg_conns_total",
+	"Sockets served by the recvmmsg/sendmmsg fast path.")
+
+// fastPathExpected tells tests whether *net.UDPConn should take the
+// mmsg path on this build.
+const fastPathExpected = true
+
+// newMmsgConn returns the fast-path conn, or nil when pc cannot take it
+// (not a kernel UDP socket) so NewConn falls back.
+func newMmsgConn(pc net.PacketConn) Conn {
+	uc, ok := pc.(*net.UDPConn)
+	if !ok {
+		return nil
+	}
+	rc, err := uc.SyscallConn()
+	if err != nil {
+		return nil
+	}
+	mmsgConns.Inc()
+	return &mmsgConn{uc: uc, rc: rc, inst: newInstruments(uc.LocalAddr())}
+}
+
+func (c *mmsgConn) LocalAddr() net.Addr { return c.uc.LocalAddr() }
+func (c *mmsgConn) Close() error        { return c.uc.Close() }
+
+// ReadBatch performs one recvmmsg, parking on the netpoller until at
+// least one datagram is ready (the socket is non-blocking, so a single
+// syscall drains whatever is queued without waiting for a full batch).
+func (c *mmsgConn) ReadBatch(pkts []Packet) (int, error) {
+	if len(pkts) == 0 {
+		return 0, nil
+	}
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	c.rv.grow(len(pkts))
+	n := len(pkts)
+	if n > len(c.rv.hdrs) {
+		n = len(c.rv.hdrs)
+	}
+	for i := 0; i < n; i++ {
+		buf := pkts[i].Buf
+		c.rv.iovs[i].Base = &buf[0]
+		c.rv.iovs[i].SetLen(len(buf))
+		c.rv.hdrs[i].Hdr = syscall.Msghdr{
+			Name:    (*byte)(unsafe.Pointer(&c.rv.names[i])),
+			Namelen: uint32(unsafe.Sizeof(c.rv.names[i])),
+			Iov:     &c.rv.iovs[i],
+		}
+		c.rv.hdrs[i].Hdr.Iovlen = 1
+		c.rv.hdrs[i].Len = 0
+	}
+	var got int
+	var sysErr error
+	err := c.rc.Read(func(fd uintptr) bool {
+		r, _, errno := syscall.Syscall6(sysRecvmmsg, fd,
+			uintptr(unsafe.Pointer(&c.rv.hdrs[0])), uintptr(n), 0, 0, 0)
+		switch errno {
+		case 0:
+			got = int(r)
+		case syscall.EAGAIN:
+			return false // park on the netpoller until readable
+		case syscall.EINTR:
+			return false
+		default:
+			sysErr = errno
+		}
+		return true
+	})
+	if err != nil {
+		return 0, err // closed socket or poller error
+	}
+	if sysErr != nil {
+		return 0, sysErr
+	}
+	for i := 0; i < got; i++ {
+		pkts[i].Buf = pkts[i].Buf[:c.rv.hdrs[i].Len]
+		pkts[i].Addr = sockaddrToUDPAddr(&c.rv.names[i])
+	}
+	c.inst.observeRead(got)
+	return got, nil
+}
+
+// WriteBatch submits every packet through sendmmsg, looping over partial
+// progress (the kernel may accept fewer than requested under socket-
+// buffer pressure).
+func (c *mmsgConn) WriteBatch(pkts []Packet) (int, error) {
+	if len(pkts) == 0 {
+		return 0, nil
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.wv.grow(len(pkts))
+	sent, calls := 0, 0
+	for sent < len(pkts) {
+		n := len(pkts) - sent
+		if n > len(c.wv.hdrs) {
+			n = len(c.wv.hdrs)
+		}
+		for i := 0; i < n; i++ {
+			p := &pkts[sent+i]
+			nameLen, ok := encodeSockaddr(&c.wv.names[i], p.Addr)
+			if !ok {
+				c.inst.observeWrite(calls, sent)
+				return sent, &net.OpError{Op: "write", Net: "udp", Addr: p.Addr,
+					Err: syscall.EAFNOSUPPORT}
+			}
+			c.wv.iovs[i].Base = &p.Buf[0]
+			c.wv.iovs[i].SetLen(len(p.Buf))
+			c.wv.hdrs[i].Hdr = syscall.Msghdr{
+				Name:    (*byte)(unsafe.Pointer(&c.wv.names[i])),
+				Namelen: nameLen,
+				Iov:     &c.wv.iovs[i],
+			}
+			c.wv.hdrs[i].Hdr.Iovlen = 1
+		}
+		var wrote int
+		var sysErr error
+		err := c.rc.Write(func(fd uintptr) bool {
+			r, _, errno := syscall.Syscall6(sysSendmmsg, fd,
+				uintptr(unsafe.Pointer(&c.wv.hdrs[0])), uintptr(n), 0, 0, 0)
+			switch errno {
+			case 0:
+				wrote = int(r)
+			case syscall.EAGAIN:
+				return false
+			case syscall.EINTR:
+				return false
+			default:
+				sysErr = errno
+			}
+			return true
+		})
+		calls++
+		if err != nil {
+			c.inst.observeWrite(calls, sent)
+			return sent, err
+		}
+		if sysErr != nil {
+			c.inst.observeWrite(calls, sent)
+			return sent, sysErr
+		}
+		sent += wrote
+	}
+	c.inst.observeWrite(calls, sent)
+	return sent, nil
+}
+
+// sockaddrToUDPAddr decodes a kernel-filled sockaddr. It allocates the
+// returned UDPAddr (ownership moves to the dispatched job); everything
+// else on the read path is reused.
+func sockaddrToUDPAddr(sa *syscall.RawSockaddrAny) *net.UDPAddr {
+	switch sa.Addr.Family {
+	case syscall.AF_INET:
+		s4 := (*syscall.RawSockaddrInet4)(unsafe.Pointer(sa))
+		p := (*[2]byte)(unsafe.Pointer(&s4.Port))
+		a := &net.UDPAddr{IP: make(net.IP, 4), Port: int(p[0])<<8 | int(p[1])}
+		copy(a.IP, s4.Addr[:])
+		return a
+	case syscall.AF_INET6:
+		s6 := (*syscall.RawSockaddrInet6)(unsafe.Pointer(sa))
+		p := (*[2]byte)(unsafe.Pointer(&s6.Port))
+		a := &net.UDPAddr{IP: make(net.IP, 16), Port: int(p[0])<<8 | int(p[1])}
+		copy(a.IP, s6.Addr[:])
+		if s6.Scope_id != 0 {
+			a.Zone = zoneName(s6.Scope_id)
+		}
+		return a
+	}
+	return nil
+}
+
+// encodeSockaddr fills sa from addr, returning the sockaddr length.
+func encodeSockaddr(sa *syscall.RawSockaddrAny, addr net.Addr) (uint32, bool) {
+	ua, ok := addr.(*net.UDPAddr)
+	if !ok {
+		return 0, false
+	}
+	if ip4 := ua.IP.To4(); ip4 != nil {
+		s4 := (*syscall.RawSockaddrInet4)(unsafe.Pointer(sa))
+		*s4 = syscall.RawSockaddrInet4{Family: syscall.AF_INET}
+		p := (*[2]byte)(unsafe.Pointer(&s4.Port))
+		p[0], p[1] = byte(ua.Port>>8), byte(ua.Port)
+		copy(s4.Addr[:], ip4)
+		return uint32(unsafe.Sizeof(*s4)), true
+	}
+	ip16 := ua.IP.To16()
+	if ip16 == nil {
+		return 0, false
+	}
+	s6 := (*syscall.RawSockaddrInet6)(unsafe.Pointer(sa))
+	*s6 = syscall.RawSockaddrInet6{Family: syscall.AF_INET6}
+	p := (*[2]byte)(unsafe.Pointer(&s6.Port))
+	p[0], p[1] = byte(ua.Port>>8), byte(ua.Port)
+	copy(s6.Addr[:], ip16)
+	if ua.Zone != "" {
+		s6.Scope_id = zoneID(ua.Zone)
+	}
+	return uint32(unsafe.Sizeof(*s6)), true
+}
+
+// zoneName resolves a scope id to an interface name, falling back to the
+// numeric form (net's own convention for unknown interfaces).
+func zoneName(id uint32) string {
+	if ifi, err := net.InterfaceByIndex(int(id)); err == nil {
+		return ifi.Name
+	}
+	return uitoa(id)
+}
+
+// zoneID resolves an interface name (or decimal string) to a scope id.
+func zoneID(zone string) uint32 {
+	if ifi, err := net.InterfaceByName(zone); err == nil {
+		return uint32(ifi.Index)
+	}
+	var n uint32
+	for i := 0; i < len(zone); i++ {
+		c := zone[i]
+		if c < '0' || c > '9' {
+			return 0
+		}
+		n = n*10 + uint32(c-'0')
+	}
+	return n
+}
+
+func uitoa(v uint32) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [10]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

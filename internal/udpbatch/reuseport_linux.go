@@ -1,0 +1,23 @@
+//go:build linux
+
+package udpbatch
+
+import "syscall"
+
+// soReusePort is SO_REUSEPORT, absent from the frozen syscall package.
+const soReusePort = 0xf
+
+const reusePortAvailable = true
+
+// reusePortControl marks the socket SO_REUSEPORT before bind, letting N
+// sockets share one address with kernel flow-hash load balancing.
+func reusePortControl(network, address string, c syscall.RawConn) error {
+	var sockErr error
+	err := c.Control(func(fd uintptr) {
+		sockErr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+	})
+	if err != nil {
+		return err
+	}
+	return sockErr
+}

@@ -1,0 +1,13 @@
+//go:build !linux
+
+package udpbatch
+
+import "syscall"
+
+const reusePortAvailable = false
+
+// reusePortControl is never reached (Listen rejects n > 1 first); it
+// exists so the portable build compiles.
+func reusePortControl(network, address string, c syscall.RawConn) error {
+	return nil
+}

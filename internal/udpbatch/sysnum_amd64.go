@@ -1,0 +1,10 @@
+//go:build linux && !nobatch
+
+package udpbatch
+
+// The frozen syscall package predates sendmmsg on amd64, so both numbers
+// are spelled out here (linux/amd64 syscall table).
+const (
+	sysRecvmmsg = 299
+	sysSendmmsg = 307
+)

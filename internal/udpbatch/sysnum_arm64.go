@@ -1,0 +1,9 @@
+//go:build linux && !nobatch
+
+package udpbatch
+
+// linux/arm64 syscall table.
+const (
+	sysRecvmmsg = 243
+	sysSendmmsg = 269
+)

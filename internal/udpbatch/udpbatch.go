@@ -1,0 +1,204 @@
+// Package udpbatch amortises UDP syscall cost for the Do53 frontend: a
+// listener factory that opens N SO_REUSEPORT sockets on one address (the
+// kernel then spreads inbound packets across them by flow hash), and a
+// batched packet connection that moves up to dozens of datagrams per
+// syscall through recvmmsg/sendmmsg on Linux.
+//
+// The motivation is the measured capacity ceiling of the goroutine-per-
+// packet frontend (~9k qps on one core, BENCH_pr4/pr5): at that point the
+// server spends its budget on one ReadFrom and one WriteTo syscall per
+// query, not on resolver logic. Böttger et al. and Hounsel et al. show
+// that amortising per-query transport cost is what makes encrypted DNS
+// competitive; the same holds one layer down at the syscall boundary.
+//
+// Two implementations sit behind the Conn interface:
+//
+//   - a Linux fast path (batch_linux.go, build tag `linux && !nobatch`)
+//     that reaches recvmmsg/sendmmsg through syscall.RawConn, so the
+//     netpoller integration (and the module's zero-dependency rule) is
+//     preserved;
+//   - a portable fallback that adapts any net.PacketConn one datagram at
+//     a time with identical semantics.
+//
+// Build with `-tags nobatch` to force the fallback on Linux (CI compiles
+// and tests both variants).
+package udpbatch
+
+import (
+	"context"
+	"fmt"
+	"net"
+
+	"encdns/internal/obs"
+)
+
+// DefaultBatch is the per-syscall packet budget when the caller does not
+// choose one. 32 matches the sweet spot measured in the batch-size sweep
+// (EXPERIMENTS.md): large enough to amortise the syscall, small enough
+// not to add queueing latency at low load.
+const DefaultBatch = 32
+
+// MaxBatch caps a single recvmmsg/sendmmsg vector; larger WriteBatch
+// calls are looped internally. Linux's UIO_MAXIOV is far higher, but
+// beyond this the amortisation gain is already <2%.
+const MaxBatch = 64
+
+// Packet is one datagram and its peer address. ReadBatch fills Buf
+// (which the caller pre-sizes to the receive capacity) and Addr;
+// WriteBatch sends Buf to Addr.
+type Packet struct {
+	Buf  []byte
+	Addr net.Addr
+}
+
+// Conn is a batched packet connection. Implementations are safe for one
+// concurrent reader and one concurrent writer (the dns53 frontend's
+// shape: one receive loop, one flush-combining response writer).
+type Conn interface {
+	// ReadBatch blocks until at least one datagram arrives, then fills up
+	// to len(pkts) without blocking again, returning how many were read.
+	// Each pkts[i].Buf must be pre-sized to its capacity; on return it is
+	// re-sliced to the datagram length.
+	ReadBatch(pkts []Packet) (int, error)
+	// WriteBatch sends every packet, looping over partial progress, and
+	// returns how many were sent.
+	WriteBatch(pkts []Packet) (int, error)
+	LocalAddr() net.Addr
+	Close() error
+}
+
+// Per-socket batch-size histograms plus process-wide syscall/packet
+// counters: syscalls-per-packet (reads/packets, writes/packets) is the
+// headline efficiency ratio the batch sweep optimises.
+var (
+	batchSizeBounds = []float64{1, 2, 4, 8, 16, 32, 64}
+
+	readSyscalls = obs.Default().Counter("udpbatch_read_syscalls_total",
+		"Batched-read syscalls (or fallback ReadFrom calls) across sockets.")
+	readPackets = obs.Default().Counter("udpbatch_read_packets_total",
+		"Datagrams received across sockets; divide syscalls by this for syscalls-per-packet.")
+	writeSyscalls = obs.Default().Counter("udpbatch_write_syscalls_total",
+		"Batched-write syscalls (or fallback WriteTo calls) across sockets.")
+	writePackets = obs.Default().Counter("udpbatch_write_packets_total",
+		"Datagrams sent across sockets.")
+)
+
+// instruments carries the per-socket histograms shared by both Conn
+// implementations.
+type instruments struct {
+	readBatch  *obs.Histogram
+	writeBatch *obs.Histogram
+}
+
+func newInstruments(local net.Addr) *instruments {
+	sock := "unknown"
+	if local != nil {
+		sock = local.String()
+	}
+	return &instruments{
+		readBatch: obs.Default().Histogram("udpbatch_read_batch_size",
+			"Datagrams returned per batched read.", batchSizeBounds, "socket", sock),
+		writeBatch: obs.Default().Histogram("udpbatch_write_batch_size",
+			"Datagrams submitted per batched write.", batchSizeBounds, "socket", sock),
+	}
+}
+
+func (in *instruments) observeRead(n int) {
+	readSyscalls.Inc()
+	if n > 0 {
+		readPackets.Add(uint64(n))
+		in.readBatch.Observe(float64(n))
+	}
+}
+
+func (in *instruments) observeWrite(calls, n int) {
+	writeSyscalls.Add(uint64(calls))
+	if n > 0 {
+		writePackets.Add(uint64(n))
+		in.writeBatch.Observe(float64(n))
+	}
+}
+
+// NewConn wraps pc for batched I/O: the mmsg fast path when pc is a
+// *net.UDPConn on a fast-path build, the portable one-datagram adapter
+// otherwise (virtual conns, other platforms, `nobatch` builds).
+func NewConn(pc net.PacketConn) Conn {
+	if c := newMmsgConn(pc); c != nil {
+		return c
+	}
+	return &fallbackConn{pc: pc, inst: newInstruments(pc.LocalAddr())}
+}
+
+// fallbackConn adapts a plain net.PacketConn to the Conn interface, one
+// datagram per syscall. It exists so every consumer (tests, netsim
+// virtual networks, non-Linux builds) runs the same frontend code as the
+// fast path.
+type fallbackConn struct {
+	pc   net.PacketConn
+	inst *instruments
+}
+
+func (c *fallbackConn) ReadBatch(pkts []Packet) (int, error) {
+	if len(pkts) == 0 {
+		return 0, nil
+	}
+	n, addr, err := c.pc.ReadFrom(pkts[0].Buf)
+	if err != nil {
+		return 0, err
+	}
+	pkts[0].Buf = pkts[0].Buf[:n]
+	pkts[0].Addr = addr
+	c.inst.observeRead(1)
+	return 1, nil
+}
+
+func (c *fallbackConn) WriteBatch(pkts []Packet) (int, error) {
+	for i := range pkts {
+		if _, err := c.pc.WriteTo(pkts[i].Buf, pkts[i].Addr); err != nil {
+			c.inst.observeWrite(i, i)
+			return i, err
+		}
+	}
+	c.inst.observeWrite(len(pkts), len(pkts))
+	return len(pkts), nil
+}
+
+func (c *fallbackConn) LocalAddr() net.Addr { return c.pc.LocalAddr() }
+func (c *fallbackConn) Close() error        { return c.pc.Close() }
+
+// Listen opens n UDP sockets bound to the same address. With n > 1 every
+// socket sets SO_REUSEPORT (Linux only) so the kernel load-balances
+// inbound packets across them; the first socket resolves an ephemeral
+// port and the rest bind to it. The sockets are plain net.PacketConns —
+// pass each to dns53.Server.ServeUDP, which wraps them via NewConn.
+func Listen(network, address string, n int) ([]net.PacketConn, error) {
+	if n < 1 {
+		n = 1
+	}
+	if n > 1 && !reusePortAvailable {
+		return nil, fmt.Errorf("udpbatch: %d sockets on one address needs SO_REUSEPORT, unavailable on this platform", n)
+	}
+	lc := net.ListenConfig{}
+	if n > 1 {
+		lc.Control = reusePortControl
+	}
+	first, err := lc.ListenPacket(context.Background(), network, address)
+	if err != nil {
+		return nil, fmt.Errorf("udpbatch: listen %s %s: %w", network, address, err)
+	}
+	conns := []net.PacketConn{first}
+	// Rebind the remaining sockets to the resolved address so ":0"
+	// requests land every socket on the same ephemeral port.
+	bound := first.LocalAddr().String()
+	for i := 1; i < n; i++ {
+		pc, err := lc.ListenPacket(context.Background(), network, bound)
+		if err != nil {
+			for _, c := range conns {
+				c.Close()
+			}
+			return nil, fmt.Errorf("udpbatch: listen socket %d/%d on %s: %w", i+1, n, bound, err)
+		}
+		conns = append(conns, pc)
+	}
+	return conns, nil
+}

@@ -1,0 +1,251 @@
+package udpbatch
+
+import (
+	"fmt"
+	"net"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// wrapPC hides the concrete *net.UDPConn so NewConn takes the portable
+// fallback even on fast-path builds.
+type wrapPC struct{ net.PacketConn }
+
+func makePkts(n, size int) []Packet {
+	pkts := make([]Packet, n)
+	for i := range pkts {
+		pkts[i].Buf = make([]byte, size)
+	}
+	return pkts
+}
+
+// resetPkts restores every buffer to full capacity before a ReadBatch.
+func resetPkts(pkts []Packet) {
+	for i := range pkts {
+		pkts[i].Buf = pkts[i].Buf[:cap(pkts[i].Buf)]
+		pkts[i].Addr = nil
+	}
+}
+
+// echoRoundTrip drives conn as a server: nSend datagrams in from a plain
+// client socket, batched reads, batched echo, client receive-and-verify.
+func echoRoundTrip(t *testing.T, conn Conn, nSend int) {
+	t.Helper()
+	client, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	for i := 0; i < nSend; i++ {
+		if _, err := client.WriteTo([]byte(fmt.Sprintf("ping-%03d", i)), conn.LocalAddr()); err != nil {
+			t.Fatalf("client send %d: %v", i, err)
+		}
+	}
+
+	pkts := makePkts(8, 2048)
+	received := 0
+	deadline := time.Now().Add(5 * time.Second)
+	for received < nSend {
+		if time.Now().After(deadline) {
+			t.Fatalf("server received %d/%d datagrams before timeout", received, nSend)
+		}
+		resetPkts(pkts)
+		n, err := conn.ReadBatch(pkts)
+		if err != nil {
+			t.Fatalf("ReadBatch: %v", err)
+		}
+		if n == 0 {
+			t.Fatal("ReadBatch returned 0 without error")
+		}
+		for i := 0; i < n; i++ {
+			if pkts[i].Addr == nil {
+				t.Fatal("ReadBatch left Addr nil")
+			}
+		}
+		if sent, err := conn.WriteBatch(pkts[:n]); err != nil || sent != n {
+			t.Fatalf("WriteBatch = %d, %v, want %d", sent, err, n)
+		}
+		received += n
+	}
+
+	got := map[string]bool{}
+	buf := make([]byte, 2048)
+	_ = client.SetReadDeadline(time.Now().Add(5 * time.Second))
+	for len(got) < nSend {
+		n, _, err := client.ReadFrom(buf)
+		if err != nil {
+			t.Fatalf("client echo read after %d/%d: %v", len(got), nSend, err)
+		}
+		got[string(buf[:n])] = true
+	}
+	for i := 0; i < nSend; i++ {
+		if !got[fmt.Sprintf("ping-%03d", i)] {
+			t.Errorf("echo missing ping-%03d", i)
+		}
+	}
+}
+
+func TestFastPathRoundTrip(t *testing.T) {
+	conns, err := Listen("udp", "127.0.0.1:0", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewConn(conns[0])
+	defer c.Close()
+	if runtime.GOOS == "linux" {
+		if _, ok := c.(*fallbackConn); ok && fastPathExpected {
+			t.Error("expected mmsg fast path for *net.UDPConn on linux")
+		}
+	}
+	echoRoundTrip(t, c, 20)
+}
+
+func TestFallbackRoundTrip(t *testing.T) {
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewConn(wrapPC{pc})
+	defer c.Close()
+	if _, ok := c.(*fallbackConn); !ok {
+		t.Fatal("wrapped PacketConn should use the portable fallback")
+	}
+	echoRoundTrip(t, c, 20)
+}
+
+func TestWriteBatchLargerThanMax(t *testing.T) {
+	conns, err := Listen("udp", "127.0.0.1:0", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := NewConn(conns[0])
+	defer server.Close()
+	client, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	const total = MaxBatch*2 + 7 // forces internal chunking
+	pkts := make([]Packet, total)
+	for i := range pkts {
+		pkts[i].Buf = []byte(fmt.Sprintf("bulk-%03d", i))
+		pkts[i].Addr = client.LocalAddr()
+	}
+	if sent, err := server.WriteBatch(pkts); err != nil || sent != total {
+		t.Fatalf("WriteBatch = %d, %v, want %d", sent, err, total)
+	}
+	buf := make([]byte, 256)
+	_ = client.SetReadDeadline(time.Now().Add(5 * time.Second))
+	for i := 0; i < total; i++ {
+		if _, _, err := client.ReadFrom(buf); err != nil {
+			t.Fatalf("client read %d/%d: %v", i, total, err)
+		}
+	}
+}
+
+func TestReadBatchAfterClose(t *testing.T) {
+	conns, err := Listen("udp", "127.0.0.1:0", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewConn(conns[0])
+	done := make(chan error, 1)
+	go func() {
+		pkts := makePkts(4, 1024)
+		_, err := c.ReadBatch(pkts)
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	c.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("ReadBatch returned nil error after Close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ReadBatch did not unblock on Close")
+	}
+}
+
+func TestListenMultiSocket(t *testing.T) {
+	if !reusePortAvailable {
+		t.Skip("SO_REUSEPORT unavailable on this platform")
+	}
+	conns, err := Listen("udp", "127.0.0.1:0", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, pc := range conns {
+			pc.Close()
+		}
+	}()
+	if len(conns) != 4 {
+		t.Fatalf("got %d sockets, want 4", len(conns))
+	}
+	port := conns[0].LocalAddr().String()
+	for i, pc := range conns {
+		if pc.LocalAddr().String() != port {
+			t.Errorf("socket %d bound %s, want %s", i, pc.LocalAddr(), port)
+		}
+	}
+	// Spray packets at the shared port: every one must land on some
+	// socket (kernel flow hashing decides which, so read them all with
+	// one batched conn per socket and count).
+	client, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	const total = 50
+	for i := 0; i < total; i++ {
+		if _, err := client.WriteTo([]byte("spray"), conns[0].LocalAddr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := 0
+	pkts := makePkts(16, 512)
+	deadline := time.Now().Add(5 * time.Second)
+	for got < total && time.Now().Before(deadline) {
+		for _, pc := range conns {
+			// All 50 packets share one flow, so the kernel hashes them to
+			// one socket — drain each socket fully before moving on.
+			bc := NewConn(pc)
+			for {
+				_ = pc.SetReadDeadline(time.Now().Add(20 * time.Millisecond))
+				resetPkts(pkts)
+				n, err := bc.ReadBatch(pkts)
+				if err != nil {
+					break // deadline on an idle socket
+				}
+				got += n
+			}
+		}
+	}
+	if got != total {
+		t.Errorf("received %d/%d across reuseport sockets", got, total)
+	}
+}
+
+func TestListenMultiSocketRejectedWithoutReusePort(t *testing.T) {
+	if reusePortAvailable {
+		t.Skip("platform has SO_REUSEPORT")
+	}
+	if _, err := Listen("udp", "127.0.0.1:0", 2); err == nil {
+		t.Error("Listen n=2 succeeded without SO_REUSEPORT")
+	}
+}
+
+func TestListenClampsZero(t *testing.T) {
+	conns, err := Listen("udp", "127.0.0.1:0", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conns[0].Close()
+	if len(conns) != 1 {
+		t.Fatalf("n=0 gave %d sockets, want 1", len(conns))
+	}
+}

@@ -26,7 +26,27 @@
 #   ... | scripts/benchjson.sh capacity recursive
 #
 # adds "target": "recursive" to the output.
+#
+# A third mode assembles several such one-object lines (stdin) into one
+# JSON array, so a sweep — capacity at different batch sizes, before and
+# after a change — lands in a single artifact:
+#
+#   for b in 1 8 32; do
+#     dnsload -self do53 -self-udp-batch $b -capacity -json |
+#       scripts/benchjson.sh capacity "batch-$b"
+#   done | scripts/benchjson.sh merge > BENCH.json
 set -eu
+
+if [ "${1:-}" = "merge" ]; then
+    exec awk '
+    NF {
+        if (n++) printf ","
+        printf "\n  %s", $0
+    }
+    END { printf n ? "\n]\n" : "]\n" }
+    BEGIN { printf "[" }
+    '
+fi
 
 if [ "${1:-}" = "capacity" ]; then
     exec awk -v target="${2:-}" '
