@@ -32,9 +32,11 @@ import (
 	"strings"
 	"time"
 
+	"encdns/internal/cluster"
 	"encdns/internal/dialer"
 	"encdns/internal/dns53"
 	"encdns/internal/dnswire"
+	"encdns/internal/keyhash"
 	"encdns/internal/loadgen"
 	"encdns/internal/obs"
 	"encdns/internal/resolver"
@@ -65,6 +67,11 @@ func run(args []string, w io.Writer) error {
 		infra    = fs.Bool("infra", false, "resolve via the latency-aware recursive engine (requires -roots) and dump the per-server SRTT/penalty table")
 		roots    = fs.String("roots", "", "comma-separated root server addresses for referral -trace / -infra")
 		gluePort = fs.Int("glue-port", 53, "port appended to glue addresses during -trace")
+
+		ring      = fs.Bool("ring", false, "cluster debug mode: print ring ownership, per-peer health, and the replica set for the query name (requires -peers)")
+		peers     = fs.String("peers", "", "comma-separated cluster peer endpoints for -ring, spelled exactly as the cluster's -peers flags spell them")
+		clusterID = fs.String("cluster-id", "encdns", "cluster identity for -ring health probes")
+		replicas  = fs.Int("replicas", 2, "hot-set copies beyond the owner, for the -ring replica-set column")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -87,6 +94,12 @@ func run(args []string, w io.Writer) error {
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 
+	if *ring {
+		if *peers == "" {
+			return fmt.Errorf("-ring requires -peers (the cluster's peer endpoints)")
+		}
+		return runRing(ctx, w, name, qtype, strings.Split(*peers, ","), *clusterID, *replicas, *timeout)
+	}
 	if *infra {
 		if *roots == "" {
 			return fmt.Errorf("-infra requires -roots (the engine measures per-nameserver RTTs while walking referrals)")
@@ -223,6 +236,63 @@ func runInfra(ctx context.Context, w io.Writer, name string, qtype dnswire.Type,
 // infra table columns stay aligned and comparable.
 func fmtDur(d time.Duration) string {
 	return d.Round(time.Microsecond).String()
+}
+
+// runRing rebuilds a cluster's consistent-hash ring from its peer list
+// (ring layout depends only on the peer ID strings, so any observer that
+// spells them the same way derives the same ring), probes each peer's
+// health over the cluster marker protocol, and prints where the query
+// name lives — the -infra table's sibling for cluster mode.
+func runRing(ctx context.Context, w io.Writer, name string, qtype dnswire.Type, peers []string, clusterID string, replicas int, timeout time.Duration) error {
+	for i := range peers {
+		peers[i] = strings.TrimSpace(peers[i])
+	}
+	r := cluster.NewRing(peers, 0)
+	if r.Len() == 0 {
+		return fmt.Errorf("-ring: no usable peers")
+	}
+	shares := r.Shares()
+
+	noRetry := transport.NoRetry()
+	pool := transport.NewPool(transport.Options{
+		Timeout: timeout,
+		Retry:   &noRetry,
+	})
+	defer pool.Close()
+	fmt.Fprintf(w, ";; cluster ring: %d peers, %d vnodes/peer, cluster-id %q\n",
+		r.Len(), cluster.DefaultVNodes, clusterID)
+	fmt.Fprintf(w, ";; %-28s %-10s %10s %8s\n", "PEER", "STATE", "RTT", "SHARE")
+	for _, p := range r.Peers() {
+		state, rtt := probePeer(ctx, pool, p, clusterID)
+		fmt.Fprintf(w, ";; %-28s %-10s %10s %7.1f%%\n", p, state, fmtDur(rtt), 100*shares[p])
+	}
+
+	hash := keyhash.Key(name, uint16(qtype))
+	set := r.Successors(hash, replicas+1)
+	fmt.Fprintf(w, ";; key %s/%s -> hash %#016x\n", dnswire.CanonicalName(name), qtype, hash)
+	fmt.Fprintf(w, ";; owner:    %s\n", set[0])
+	if len(set) > 1 {
+		fmt.Fprintf(w, ";; replicas: %s\n", strings.Join(set[1:], ", "))
+	} else {
+		fmt.Fprintln(w, ";; replicas: (none — cluster smaller than replica set)")
+	}
+	return nil
+}
+
+// probePeer sends one health probe and classifies the peer's state the
+// way the cluster's own membership layer would see the exchange.
+func probePeer(ctx context.Context, pool *transport.Pool, peer, clusterID string) (string, time.Duration) {
+	start := time.Now()
+	resp, err := pool.Exchange(ctx, cluster.ProbeQuery(clusterID), peer)
+	rtt := time.Since(start)
+	switch {
+	case err != nil:
+		return "down", rtt
+	case resp.Header.RCode == dnswire.RCodeRefused:
+		return "foreign", rtt // alive, but a different cluster-id
+	default:
+		return "up", rtt
+	}
 }
 
 // runTrace walks the delegation chain from the roots over Do53, printing

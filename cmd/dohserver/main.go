@@ -21,15 +21,18 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"encdns/internal/authdns"
 	"encdns/internal/certs"
+	"encdns/internal/cluster"
 	"encdns/internal/dns53"
 	"encdns/internal/dnswire"
 	"encdns/internal/doh"
 	"encdns/internal/dot"
+	"encdns/internal/monitor"
 	"encdns/internal/obs"
 	"encdns/internal/resolver"
 	"encdns/internal/transport"
@@ -53,6 +56,7 @@ func run() error {
 		zoneFile = flag.String("zone", "", "serve this RFC 1035 zone file authoritatively instead of resolving")
 		zoneOrig = flag.String("zone-origin", ".", "origin of -zone")
 		cacheN   = flag.Int("cache", 65536, "cache entries")
+		prefetch = flag.Float64("prefetch", 0.1, "refresh-ahead fraction: a cache hit inside this final fraction of its TTL triggers a background re-resolution (and, in cluster mode, hot-set replication); 0 disables")
 		verbose  = flag.Bool("v", false, "debug-level logging")
 
 		udpSockets = flag.Int("udp-sockets", 1, "SO_REUSEPORT UDP sockets for Do53 (Linux; >1 spreads receive load)")
@@ -60,6 +64,10 @@ func run() error {
 		udpBatch   = flag.Int("udp-batch", 0, "max datagrams per batched read/write; 0 means 32, 1 disables batching")
 		maxConns   = flag.Int("max-conns", 4096, "max concurrent connections per stream listener (Do53/TCP, DoT, DoH); 0 unlimited")
 		idleTO     = flag.Duration("idle-timeout", 60*time.Second, "disconnect stream clients idle this long")
+
+		peers     = flag.String("peers", "", "comma-separated remote peer endpoints (e.g. udp://127.0.0.1:5302,udp://127.0.0.1:5303); enables cluster mode")
+		clusterID = flag.String("cluster-id", "encdns", "cluster identity carried on forwarded queries; must match on every peer")
+		replicas  = flag.Int("replicas", cluster.DefaultReplicas, "hot-set copies beyond the owner; negative disables replication")
 	)
 	flag.Parse()
 	level := obs.LevelInfo
@@ -72,9 +80,49 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	if rec, ok := handler.(*resolver.Recursive); ok {
+		rec.PrefetchFraction = *prefetch
+	}
 	if cache != nil {
 		defer cache.Close()
 	}
+	localHandler := handler // the unwrapped resolver, for ordered shutdown
+
+	// Cluster mode: wrap the local resolver in a ring-routing node. This
+	// instance's cluster ID is its own Do53 endpoint as peers dial it, so
+	// every member derives the same ring from the same peer strings.
+	var node *cluster.Node
+	var peerPool *transport.Pool
+	if *peers != "" {
+		if *do53Addr == "" {
+			return fmt.Errorf("cluster mode needs -do53 (peers forward over Do53)")
+		}
+		selfID := "udp://" + *do53Addr
+		var remotes []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				remotes = append(remotes, p)
+			}
+		}
+		peerPool = transport.NewPool(transport.Options{Reuse: true})
+		node = &cluster.Node{
+			Members: cluster.NewMembership(selfID, remotes, monitor.Config{
+				Interval: time.Second,
+			}, 0),
+			Local:     handler,
+			Forward:   peerPool,
+			Cache:     cache,
+			ClusterID: *clusterID,
+			Replicas:  *replicas,
+		}
+		if rec, ok := handler.(*resolver.Recursive); ok {
+			rec.OnPrefetch = node.NoteHot // hot-set replication rides refresh-ahead
+		}
+		handler = node
+		logger.Info("cluster mode", "self", selfID, "peers", len(remotes),
+			"cluster-id", *clusterID, "replicas", *replicas)
+	}
+
 	inner := &dns53.Server{
 		Handler:     handler,
 		Logger:      logger,
@@ -102,6 +150,12 @@ func run() error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errCh := make(chan error, 4)
+
+	if node != nil {
+		// Active probing is what re-admits a Down peer: no forwards are
+		// routed to it, so only probes can observe it healthy again.
+		go node.ProbeLoop(ctx, time.Second)
+	}
 
 	if *do53Addr != "" {
 		pcs, err := udpbatch.Listen("udp", *do53Addr, *udpSockets)
@@ -155,11 +209,26 @@ func run() error {
 
 	select {
 	case <-ctx.Done():
+		// Ordered drain, extending the dns53 shutdown sequence across the
+		// cluster layer: stop accepting (front ends), finish what is in
+		// flight (server workers, which includes queries blocked on peer
+		// forwards), drain the node's own background work (replication
+		// pushes, probes), and only then tear down the peer transport and
+		// resolver so nothing in flight loses its dependencies.
 		logger.Info("shutting down")
 		if httpSrv != nil {
 			_ = httpSrv.Close()
 		}
 		inner.Shutdown()
+		if node != nil {
+			node.Close()
+		}
+		if peerPool != nil {
+			_ = peerPool.Close()
+		}
+		if rec, ok := localHandler.(*resolver.Recursive); ok {
+			rec.Close() // drains refresh-ahead goroutines before cache.Close
+		}
 		return nil
 	case err := <-errCh:
 		if err != nil {

@@ -18,12 +18,12 @@ package distribute
 import (
 	"context"
 	"fmt"
-	"hash/fnv"
 	"math/rand/v2"
 	"sort"
 	"time"
 
 	"encdns/internal/core"
+	"encdns/internal/keyhash"
 	"encdns/internal/netsim"
 	"encdns/internal/transport"
 )
@@ -97,9 +97,7 @@ func (h HashDomain) Select(domain string, _ int) []int {
 	if h.N <= 0 {
 		return nil
 	}
-	f := fnv.New64a()
-	f.Write([]byte(domain))
-	return []int{int(f.Sum64() % uint64(h.N))}
+	return []int{int(keyhash.Name(domain) % uint64(h.N))}
 }
 
 // Name implements Strategy.

@@ -1,0 +1,168 @@
+package distribute
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"encdns/internal/core"
+	"encdns/internal/netsim"
+)
+
+// flatProber answers every query successfully in a fixed time, except
+// for domains listed in fail. It keeps Evaluate's privacy arithmetic
+// free of simulator noise so expected values can be computed by hand.
+type flatProber struct {
+	rtt  time.Duration
+	fail map[string]bool
+}
+
+func (p *flatProber) Query(_ context.Context, _ netsim.Vantage, _ core.Target, domain string, _ int) core.QueryOutcome {
+	if p.fail[domain] {
+		return core.QueryOutcome{Err: netsim.ErrDNS}
+	}
+	return core.QueryOutcome{Duration: p.rtt, Err: netsim.OK}
+}
+
+func (p *flatProber) Ping(context.Context, netsim.Vantage, core.Target, int) core.PingOutcome {
+	return core.PingOutcome{OK: true}
+}
+
+// tableStrategy routes each domain index to a fixed resolver list —
+// the exposure distribution is written down, not emergent.
+type tableStrategy struct {
+	route map[string][]int
+}
+
+func (s tableStrategy) Select(domain string, _ int) []int { return s.route[domain] }
+func (s tableStrategy) Name() string                      { return "table" }
+
+func evalDistributor(n int, s Strategy, fail map[string]bool) *Distributor {
+	targets := make([]core.Target, n)
+	for i := range targets {
+		targets[i] = core.Target{Host: "r" + string(rune('0'+i))}
+	}
+	return &Distributor{
+		Targets:  targets,
+		Prober:   &flatProber{rtt: 5 * time.Millisecond, fail: fail},
+		Strategy: s,
+	}
+}
+
+// fourDomainWorkload: four distinct domains; d0 is looked up twice so
+// the distinct-domain denominator (4) differs from the lookup count (5).
+func fourDomainWorkload() Workload {
+	return Workload{
+		Domains:  []string{"d0.example.", "d1.example.", "d2.example.", "d3.example."},
+		Sequence: []int{0, 1, 2, 3, 0},
+	}
+}
+
+// TestEvaluateHandComputedDistribution pins the two privacy metrics to
+// exact values: resolver 0 sees domains {d0,d1}, resolver 1 sees {d2},
+// resolver 2 sees {d3}. Max share = 2/4. The per-resolver distinct-domain
+// distribution is (2,1,1)/4, whose Shannon entropy is
+// 0.5·1 + 0.25·2 + 0.25·2 = 1.5 bits.
+func TestEvaluateHandComputedDistribution(t *testing.T) {
+	w := fourDomainWorkload()
+	s := tableStrategy{route: map[string][]int{
+		w.Domains[0]: {0},
+		w.Domains[1]: {0},
+		w.Domains[2]: {1},
+		w.Domains[3]: {2},
+	}}
+	r := Evaluate(context.Background(), evalDistributor(3, s, nil), w)
+
+	if r.MaxDomainShare != 0.5 {
+		t.Errorf("MaxDomainShare = %v, want exactly 0.5", r.MaxDomainShare)
+	}
+	if math.Abs(r.EntropyBits-1.5) > 1e-12 {
+		t.Errorf("EntropyBits = %v, want 1.5", r.EntropyBits)
+	}
+	if r.QueriesSent != len(w.Sequence) {
+		t.Errorf("QueriesSent = %d, want %d (one pick per lookup)", r.QueriesSent, len(w.Sequence))
+	}
+	if r.FailureRate != 0 {
+		t.Errorf("FailureRate = %v, want 0", r.FailureRate)
+	}
+	if r.MedianMs != 5 {
+		t.Errorf("MedianMs = %v, want 5 (flat prober)", r.MedianMs)
+	}
+}
+
+// TestEvaluateSingleResolverEdge: everything routes to one resolver —
+// total profiling (share 1.0) and zero entropy, the degenerate point the
+// distribution strategies exist to move away from.
+func TestEvaluateSingleResolverEdge(t *testing.T) {
+	w := fourDomainWorkload()
+	s := tableStrategy{route: map[string][]int{
+		w.Domains[0]: {2}, w.Domains[1]: {2}, w.Domains[2]: {2}, w.Domains[3]: {2},
+	}}
+	r := Evaluate(context.Background(), evalDistributor(3, s, nil), w)
+	if r.MaxDomainShare != 1 {
+		t.Errorf("MaxDomainShare = %v, want 1", r.MaxDomainShare)
+	}
+	if r.EntropyBits != 0 {
+		t.Errorf("EntropyBits = %v, want 0", r.EntropyBits)
+	}
+}
+
+// TestEvaluateUniformEdge: four domains spread one-per-resolver across
+// four resolvers — minimal share (1/4) and maximal entropy (log2 4 = 2).
+func TestEvaluateUniformEdge(t *testing.T) {
+	w := fourDomainWorkload()
+	s := tableStrategy{route: map[string][]int{
+		w.Domains[0]: {0}, w.Domains[1]: {1}, w.Domains[2]: {2}, w.Domains[3]: {3},
+	}}
+	r := Evaluate(context.Background(), evalDistributor(4, s, nil), w)
+	if r.MaxDomainShare != 0.25 {
+		t.Errorf("MaxDomainShare = %v, want 0.25", r.MaxDomainShare)
+	}
+	if math.Abs(r.EntropyBits-2) > 1e-12 {
+		t.Errorf("EntropyBits = %v, want 2", r.EntropyBits)
+	}
+}
+
+// TestEvaluateRacingCountsEveryExposure: a two-way race exposes every
+// domain to both racers — exposure counts resolvers asked, not winners.
+// Both see all 4 domains: max share 1.0, entropy of (4,4)/8 = 1 bit, and
+// QueriesSent doubles the lookup count.
+func TestEvaluateRacingCountsEveryExposure(t *testing.T) {
+	w := fourDomainWorkload()
+	s := tableStrategy{route: map[string][]int{
+		w.Domains[0]: {0, 1}, w.Domains[1]: {0, 1}, w.Domains[2]: {0, 1}, w.Domains[3]: {0, 1},
+	}}
+	r := Evaluate(context.Background(), evalDistributor(2, s, nil), w)
+	if r.MaxDomainShare != 1 {
+		t.Errorf("MaxDomainShare = %v, want 1 (both racers see everything)", r.MaxDomainShare)
+	}
+	if math.Abs(r.EntropyBits-1) > 1e-12 {
+		t.Errorf("EntropyBits = %v, want 1", r.EntropyBits)
+	}
+	if r.QueriesSent != 2*len(w.Sequence) {
+		t.Errorf("QueriesSent = %d, want %d", r.QueriesSent, 2*len(w.Sequence))
+	}
+}
+
+// TestEvaluateFailureRateAndExposure: failed lookups still count as
+// exposure (the resolver saw the name even if it answered SERVFAIL) and
+// the failure rate is failures over lookups, not over distinct domains.
+func TestEvaluateFailureRateAndExposure(t *testing.T) {
+	w := fourDomainWorkload()
+	s := tableStrategy{route: map[string][]int{
+		w.Domains[0]: {0}, w.Domains[1]: {0}, w.Domains[2]: {1}, w.Domains[3]: {1},
+	}}
+	fail := map[string]bool{w.Domains[0]: true} // d0 is looked up twice
+	r := Evaluate(context.Background(), evalDistributor(2, s, fail), w)
+	if want := 2.0 / 5.0; r.FailureRate != want {
+		t.Errorf("FailureRate = %v, want %v", r.FailureRate, want)
+	}
+	// d0 still counts toward resolver 0's profile: shares stay (2,2)/4.
+	if r.MaxDomainShare != 0.5 {
+		t.Errorf("MaxDomainShare = %v, want 0.5 (failures still expose)", r.MaxDomainShare)
+	}
+	if math.Abs(r.EntropyBits-1) > 1e-12 {
+		t.Errorf("EntropyBits = %v, want 1", r.EntropyBits)
+	}
+}

@@ -19,6 +19,13 @@ const (
 	// OptionCodePadding is the EDNS(0) padding option (RFC 7830), used by
 	// encrypted transports to blunt traffic analysis.
 	OptionCodePadding uint16 = 12
+	// OptionCodeClusterHop marks a query forwarded once inside a resolver
+	// cluster (internal/cluster): the receiving peer must answer locally
+	// and never forward again, which bounds any routing disagreement
+	// between peers' hash rings to one extra hop. The code sits in the
+	// RFC 6891 local/experimental range (65001–65534) and never leaves a
+	// cluster's own peer links.
+	OptionCodeClusterHop uint16 = 65021
 )
 
 // ECS address families (RFC 7871 §6, from the IANA address-family

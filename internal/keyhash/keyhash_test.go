@@ -1,0 +1,77 @@
+package keyhash
+
+import (
+	"hash/fnv"
+	"testing"
+
+	"encdns/internal/dnswire"
+)
+
+// refName is the reference implementation: library FNV-1a over the
+// dnswire-canonicalised name.
+func refName(name string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(dnswire.CanonicalName(name)))
+	return h.Sum64()
+}
+
+func TestNameMatchesLibraryFNVOverCanonicalForm(t *testing.T) {
+	cases := []string{
+		"",
+		".",
+		"example.com",
+		"example.com.",
+		"EXAMPLE.COM",
+		"ExAmPlE.CoM.",
+		"www.example.com",
+		"a.b.c.d.e.f.",
+		"xn--bcher-kva.example",
+		"with-hyphen.and_underscore.example.",
+	}
+	for _, name := range cases {
+		if got, want := Name(name), refName(name); got != want {
+			t.Errorf("Name(%q) = %#x, want %#x (fnv over %q)",
+				name, got, want, dnswire.CanonicalName(name))
+		}
+	}
+}
+
+func TestNameCaseAndDotInsensitive(t *testing.T) {
+	variants := []string{"www.Example.COM", "WWW.EXAMPLE.COM.", "www.example.com", "www.example.com."}
+	want := Name(variants[0])
+	for _, v := range variants[1:] {
+		if Name(v) != want {
+			t.Errorf("Name(%q) = %#x, want %#x (same canonical form)", v, Name(v), want)
+		}
+	}
+	if Name("www.example.com") == Name("www.example.org") {
+		t.Error("distinct names should not collide on these inputs")
+	}
+}
+
+func TestKeySeparatesTypes(t *testing.T) {
+	a := Key("example.com", uint16(dnswire.TypeA))
+	aaaa := Key("example.com", uint16(dnswire.TypeAAAA))
+	if a == aaaa {
+		t.Error("A and AAAA keys for the same name should differ")
+	}
+	if Key("Example.COM.", uint16(dnswire.TypeA)) != a {
+		t.Error("Key must canonicalise the name like Name does")
+	}
+}
+
+func TestNameZeroAlloc(t *testing.T) {
+	n := testing.AllocsPerRun(100, func() {
+		_ = Key("WWW.Example.COM", 1)
+	})
+	if n != 0 {
+		t.Errorf("Key allocates %v per run, want 0", n)
+	}
+}
+
+func BenchmarkKey(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Key("www.example.com.", 1)
+	}
+}

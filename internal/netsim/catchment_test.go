@@ -1,0 +1,116 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"encdns/internal/geo"
+)
+
+// paperClasses mirrors the paper's vantage mix: home broadband in
+// Chicago plus EC2 datacenter vantages in Ohio, Frankfurt, and Seoul
+// (§3.2), weighted so most clients sit in the two US classes.
+func paperClasses() []CatchmentClass {
+	return []CatchmentClass{
+		{Vantage: Vantage{Name: "chicago-home", Coord: geo.Chicago, Access: AccessHome}, Weight: 0.4, SpreadKm: 60},
+		{Vantage: Vantage{Name: "ohio-dc", Coord: geo.Ohio, Access: AccessDatacenter}, Weight: 0.25, SpreadKm: 150},
+		{Vantage: Vantage{Name: "frankfurt-dc", Coord: geo.Frankfurt, Access: AccessDatacenter}, Weight: 0.2, SpreadKm: 150},
+		{Vantage: Vantage{Name: "seoul-dc", Coord: geo.Seoul, Access: AccessDatacenter}, Weight: 0.15, SpreadKm: 150},
+	}
+}
+
+func clusterInstances() []Instance {
+	return []Instance{
+		{Name: "us-chicago", Site: geo.Chicago, Healthy: true},
+		{Name: "eu-frankfurt", Site: geo.Frankfurt, Healthy: true},
+		{Name: "ap-seoul", Site: geo.Seoul, Healthy: true},
+	}
+}
+
+func TestCatchmentDeterministic(t *testing.T) {
+	m := &CatchmentModel{Net: testNet(), Classes: paperClasses()}
+	a := m.Assign(20000, clusterInstances())
+	b := m.Assign(20000, clusterInstances())
+	if a.String() != b.String() {
+		t.Fatalf("same seed, different reports:\n%s\n%s", a.String(), b.String())
+	}
+	if a.Clients != 20000 || a.Unserved != 0 {
+		t.Fatalf("bad population accounting: %+v", a)
+	}
+}
+
+func TestCatchmentFollowsGeography(t *testing.T) {
+	m := &CatchmentModel{Net: testNet(), Classes: paperClasses()}
+	rep := m.Assign(20000, clusterInstances())
+
+	// US classes (65% of clients) land on Chicago, the EU class on
+	// Frankfurt, the AP class on Seoul — nearest healthy site wins.
+	if got := rep.Share("us-chicago"); got < 0.6 || got > 0.7 {
+		t.Errorf("us-chicago share = %.3f, want ~0.65", got)
+	}
+	if got := rep.Share("eu-frankfurt"); got < 0.15 || got > 0.25 {
+		t.Errorf("eu-frankfurt share = %.3f, want ~0.20", got)
+	}
+	if got := rep.Share("ap-seoul"); got < 0.10 || got > 0.20 {
+		t.Errorf("ap-seoul share = %.3f, want ~0.15", got)
+	}
+}
+
+// TestCatchmentSiteFailureShiftsAndDegradesTail is the cluster failover
+// scenario in virtual time (the model is purely computational — zero
+// wall-clock sleeps anywhere): killing the Frankfurt site must shed its
+// whole catchment onto the surviving instances and drag the population
+// tail latency up, because EU clients now cross an ocean.
+func TestCatchmentSiteFailureShiftsAndDegradesTail(t *testing.T) {
+	m := &CatchmentModel{Net: testNet(), Classes: paperClasses()}
+	const clients = 50000
+
+	before := m.Assign(clients, clusterInstances())
+
+	after := clusterInstances()
+	after[1].Healthy = false // Frankfurt down
+	rep := m.Assign(clients, after)
+
+	if rep.PerInstance["eu-frankfurt"] != 0 {
+		t.Fatalf("dead site still has %d clients", rep.PerInstance["eu-frankfurt"])
+	}
+	if rep.Unserved != 0 {
+		t.Fatalf("%d clients unserved despite surviving instances", rep.Unserved)
+	}
+	// The shed catchment lands somewhere: survivors together absorb
+	// everything Frankfurt had.
+	shed := before.PerInstance["eu-frankfurt"]
+	gained := (rep.PerInstance["us-chicago"] - before.PerInstance["us-chicago"]) +
+		(rep.PerInstance["ap-seoul"] - before.PerInstance["ap-seoul"])
+	if gained != shed {
+		t.Errorf("survivors gained %d clients, want the full shed catchment %d", gained, shed)
+	}
+	if shed < clients/10 {
+		t.Fatalf("shed catchment %d too small for the assertion to mean anything", shed)
+	}
+
+	// Tail latency degrades: the EU fifth of the population now detours
+	// transatlantically, which must show up at P95 and above while the
+	// median (dominated by the untouched US majority) barely moves.
+	if rep.P95 <= before.P95 {
+		t.Errorf("P95 did not degrade: before %s, after %s", before.P95, rep.P95)
+	}
+	if rep.P99 <= before.P99 {
+		t.Errorf("P99 did not degrade: before %s, after %s", before.P99, rep.P99)
+	}
+	if rep.P95 < before.P95+30*time.Millisecond {
+		t.Errorf("P95 shift %s -> %s smaller than a transatlantic detour", before.P95, rep.P95)
+	}
+}
+
+func TestCatchmentAllSitesDown(t *testing.T) {
+	m := &CatchmentModel{Net: testNet(), Classes: paperClasses()}
+	insts := clusterInstances()
+	for i := range insts {
+		insts[i].Healthy = false
+	}
+	rep := m.Assign(1000, insts)
+	if rep.Unserved != 1000 {
+		t.Errorf("unserved = %d, want 1000", rep.Unserved)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"encdns/internal/dnswire"
+	"encdns/internal/keyhash"
 	"encdns/internal/obs"
 )
 
@@ -46,18 +47,11 @@ type cacheKey struct {
 	typ  dnswire.Type
 }
 
-// shardIndex hashes the key with FNV-1a and masks it onto a shard.
+// shardIndex hashes the key with the shared FNV-1a key hash
+// (internal/keyhash — the same bytes the distribute strategies and the
+// cluster ring hash) and masks it onto a shard.
 func (k cacheKey) shardIndex(mask uint32) uint32 {
-	h := uint32(2166136261)
-	for i := 0; i < len(k.name); i++ {
-		h ^= uint32(k.name[i])
-		h *= 16777619
-	}
-	h ^= uint32(k.typ)
-	h *= 16777619
-	h ^= uint32(k.typ) >> 8
-	h *= 16777619
-	return h & mask
+	return uint32(keyhash.Key(k.name, uint16(k.typ))) & mask
 }
 
 // cacheEntry is one cached item. It is an intrusive node of its shard's

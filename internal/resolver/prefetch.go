@@ -123,6 +123,9 @@ func (r *Recursive) runPrefetch(key cacheKey) {
 	defer cancel()
 	if _, rcode, err := r.resolveWalk(ctx, key.name, key.typ, 0); err == nil && rcode == dnswire.RCodeSuccess {
 		prefetchRefreshed.Inc()
+		if r.OnPrefetch != nil {
+			r.OnPrefetch(key.name, key.typ)
+		}
 	}
 }
 

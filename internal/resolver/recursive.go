@@ -75,6 +75,12 @@ type Recursive struct {
 	PrefetchFraction float64
 	// PrefetchBudget bounds concurrent background refreshes; zero means 32.
 	PrefetchBudget int
+	// OnPrefetch, when set, is called after each background refresh that
+	// completed successfully — i.e. for every key the refresh-ahead
+	// machinery currently considers hot. Cluster mode wires it to
+	// hot-set replication (internal/cluster Node.NoteHot). Called from
+	// the refresh goroutine; implementations must be cheap or go async.
+	OnPrefetch func(name string, t dnswire.Type)
 	// Now is the clock behind RTT measurement and infra aging; nil means
 	// time.Now. Virtual-time tests inject a netsim clock's Now.
 	Now func() time.Time

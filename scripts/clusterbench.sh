@@ -1,0 +1,131 @@
+#!/bin/sh
+# clusterbench.sh — capacity of a real 3-process loopback resolver
+# cluster vs a single instance, on the PR4 ramp (dnsload -capacity).
+#
+#   scripts/clusterbench.sh [outfile]        # default BENCH_cluster.json
+#
+# Methodology: an "instance" is a fixed slice of the machine. When the
+# cgroup v1 cpu controller is writable (this box), every dohserver gets
+# a cpu.cfs quota of CG_QUOTA_US per CG_PERIOD_US (default 0.15 CPU), so
+# the single-instance baseline cannot silently eat the whole machine the
+# three cluster members later share — without the budget, a 1-core host
+# would make any cluster speedup arithmetically impossible and a 16-core
+# host would hand the baseline 16 instances' worth of silicon. The
+# default budget leaves roughly half a core for dnsload itself, which
+# shares the machine and has to generate every query the cluster serves;
+# the short 20ms period keeps CFS throttle stalls far below the 50ms
+# p99 SLO so the ramp measures capacity, not throttle jitter. Where
+# cgroups are unavailable (CI runners), the comparison still runs
+# unbudgeted and the ratio is reported for what it is.
+#
+# The cluster run warms the hot set first (dnsload at a modest rate) so
+# refresh-ahead marks the popular names hot and replicates them to every
+# replica; the capacity ramp then measures the replicated steady state.
+# After the ramp the nodes' /metrics are scraped to compute the
+# cross-peer forwarded-miss rate (cluster_forwards_total over
+# dns53_server_requests_total) — the partition-efficiency headline.
+#
+# Output: one JSON array (benchjson.sh merge) with objects labelled
+# "single", "cluster", and "cluster-forwarding".
+set -eu
+
+OUT=${1:-BENCH_cluster.json}
+BIN=${BIN:-/tmp/encdns-clusterbench}
+CG_ROOT=/sys/fs/cgroup/cpu
+CG_QUOTA_US=${CG_QUOTA_US:-3000}
+CG_PERIOD_US=${CG_PERIOD_US:-20000}
+RAMP="-ramp-start ${RAMP_START:-250} -ramp-step ${RAMP_STEP:-250} -ramp-max ${RAMP_MAX:-30000} -step-duration ${STEP_DUR:-2s}"
+CLUSTER_ID=bench
+SCRIPTDIR=$(dirname "$0")
+
+mkdir -p "$BIN"
+go build -o "$BIN" ./cmd/dohserver ./cmd/dnsload
+
+PIDS=""
+cleanup() {
+    for p in $PIDS; do kill "$p" 2>/dev/null || true; done
+    wait 2>/dev/null || true
+}
+trap cleanup EXIT INT TERM
+
+# Probe with a throwaway subgroup: period must land before quota (a
+# quota below the current period's floor is EINVAL), and parent groups
+# that once held children can wedge into rejecting new quotas.
+have_cgroups=false
+if [ -w "$CG_ROOT" ] && mkdir -p "$CG_ROOT/encdns-bench/probe" 2>/dev/null \
+    && echo "$CG_PERIOD_US" > "$CG_ROOT/encdns-bench/probe/cpu.cfs_period_us" 2>/dev/null \
+    && echo "$CG_QUOTA_US" > "$CG_ROOT/encdns-bench/probe/cpu.cfs_quota_us" 2>/dev/null; then
+    have_cgroups=true
+fi
+rmdir "$CG_ROOT/encdns-bench/probe" 2>/dev/null || true
+
+# start_instance <n> <do53-port> <doh-port> <peers>
+start_instance() {
+    n=$1 port=$2 doh=$3 peers=$4
+    "$BIN/dohserver" -do53 "127.0.0.1:$port" -dot "" -doh "127.0.0.1:$doh" \
+        -ca-out "/tmp/encdns-bench-ca$n.pem" -prefetch 1 -cache 131072 \
+        ${peers:+-peers "$peers" -cluster-id "$CLUSTER_ID"} \
+        >"/tmp/encdns-bench-node$n.log" 2>&1 &
+    pid=$!
+    PIDS="$PIDS $pid"
+    if $have_cgroups; then
+        cg="$CG_ROOT/encdns-bench/inst$n"
+        mkdir -p "$cg"
+        echo "$CG_PERIOD_US" > "$cg/cpu.cfs_period_us"
+        echo "$CG_QUOTA_US" > "$cg/cpu.cfs_quota_us"
+        echo "$pid" > "$cg/cgroup.procs"
+    fi
+}
+
+wait_ready() { # <do53-port>...
+    for port in "$@"; do
+        i=0
+        until "$BIN/dnsload" -targets "udp://127.0.0.1:$port" -duration 200ms -rate 5 -json \
+                2>/dev/null | grep -q '"sent"'; do
+            i=$((i + 1))
+            [ "$i" -lt 25 ] || { echo "instance on :$port never came up" >&2; exit 1; }
+        done
+    done
+}
+
+echo "== single instance (cgroup budget: $have_cgroups)" >&2
+start_instance 0 5311 8451 ""
+wait_ready 5311
+"$BIN/dnsload" -targets udp://127.0.0.1:5311 -capacity $RAMP -json \
+    | "$SCRIPTDIR/benchjson.sh" capacity single > /tmp/encdns-bench-single.json
+cleanup
+PIDS=""
+
+echo "== 3-instance cluster" >&2
+p1=udp://127.0.0.1:5301 p2=udp://127.0.0.1:5302 p3=udp://127.0.0.1:5303
+start_instance 1 5301 8441 "$p2,$p3"
+start_instance 2 5302 8442 "$p1,$p3"
+start_instance 3 5303 8443 "$p1,$p2"
+wait_ready 5301 5302 5303
+TARGETS="$p1=1,$p2=1,$p3=1"
+
+# Warm the hot set: every node sees the popular names, owners resolve
+# them, refresh-ahead (-prefetch 1) replicates them to both replicas.
+"$BIN/dnsload" -targets "$TARGETS" -duration 4s -rate 300 -json >/dev/null
+
+"$BIN/dnsload" -targets "$TARGETS" -capacity $RAMP -json \
+    | "$SCRIPTDIR/benchjson.sh" capacity cluster > /tmp/encdns-bench-cluster.json
+
+# Forwarded-miss rate across the whole run, from each node's metrics.
+fwd=0 req=0
+for n in 1 2 3; do
+    m=$(curl -s --cacert "/tmp/encdns-bench-ca$n.pem" "https://127.0.0.1:$((8440 + n))/metrics")
+    f=$(printf '%s\n' "$m" | awk '/^cluster_forwards_total/ { s += $NF } END { printf "%d", s }')
+    r=$(printf '%s\n' "$m" | awk '/^dns53_server_requests_total/ { s += $NF } END { printf "%d", s }')
+    fwd=$((fwd + f)) req=$((req + r))
+done
+rate=$(awk -v f="$fwd" -v r="$req" 'BEGIN { printf "%.4f", r ? f / r : 0 }')
+printf '{"target": "cluster-forwarding", "forwards": %d, "requests": %d, "forwarded_miss_rate": %s}\n' \
+    "$fwd" "$req" "$rate" > /tmp/encdns-bench-fwd.json
+cleanup
+PIDS=""
+
+cat /tmp/encdns-bench-single.json /tmp/encdns-bench-cluster.json /tmp/encdns-bench-fwd.json \
+    | "$SCRIPTDIR/benchjson.sh" merge > "$OUT"
+echo "wrote $OUT" >&2
+cat "$OUT"
