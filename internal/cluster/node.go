@@ -266,6 +266,37 @@ func (n *Node) ServeDNS(ctx context.Context, q *dnswire.Message) (*dnswire.Messa
 			return cacheReply(q, res), nil
 		}
 	}
+	return n.serveMiss(ctx, q, q0)
+}
+
+// AppendResponse implements the dns53.ResponseAppender fast path:
+// local-partition (or replicated) hits are served straight from the
+// cache's wire template; everything else — including hop-marked peer
+// queries, which must run the full routing decision — declines back to
+// ServeDNS.
+func (n *Node) AppendResponse(dst []byte, q *dnswire.Message, rawQuestion []byte) ([]byte, int64, bool) {
+	if n.Cache == nil {
+		return dst, 0, false
+	}
+	if _, _, ok := clusterHop(q); ok {
+		return dst, 0, false
+	}
+	n.init()
+	out, info, ok := n.Cache.AppendResponse(dst, q, rawQuestion)
+	if !ok {
+		return dst, 0, false
+	}
+	n.mLocalHits.Inc()
+	minTTL := int64(-1)
+	if info.Answers > 0 {
+		minTTL = int64(info.Remaining / time.Second)
+	}
+	return out, minTTL, true
+}
+
+// serveMiss routes a locally-unanswerable query: forward to the ring
+// owner when that is a healthy peer, otherwise resolve locally.
+func (n *Node) serveMiss(ctx context.Context, q *dnswire.Message, q0 dnswire.Question) (*dnswire.Message, error) {
 	hash := keyhash.Key(q0.Name, uint16(q0.Type))
 	owner, ok := n.Members.Ring().OwnerBounded(hash, n.peerLoad, n.loadFactor())
 	if !ok || owner == n.Members.Self() {

@@ -21,6 +21,21 @@ type Handler interface {
 	ServeDNS(ctx context.Context, query *dnswire.Message) (*dnswire.Message, error)
 }
 
+// ResponseAppender is the optional wire-template fast path a Handler may
+// implement (internal/resolver's cache-backed handlers do): append the
+// complete packed response for query onto dst without materializing
+// records or re-packing. rawQuestion is the request's question section
+// verbatim — implementations echo it so the client's 0x20 mixed-case
+// spelling survives. minTTL is the minimum answer TTL in seconds (-1
+// when the response has no answers; DoH turns it into Cache-Control).
+// ok=false means "not on this query" — the server falls back to ServeDNS
+// with no state to undo, so implementations must decline rather than
+// answer approximately. Implementations must not panic: unlike ServeDNS,
+// this path runs without the server's panic containment.
+type ResponseAppender interface {
+	AppendResponse(dst []byte, query *dnswire.Message, rawQuestion []byte) (out []byte, minTTL int64, ok bool)
+}
+
 // HandlerFunc adapts a function to the Handler interface.
 type HandlerFunc func(ctx context.Context, query *dnswire.Message) (*dnswire.Message, error)
 

@@ -282,19 +282,19 @@ func (s *Server) udpWorker() {
 }
 
 // serveUDPPacket handles one datagram end to end: parse (into the
-// worker's reusable message), dispatch, pack into a pooled buffer, and
-// enqueue the response on the batching writer. The packet buffer returns
-// to the pool as soon as parsing is done — handlers retain only interned
-// name strings from the query, never the raw bytes.
+// worker's reusable message), try the handler's wire-template fast path
+// (ResponseAppender) straight into a pooled send buffer, otherwise
+// dispatch ServeDNS and pack. The packet buffer returns to the pool once
+// neither the parser nor the fast path (which echoes the raw question
+// bytes from it) needs it — handlers retain only interned name strings
+// from the query, never the raw bytes.
 func (s *Server) serveUDPPacket(job udpJob, query *dnswire.Message) {
-	err := query.Unpack(*job.bp)
-	bufpool.Put(job.bp)
-	if err != nil {
+	if err := query.Unpack(*job.bp); err != nil {
+		bufpool.Put(job.bp)
 		serverMalformed.Inc()
 		s.logger().Debug("dropping malformed UDP query", "from", job.addr, "err", err)
 		return
 	}
-	resp := s.respond(query)
 	// Respect the client's advertised EDNS buffer, defaulting to 512.
 	limit := s.MaxUDPResponse
 	if limit == 0 {
@@ -304,6 +304,26 @@ func (s *Server) serveUDPPacket(job udpJob, query *dnswire.Message) {
 		limit = int(opt.UDPSize)
 	}
 	out := bufpool.Get()
+	if wire, ok := s.tryAppendResponse((*out)[:0], query, *job.bp); ok {
+		bufpool.Put(job.bp)
+		if len(wire) > limit {
+			// A template response is header + question + answers; dropping
+			// the answers and setting TC is the truncateTo equivalent. The
+			// question in wire is our own uncompressed echo, so its length
+			// re-derives cheaply on this rare path.
+			if rawQ, ok := dnswire.QuestionBytes(wire); ok {
+				wire = dnswire.TruncateToQuestion(wire, len(rawQ))
+			} else {
+				bufpool.Put(out)
+				return
+			}
+		}
+		*out = wire
+		job.w.enqueue(out, job.addr)
+		return
+	}
+	bufpool.Put(job.bp)
+	resp := s.respond(query)
 	wire, err := resp.AppendPack((*out)[:0])
 	if err != nil {
 		bufpool.Put(out)
@@ -320,6 +340,30 @@ func (s *Server) serveUDPPacket(job udpJob, query *dnswire.Message) {
 		*out = wire
 	}
 	job.w.enqueue(out, job.addr)
+}
+
+// tryAppendResponse runs the ResponseAppender fast path when the handler
+// offers it and the request's question can be echoed verbatim. On
+// success it records the same request/latency instruments respond does;
+// on decline it records nothing, since the query is about to be
+// dispatched (and counted) through respond.
+func (s *Server) tryAppendResponse(dst []byte, query *dnswire.Message, raw []byte) ([]byte, bool) {
+	ra, ok := s.Handler.(ResponseAppender)
+	if !ok {
+		return dst, false
+	}
+	rawQ, ok := dnswire.QuestionBytes(raw)
+	if !ok {
+		return dst, false
+	}
+	start := time.Now()
+	out, _, ok := ra.AppendResponse(dst, query, rawQ)
+	if !ok {
+		return dst, false
+	}
+	serverRequests.Inc()
+	serverLatency.ObserveDuration(time.Since(start))
+	return out, true
 }
 
 // outPacket is one packed response awaiting a batched write.
@@ -440,8 +484,20 @@ func (s *Server) serveConn(conn net.Conn) {
 			s.logger().Debug("dropping malformed TCP query", "err", err)
 			return
 		}
-		// Pack straight behind the RFC 1035 §4.2.2 two-octet length
-		// prefix: one buffer, one write, no copy.
+		// Wire-template fast path, packed straight behind the RFC 1035
+		// §4.2.2 two-octet length prefix (compression offsets are message-
+		// start-relative, so the prefix does not disturb them). No stream
+		// truncation concerns: templates never exceed MaxMessageSize.
+		if frame, ok := s.tryAppendResponse(append((*out)[:0], 0, 0), query, pkt); ok {
+			*out = frame
+			binary.BigEndian.PutUint16(frame, uint16(len(frame)-2))
+			if _, err := conn.Write(frame); err != nil {
+				return
+			}
+			continue
+		}
+		// Pack straight behind the length prefix: one buffer, one write,
+		// no copy.
 		frame, err := s.respond(query).AppendPack(append((*out)[:0], 0, 0))
 		if err != nil {
 			s.logger().Warn("packing response", "err", err)

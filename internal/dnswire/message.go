@@ -203,6 +203,20 @@ func (m *Message) Pack() ([]byte, error) {
 // may pack after a prefix — e.g. directly behind a 2-octet TCP length.
 // Packing into a reused buffer is allocation-free in the steady state.
 func (m *Message) AppendPack(buf []byte) ([]byte, error) {
+	return m.appendPack(buf, nil)
+}
+
+// AppendPackTTLOffsets is AppendPack plus the byte offsets, relative to
+// the message start, of every record TTL it wrote (OPT pseudo-records
+// excluded — their TTL field carries EDNS flags, not a lifetime). The
+// offsets append to offs. It exists for answer templates: a cached packed
+// response can be aged in place by patching the recorded offsets.
+func (m *Message) AppendPackTTLOffsets(buf []byte, offs []int) ([]byte, []int, error) {
+	buf, err := m.appendPack(buf, &offs)
+	return buf, offs, err
+}
+
+func (m *Message) appendPack(buf []byte, ttlOffs *[]int) ([]byte, error) {
 	base := len(buf)
 	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0)
 	binary.BigEndian.PutUint16(buf[base:], m.Header.ID)
@@ -226,8 +240,12 @@ func (m *Message) AppendPack(buf []byte) ([]byte, error) {
 	}
 	for _, sec := range [3][]Record{m.Answers, m.Authority, m.Additional} {
 		for _, rr := range sec {
-			if buf, err = appendRecord(buf, rr, comp); err != nil {
+			var ttlAt int
+			if buf, ttlAt, err = appendRecord(buf, rr, comp); err != nil {
 				return nil, fmt.Errorf("record %q %s: %w", rr.Name, rr.Type, err)
+			}
+			if ttlOffs != nil && rr.Type != TypeOPT {
+				*ttlOffs = append(*ttlOffs, ttlAt-base)
 			}
 		}
 	}
@@ -237,11 +255,13 @@ func (m *Message) AppendPack(buf []byte) ([]byte, error) {
 	return buf, nil
 }
 
-// appendRecord encodes one resource record, including its RDATA.
-func appendRecord(buf []byte, rr Record, comp *compressor) ([]byte, error) {
+// appendRecord encodes one resource record, including its RDATA. It also
+// returns the absolute buf offset of the 4-octet TTL it wrote, so packers
+// building answer templates can record where to patch aged TTLs.
+func appendRecord(buf []byte, rr Record, comp *compressor) ([]byte, int, error) {
 	var err error
 	if buf, err = appendName(buf, rr.Name, comp); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	// The OPT pseudo-RR (RFC 6891 §6.1.2) repurposes CLASS as the UDP
 	// payload size and TTL as extended-RCODE/version/flags; derive both
@@ -255,25 +275,26 @@ func appendRecord(buf []byte, rr Record, comp *compressor) ([]byte, error) {
 	}
 	buf = binary.BigEndian.AppendUint16(buf, uint16(rr.Type))
 	buf = binary.BigEndian.AppendUint16(buf, uint16(rr.Class))
+	ttlAt := len(buf)
 	buf = binary.BigEndian.AppendUint32(buf, rr.TTL)
 	// Reserve RDLENGTH, encode RDATA, then backfill the length.
 	lenAt := len(buf)
 	buf = append(buf, 0, 0)
 	if rr.Data == nil {
-		return nil, errors.New("dnswire: record has nil RDATA")
+		return nil, 0, errors.New("dnswire: record has nil RDATA")
 	}
 	// RDATA names are compressible for the types RFC 1035 defines as such
 	// (NS, CNAME, SOA, PTR, MX); appendRData passes comp selectively.
 	buf, err = rr.Data.appendRData(buf, comp)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	rdlen := len(buf) - lenAt - 2
 	if rdlen > 0xFFFF {
-		return nil, errors.New("dnswire: RDATA exceeds 65535 octets")
+		return nil, 0, errors.New("dnswire: RDATA exceeds 65535 octets")
 	}
 	binary.BigEndian.PutUint16(buf[lenAt:], uint16(rdlen))
-	return buf, nil
+	return buf, ttlAt, nil
 }
 
 // Unpack decodes a wire-format message into a fresh Message. It is

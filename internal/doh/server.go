@@ -153,13 +153,31 @@ func (h *Handler) answerWire(w http.ResponseWriter, r *http.Request, wire []byte
 		http.Error(w, "malformed DNS message", http.StatusBadRequest)
 		return
 	}
+	bp := bufpool.Get()
+	defer bufpool.Put(bp)
+	// Wire-template fast path: cache-backed handlers append the complete
+	// response (echoing the request's question bytes) without record
+	// materialization or repacking, and report the aged minimum TTL for
+	// the RFC 8484 §5.1 cache lifetime directly.
+	if ra, ok := h.DNS.(dns53.ResponseAppender); ok {
+		if rawQ, ok := dnswire.QuestionBytes(wire); ok {
+			if out, minTTL, ok := ra.AppendResponse((*bp)[:0], query, rawQ); ok {
+				*bp = out
+				w.Header().Set("Content-Type", ContentType)
+				if minTTL >= 0 {
+					w.Header().Set("Cache-Control", "max-age="+strconv.FormatInt(minTTL, 10))
+				}
+				w.Header().Set("Content-Length", strconv.Itoa(len(out)))
+				_, _ = w.Write(out)
+				return
+			}
+		}
+	}
 	resp, err := h.DNS.ServeDNS(r.Context(), query)
 	if err != nil || resp == nil {
 		resp = query.Reply()
 		resp.Header.RCode = dnswire.RCodeServFail
 	}
-	bp := bufpool.Get()
-	defer bufpool.Put(bp)
 	out, err := resp.AppendPack((*bp)[:0])
 	if err != nil {
 		http.Error(w, "packing response", http.StatusInternalServerError)

@@ -1,0 +1,80 @@
+package doh_test
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/binary"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/netip"
+	"strconv"
+	"testing"
+	"time"
+
+	"encdns/internal/dnswire"
+	"encdns/internal/doh"
+	"encdns/internal/resolver"
+)
+
+// TestTemplateServedOverDoH asserts the ResponseAppender fast path runs
+// under RFC 8484: the response carries the client's mixed-case question
+// verbatim (only the template path echoes raw bytes) and a Cache-Control
+// lifetime equal to the entry's remaining TTL.
+func TestTemplateServedOverDoH(t *testing.T) {
+	clock := time.Unix(1700000000, 0)
+	cache := resolver.NewCache(256, func() time.Time { return clock })
+	cache.PutRRset("www.example.com.", dnswire.TypeA, []dnswire.Record{{
+		Name: "www.example.com.", Type: dnswire.TypeA, Class: dnswire.ClassIN,
+		TTL: 300, Data: &dnswire.A{Addr: netip.MustParseAddr("192.0.2.1")}}})
+	// Age the entry so max-age proves it reports remaining, not original.
+	clock = clock.Add(100 * time.Second)
+
+	mux := http.NewServeMux()
+	mux.Handle(doh.DefaultPath, &doh.Handler{DNS: &resolver.Forwarder{Cache: cache}})
+	ts := httptest.NewTLSServer(mux)
+	defer ts.Close()
+
+	q := dnswire.NewQuery(0, "www.example.com.", dnswire.TypeA)
+	wire, err := q.AppendPack(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uppercase the first label byte: wWw survives only via verbatim echo.
+	wire[13] = 'W'
+	question := wire[12:]
+
+	resp, err := ts.Client().Get(ts.URL + doh.DefaultPath + "?dns=" +
+		base64.RawURLEncoding.EncodeToString(wire))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if cc := resp.Header.Get("Cache-Control"); cc != "max-age=200" {
+		t.Fatalf("Cache-Control = %q, want max-age=200", cc)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl := resp.Header.Get("Content-Length"); cl != strconv.Itoa(len(body)) {
+		t.Fatalf("Content-Length = %s, body %d", cl, len(body))
+	}
+	if !bytes.Equal(body[12:12+len(question)], question) {
+		t.Fatalf("question not echoed verbatim:\n got %x\nwant %x",
+			body[12:12+len(question)], question)
+	}
+	m, err := dnswire.Unpack(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Answers) != 1 || m.Answers[0].TTL != 200 {
+		t.Fatalf("answers = %v", m.Answers)
+	}
+	if got := binary.BigEndian.Uint16(body); got != 0 {
+		t.Fatalf("id = %d", got)
+	}
+}

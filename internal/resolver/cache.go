@@ -24,6 +24,13 @@ import (
 var (
 	cacheHits = obs.Default().Counter("resolver_cache_hits_total",
 		"Lookups answered from the cache (fresh entries).")
+	// Hit-serve split: template hits were answered straight from the
+	// precomputed wire template (AppendResponse); materialized hits went
+	// through record materialization and a full repack (LookupInto).
+	cacheHitTemplate = obs.Default().Counter("resolver_cache_hit_serve_total",
+		"Cache hits by serve path.", "path", "template")
+	cacheHitMaterialized = obs.Default().Counter("resolver_cache_hit_serve_total",
+		"Cache hits by serve path.", "path", "materialized")
 	cacheMisses = obs.Default().Counter("resolver_cache_misses_total",
 		"Lookups that found no usable entry.")
 	cacheEvictions = obs.Default().Counter("resolver_cache_evictions_total",
@@ -57,6 +64,11 @@ func (k cacheKey) shardIndex(mask uint32) uint32 {
 // cacheEntry is one cached item. It is an intrusive node of its shard's
 // LRU list, avoiding the separate container/list element allocation the
 // previous implementation paid per entry.
+//
+// Everything except the LRU links and the recency stamp is immutable
+// after insertion, so readers may keep serving from records and tmpl
+// after dropping the shard lock: a replacement inserts a fresh entry
+// rather than mutating this one in place.
 type cacheEntry struct {
 	key     cacheKey
 	expires time.Time
@@ -65,25 +77,39 @@ type cacheEntry struct {
 	ttl time.Duration
 	// records is the positive RRset; empty for negative entries.
 	records []dnswire.Record
+	// tmpl is the precomputed wire-format answer template serving hits
+	// without materialize/repack; nil when template building failed or is
+	// disabled, which falls the hit back to the record path.
+	tmpl *answerTemplate
 	// negative marks an NXDOMAIN/NODATA entry (RFC 2308).
 	negative bool
 	// nxdomain distinguishes NXDOMAIN from NODATA within negative entries.
 	nxdomain   bool
 	prev, next *cacheEntry // intrusive LRU links; nil at list ends
+	// stamp is the shard's bump counter value from the entry's last
+	// pushFront/moveToFront; recency checks compare it against the shard
+	// counter. Guarded by the shard lock (write lock to change).
+	stamp uint64
 }
 
 // cacheShard is one lock domain: a map plus an intrusive LRU list
-// (head = most recent, tail = least recent).
+// (head = most recent, tail = least recent). Lookups take the read lock
+// only; list surgery (insert, evict, recency bump) takes the write lock.
 type cacheShard struct {
-	mu    sync.Mutex
+	mu    sync.RWMutex
 	items map[cacheKey]*cacheEntry
 	head  *cacheEntry
 	tail  *cacheEntry
 	max   int
+	// stamp counts LRU bumps; entries record it on every move so readers
+	// can tell "recently used" without touching the list.
+	stamp uint64
 	_     [24]byte // soften false sharing between adjacent shard locks
 }
 
 func (s *cacheShard) pushFront(e *cacheEntry) {
+	s.stamp++
+	e.stamp = s.stamp
 	e.prev = nil
 	e.next = s.head
 	if s.head != nil {
@@ -111,16 +137,33 @@ func (s *cacheShard) unlink(e *cacheEntry) {
 
 func (s *cacheShard) moveToFront(e *cacheEntry) {
 	if s.head == e {
+		s.stamp++
+		e.stamp = s.stamp
 		return
 	}
 	s.unlink(e)
 	s.pushFront(e)
 }
 
+// recentLocked reports whether e has been bumped within roughly the
+// newest quarter of the shard: fewer than len(items)/4 bumps have
+// happened since e's last one. Hits on such entries skip moveToFront —
+// and with it the shard's exclusive lock — because re-fronting an entry
+// already near the front cannot change which tail entry LRU evicts next.
+// Callers hold at least the read lock.
+func (s *cacheShard) recentLocked(e *cacheEntry) bool {
+	return s.stamp-e.stamp <= uint64(len(s.items)/4)
+}
+
 // Cache is a TTL- and LRU-bounded DNS cache, safe for concurrent use.
 // Keys are spread across lock shards so concurrent lookups of different
 // names do not serialise on one mutex.
 type Cache struct {
+	// NoTemplates disables building and serving wire-format answer
+	// templates, forcing every hit through the materialize path. Set it
+	// before the cache starts serving (benchmark and A/B use only).
+	NoTemplates bool
+
 	shards []cacheShard
 	mask   uint32
 	now    func() time.Time
@@ -128,6 +171,10 @@ type Cache struct {
 	// this long past expiry (RFC 8767 serve-stale); zero disables.
 	staleFor atomic.Int64 // time.Duration
 	closed   atomic.Bool
+
+	// alwaysBump restores unconditional moveToFront on every hit,
+	// bypassing the newest-quarter skip (contention benchmarks only).
+	alwaysBump bool
 
 	hits, misses, evictions atomic.Uint64
 	entries                 atomic.Int64
@@ -219,6 +266,8 @@ func (c *Cache) Len() int {
 }
 
 // PutRRset caches a positive RRset under the TTL of its shortest record.
+// The answer section is also packed once into an immutable wire template
+// so hits can be served by byte copy (see AppendResponse).
 func (c *Cache) PutRRset(name string, t dnswire.Type, rrs []dnswire.Record) {
 	if len(rrs) == 0 {
 		return
@@ -232,11 +281,13 @@ func (c *Cache) PutRRset(name string, t dnswire.Type, rrs []dnswire.Record) {
 	cp := make([]dnswire.Record, len(rrs))
 	copy(cp, rrs)
 	d := time.Duration(ttl) * time.Second
+	key := cacheKey{name: dnswire.CanonicalName(name), typ: t}
 	c.put(&cacheEntry{
-		key:     cacheKey{name: dnswire.CanonicalName(name), typ: t},
+		key:     key,
 		expires: c.now().Add(d),
 		ttl:     d,
 		records: cp,
+		tmpl:    c.buildTemplate(key, cp),
 	})
 }
 
@@ -244,12 +295,14 @@ func (c *Cache) PutRRset(name string, t dnswire.Type, rrs []dnswire.Record) {
 // seconds (the RFC 2308 value: min(SOA TTL, SOA MINIMUM)).
 func (c *Cache) PutNegative(name string, t dnswire.Type, nxdomain bool, ttl uint32) {
 	d := time.Duration(ttl) * time.Second
+	key := cacheKey{name: dnswire.CanonicalName(name), typ: t}
 	c.put(&cacheEntry{
-		key:      cacheKey{name: dnswire.CanonicalName(name), typ: t},
+		key:      key,
 		expires:  c.now().Add(d),
 		ttl:      d,
 		negative: true,
 		nxdomain: nxdomain,
+		tmpl:     c.buildTemplate(key, nil),
 	})
 }
 
@@ -302,15 +355,18 @@ func (c *Cache) Lookup(name string, t dnswire.Type) (LookupResult, bool) {
 // dst, so a caller holding a reusable buffer pays no allocation on a hit.
 // The returned LookupResult.Records is the extended dst; entries past
 // dst's original length belong to the caller.
+//
+// Hits run under the shard's read lock: the entry payload is immutable
+// after insert, so only the LRU bump needs the write lock, and even that
+// is skipped while the entry sits in the newest quarter of its shard.
 func (c *Cache) LookupInto(dst []dnswire.Record, name string, t dnswire.Type) (LookupResult, bool) {
 	key := cacheKey{name: dnswire.CanonicalName(name), typ: t}
 	s := c.shard(key)
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
 	e, ok := s.items[key]
 	if !ok {
-		c.misses.Add(1)
-		cacheMisses.Inc()
+		s.mu.RUnlock()
+		c.missed()
 		return LookupResult{}, false
 	}
 	now := c.now()
@@ -319,28 +375,64 @@ func (c *Cache) LookupInto(dst []dnswire.Record, name string, t dnswire.Type) (L
 		// Keep expired positive entries within the serve-stale window for
 		// LookupStale; evict everything else.
 		staleFor := time.Duration(c.staleFor.Load())
-		if staleFor <= 0 || e.negative || now.Sub(e.expires) > staleFor {
-			c.evictLocked(s, e)
+		evict := staleFor <= 0 || e.negative || now.Sub(e.expires) > staleFor
+		s.mu.RUnlock()
+		if evict {
+			c.expire(s, key, e)
 		}
-		c.misses.Add(1)
-		cacheMisses.Inc()
+		c.missed()
 		return LookupResult{}, false
 	}
-	s.moveToFront(e)
+	recent := !c.alwaysBump && s.recentLocked(e)
+	neg, nx := e.negative, e.nxdomain
+	records, origTTL := e.records, e.ttl
+	s.mu.RUnlock()
+	if !recent {
+		c.bump(s, key, e)
+	}
 	c.hits.Add(1)
 	cacheHits.Inc()
-	if e.negative {
-		return LookupResult{Negative: true, NXDomain: e.nxdomain}, true
+	cacheHitMaterialized.Inc()
+	if neg {
+		return LookupResult{Negative: true, NXDomain: nx}, true
 	}
 	base := len(dst)
-	out := append(dst, e.records...)
+	out := append(dst, records...)
 	aged := uint32(remaining / time.Second)
 	for i := base; i < len(out); i++ {
 		if out[i].TTL > aged {
 			out[i].TTL = aged
 		}
 	}
-	return LookupResult{Records: out, Remaining: remaining, OrigTTL: e.ttl}, true
+	return LookupResult{Records: out, Remaining: remaining, OrigTTL: origTTL}, true
+}
+
+// missed counts one lookup miss.
+func (c *Cache) missed() {
+	c.misses.Add(1)
+	cacheMisses.Inc()
+}
+
+// bump re-fronts e in its shard's LRU under the write lock, re-checking
+// that e is still the entry mapped at key: a concurrent replacement or
+// eviction between the reader's RUnlock and here must not re-link a node
+// that already left the list.
+func (c *Cache) bump(s *cacheShard, key cacheKey, e *cacheEntry) {
+	s.mu.Lock()
+	if s.items[key] == e {
+		s.moveToFront(e)
+	}
+	s.mu.Unlock()
+}
+
+// expire evicts an entry observed expired under the read lock, with the
+// same identity re-check as bump.
+func (c *Cache) expire(s *cacheShard, key cacheKey, e *cacheEntry) {
+	s.mu.Lock()
+	if s.items[key] == e {
+		c.evictLocked(s, e)
+	}
+	s.mu.Unlock()
 }
 
 // LookupStale returns an expired positive RRset still inside the

@@ -111,3 +111,109 @@ func BenchmarkColdWalkUniform(b *testing.B) { benchColdWalk(b, false) }
 // with tail hedging; the infra cache stays warm across iterations as it
 // would in a long-running resolver.
 func BenchmarkColdWalkSRTTHedged(b *testing.B) { benchColdWalk(b, true) }
+
+// serveHitBench builds a warmed cache plus a parsed query and runs the
+// cache-hit serve path to full response bytes b.N times. template=true
+// is the tentpole wire-template path (AppendResponse); false is the
+// materialize+repack baseline the servers ran before: LookupInto into a
+// reused record buffer, a Reply-shaped response, a full AppendPack.
+func serveHitBench(b *testing.B, template bool) {
+	c := NewCache(4096, nil)
+	c.NoTemplates = !template
+	name := "www.example.com."
+	c.PutRRset(name, dnswire.TypeA, []dnswire.Record{
+		{Name: name, Type: dnswire.TypeA, Class: dnswire.ClassIN, TTL: 300,
+			Data: &dnswire.A{Addr: netip.MustParseAddr("192.0.2.1")}},
+		{Name: name, Type: dnswire.TypeA, Class: dnswire.ClassIN, TTL: 300,
+			Data: &dnswire.A{Addr: netip.MustParseAddr("192.0.2.2")}},
+	})
+	q := dnswire.NewQuery(42, name, dnswire.TypeA)
+	raw, err := q.AppendPack(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rawQ, ok := dnswire.QuestionBytes(raw)
+	if !ok {
+		b.Fatal("QuestionBytes declined")
+	}
+	query, err := dnswire.Unpack(raw)
+	if err != nil {
+		b.Fatal(err)
+	}
+	out := make([]byte, 0, 512)
+	recs := make([]dnswire.Record, 0, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if template {
+			wire, _, ok := c.AppendResponse(out[:0], query, rawQ)
+			if !ok {
+				b.Fatal("template declined")
+			}
+			out = wire
+			continue
+		}
+		res, ok := c.LookupInto(recs[:0], name, dnswire.TypeA)
+		if !ok {
+			b.Fatal("miss")
+		}
+		recs = res.Records
+		resp := query.Reply()
+		resp.Header.RA = true
+		resp.Answers = res.Records
+		wire, err := resp.AppendPack(out[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = wire
+	}
+}
+
+// BenchmarkServeHitTemplate is the tentpole number: a cache hit served
+// as header write + question echo + answer memcpy + TTL patches.
+func BenchmarkServeHitTemplate(b *testing.B) { serveHitBench(b, true) }
+
+// BenchmarkServeHitMaterialized is the pre-template baseline the ≥2×
+// acceptance criterion compares against.
+func BenchmarkServeHitMaterialized(b *testing.B) { serveHitBench(b, false) }
+
+// hitStormBench hammers one hot name from 8 goroutines — every lookup
+// lands on the same shard, the worst case for LRU bookkeeping. With
+// alwaysBump the pre-PR behaviour is restored: every hit takes the shard
+// write lock to moveToFront; the default skips the bump while the entry
+// is in the newest quarter, so the storm runs under read locks only.
+func hitStormBench(b *testing.B, alwaysBump bool) {
+	c := NewCache(4096, nil)
+	c.alwaysBump = alwaysBump
+	name := "hot.example.com."
+	c.PutRRset(name, dnswire.TypeA, []dnswire.Record{{
+		Name: name, Type: dnswire.TypeA, Class: dnswire.ClassIN, TTL: 300,
+		Data: &dnswire.A{Addr: netip.MustParseAddr("192.0.2.1")}}})
+	// Background entries so the newest-quarter window is non-trivial.
+	for i := 0; i < 256; i++ {
+		n := fmt.Sprintf("cold%d.example.com.", i)
+		c.PutRRset(n, dnswire.TypeA, []dnswire.Record{{
+			Name: n, Type: dnswire.TypeA, Class: dnswire.ClassIN, TTL: 300,
+			Data: &dnswire.A{Addr: netip.MustParseAddr("192.0.2.2")}}})
+	}
+	b.SetParallelism(8)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		buf := make([]dnswire.Record, 0, 4)
+		for pb.Next() {
+			res, ok := c.LookupInto(buf[:0], name, dnswire.TypeA)
+			if !ok {
+				b.Fatal("miss")
+			}
+			buf = res.Records
+		}
+	})
+}
+
+// BenchmarkCacheHitStormBumpSkip is the satellite win: 8-goroutine hit
+// storm with the newest-quarter bump skip (default behaviour).
+func BenchmarkCacheHitStormBumpSkip(b *testing.B) { hitStormBench(b, false) }
+
+// BenchmarkCacheHitStormAlwaysBump is the same storm with the skip
+// disabled — every hit serialises on the shard write lock.
+func BenchmarkCacheHitStormAlwaysBump(b *testing.B) { hitStormBench(b, true) }

@@ -1,0 +1,212 @@
+package resolver
+
+import (
+	"encoding/binary"
+	"time"
+
+	"encdns/internal/dnswire"
+)
+
+// answerTemplate is a cache entry's precomputed wire-format answer: the
+// packed answer section as it would appear in a response whose question
+// is the entry's canonical name, plus the offsets of every answer TTL so
+// a serve can age them by patching bytes in place. Templates are built
+// once at put time and immutable afterwards, which is what lets hits be
+// served straight from them after the shard lock is dropped.
+//
+// Layout invariant: the template's bytes were packed into a message of
+// the form header(12) + question(qlen) + answers, so its RFC 1035 §4.1.4
+// compression pointers (absolute, message-start-relative) resolve
+// correctly in any response with the same layout. Serving therefore
+// requires the request's raw question to have exactly qlen bytes — true
+// for every uncompressed spelling of the name, including 0x20 mixed
+// case, since case changes never change label lengths.
+type answerTemplate struct {
+	// wire is the packed answer section (empty for negative entries).
+	wire []byte
+	// ttlOffs are the byte offsets of each answer TTL within wire.
+	ttlOffs []uint16
+	// qlen is the wire length of the question section the template was
+	// packed against (name + type + class).
+	qlen uint16
+	// ancount is the number of answer records in wire.
+	ancount uint16
+}
+
+// buildTemplate packs rrs (nil for a negative entry) into an answer
+// template for key. It returns nil — meaning "serve this entry via the
+// materialize path" — when templates are disabled or the RRset does not
+// pack (oversized message, unencodable RDATA).
+func (c *Cache) buildTemplate(key cacheKey, rrs []dnswire.Record) *answerTemplate {
+	if c.NoTemplates {
+		return nil
+	}
+	m := dnswire.Message{
+		Header:    dnswire.Header{QR: true, RA: true},
+		Questions: []dnswire.Question{{Name: key.name, Type: key.typ, Class: dnswire.ClassIN}},
+		Answers:   rrs,
+	}
+	packed, offs, err := m.AppendPackTTLOffsets(make([]byte, 0, 128+32*len(rrs)), nil)
+	if err != nil {
+		return nil
+	}
+	rawQ, ok := dnswire.QuestionBytes(packed)
+	if !ok {
+		return nil
+	}
+	ansBase := 12 + len(rawQ)
+	t := &answerTemplate{
+		wire:    packed[ansBase:],
+		qlen:    uint16(len(rawQ)),
+		ancount: uint16(len(rrs)),
+	}
+	if len(offs) > 0 {
+		t.ttlOffs = make([]uint16, len(offs))
+		for i, off := range offs {
+			t.ttlOffs[i] = uint16(off - ansBase)
+		}
+	}
+	return t
+}
+
+// HitInfo describes a template-served cache hit: what AppendResponse
+// answered without materializing records.
+type HitInfo struct {
+	// Negative is true for a served NXDOMAIN/NODATA; NXDomain picks which.
+	Negative bool
+	NXDomain bool
+	// Remaining and OrigTTL mirror LookupResult, feeding refresh-ahead.
+	Remaining time.Duration
+	OrigTTL   time.Duration
+	// Answers is the number of answer records in the response.
+	Answers int
+}
+
+// AppendResponse serves a cache hit for q's question straight from the
+// entry's wire template, appending the complete response message to dst:
+// a fresh header (q's ID, flags derived the same way the materialize
+// path's Reply does), rawQuestion echoed verbatim (preserving the
+// client's 0x20 case), the template's answer bytes, and TTLs aged in
+// place. No Record slice, no compressor, no AppendPack — a hit is a
+// header write plus two memcpys and a few byte patches.
+//
+// ok is false whenever the fast path cannot answer bit-identically to
+// the materialize path — miss, expired entry, no template, or a raw
+// question whose wire length differs from the template's (compressed
+// name spellings). The caller then falls back to the ServeDNS path,
+// which also owns miss accounting and expiry eviction, so a failed fast
+// path never double-counts.
+func (c *Cache) AppendResponse(dst []byte, q *dnswire.Message, rawQuestion []byte) ([]byte, HitInfo, bool) {
+	if c.NoTemplates || len(q.Questions) != 1 {
+		return dst, HitInfo{}, false
+	}
+	qq := &q.Questions[0]
+	if qq.Name == "" {
+		return dst, HitInfo{}, false // materialize path answers FORMERR
+	}
+	key := cacheKey{name: dnswire.CanonicalName(qq.Name), typ: qq.Type}
+	s := c.shard(key)
+	s.mu.RLock()
+	e, ok := s.items[key]
+	if !ok {
+		s.mu.RUnlock()
+		return dst, HitInfo{}, false
+	}
+	tmpl := e.tmpl
+	if tmpl == nil || int(tmpl.qlen) != len(rawQuestion) {
+		s.mu.RUnlock()
+		return dst, HitInfo{}, false
+	}
+	remaining := e.expires.Sub(c.now())
+	if remaining <= 0 {
+		s.mu.RUnlock()
+		return dst, HitInfo{}, false
+	}
+	recent := !c.alwaysBump && s.recentLocked(e)
+	neg, nx := e.negative, e.nxdomain
+	origTTL := e.ttl
+	s.mu.RUnlock()
+
+	rcode := dnswire.RCodeSuccess
+	if nx {
+		rcode = dnswire.RCodeNXDomain
+	}
+	flags := dnswire.Header{
+		QR:     true,
+		Opcode: q.Header.Opcode,
+		RD:     q.Header.RD,
+		RA:     true,
+		RCode:  rcode,
+	}.Flags()
+	dst = dnswire.AppendRawHeader(dst, q.Header.ID, flags, 1, tmpl.ancount, 0, 0)
+	dst = append(dst, rawQuestion...)
+	ansBase := len(dst)
+	dst = append(dst, tmpl.wire...)
+	aged := uint32(remaining / time.Second)
+	for _, off := range tmpl.ttlOffs {
+		p := dst[ansBase+int(off):]
+		if binary.BigEndian.Uint32(p) > aged {
+			binary.BigEndian.PutUint32(p, aged)
+		}
+	}
+	if !recent {
+		c.bump(s, key, e)
+	}
+	c.hits.Add(1)
+	cacheHits.Inc()
+	cacheHitTemplate.Inc()
+	return dst, HitInfo{
+		Negative:  neg,
+		NXDomain:  nx,
+		Remaining: remaining,
+		OrigTTL:   origTTL,
+		Answers:   int(tmpl.ancount),
+	}, true
+}
+
+// templateMinTTL converts a hit into the RFC 8484 cache-lifetime value:
+// the minimum answer TTL in seconds, or -1 when the response carries no
+// answers. Every template answer TTL equals the remaining lifetime after
+// aging (the entry's lifetime is its RRset's minimum TTL), so no scan is
+// needed.
+func templateMinTTL(info HitInfo) int64 {
+	if info.Answers == 0 {
+		return -1
+	}
+	return int64(info.Remaining / time.Second)
+}
+
+// AppendResponse implements the dns53.ResponseAppender fast path for the
+// recursive resolver: direct cache hits are served from wire templates,
+// still feeding refresh-ahead exactly like a materialized hit. Anything
+// else — miss, CNAME chase, empty cache — declines, and the server falls
+// back to ServeDNS.
+func (r *Recursive) AppendResponse(dst []byte, q *dnswire.Message, rawQuestion []byte) ([]byte, int64, bool) {
+	if r.Cache == nil {
+		return dst, 0, false
+	}
+	out, info, ok := r.Cache.AppendResponse(dst, q, rawQuestion)
+	if !ok {
+		return dst, 0, false
+	}
+	q0 := q.Question0()
+	r.noteRefreshAhead(dnswire.CanonicalName(q0.Name), q0.Type, LookupResult{
+		Negative:  info.Negative,
+		Remaining: info.Remaining,
+		OrigTTL:   info.OrigTTL,
+	})
+	return out, templateMinTTL(info), true
+}
+
+// AppendResponse implements the dns53.ResponseAppender fast path for the
+// forwarding resolver.
+func (f *Forwarder) AppendResponse(dst []byte, q *dnswire.Message, rawQuestion []byte) ([]byte, int64, bool) {
+	if f.Cache == nil {
+		return dst, 0, false
+	}
+	out, info, ok := f.Cache.AppendResponse(dst, q, rawQuestion)
+	if !ok {
+		return dst, 0, false
+	}
+	return out, templateMinTTL(info), true
+}

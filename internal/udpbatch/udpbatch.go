@@ -35,7 +35,12 @@ import (
 // DefaultBatch is the per-syscall packet budget when the caller does not
 // choose one. 32 matches the sweet spot measured in the batch-size sweep
 // (EXPERIMENTS.md): large enough to amortise the syscall, small enough
-// not to add queueing latency at low load.
+// not to add queueing latency at low load. Re-swept in the wire-template
+// PR after one earlier run showed a dip at 8: batch size has no
+// measurable effect on median latency (recvmmsg is non-blocking, so a
+// smaller budget only caps the per-syscall vector — it never waits to
+// fill), and max-capacity deltas between settings sit inside the
+// run-to-run noise of the shared-CPU ramp methodology.
 const DefaultBatch = 32
 
 // MaxBatch caps a single recvmmsg/sendmmsg vector; larger WriteBatch

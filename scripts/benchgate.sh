@@ -1,0 +1,91 @@
+#!/bin/sh
+# benchgate.sh — hot-path benchmark regression gate.
+#
+#   go test -bench 'ServeUDP$|ServeHit' -benchmem ./internal/... > bench.out
+#   scripts/benchgate.sh BENCH_pr10.json bench.out
+#
+# Reads the committed baseline artifact (a benchjson.sh array containing a
+# BenchmarkServeUDP row) and a fresh `go test -bench` text output, then
+# enforces two invariants the wire-template PR established:
+#
+#   1. BenchmarkServeUDP ns/op must not regress more than GATE_PCT percent
+#      (default 15) over the committed baseline. CI runners are noisy, so
+#      the tolerance is generous; a real regression (reintroducing a pack
+#      or an alloc on the hit path) blows well past it.
+#   2. BenchmarkServeHitTemplate must stay at least 2x faster than
+#      BenchmarkServeHitMaterialized — the PR's acceptance floor. This
+#      compares two numbers from the SAME run, so it is immune to runner
+#      speed and catches the fast path silently degrading to a repack.
+#
+# Either check failing exits non-zero; a missing benchmark in the fresh
+# output fails too (a gate that cannot find its subject must not pass).
+# Missing baseline rows only warn: the artifact predating a new benchmark
+# is expected during bring-up, and check 2 still guards the hit path.
+set -eu
+
+baseline=${1:?usage: benchgate.sh BASELINE.json [bench.out]}
+bench=${2:--}
+
+# current <name> -> ns/op from the go test text output, strictly matched.
+current() {
+    awk -v want="$1" '
+    $1 ~ /^Benchmark/ {
+        name = $1
+        sub(/-[0-9]+$/, "", name)
+        if (name != want) next
+        for (i = 2; i < NF; i++) if ($(i + 1) == "ns/op") { print $i; exit }
+    }
+    ' "$tmp"
+}
+
+# base <name> -> ns_per_op from the committed benchjson array.
+base() {
+    jq -r --arg n "$1" '[.[] | select(.name == $n)][0].ns_per_op // empty' \
+        "$baseline"
+}
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+if [ "$bench" = "-" ]; then cat > "$tmp"; else cat "$bench" > "$tmp"; fi
+
+fail=0
+pct=${GATE_PCT:-15}
+
+# Check 1: ServeUDP against the committed baseline.
+cur=$(current BenchmarkServeUDP)
+if [ -z "$cur" ]; then
+    echo "benchgate: BenchmarkServeUDP missing from bench output" >&2
+    fail=1
+else
+    ref=$(base BenchmarkServeUDP)
+    if [ -z "$ref" ]; then
+        echo "benchgate: warn: no BenchmarkServeUDP row in $baseline (skipping)" >&2
+    else
+        limit=$(awk -v r="$ref" -v p="$pct" 'BEGIN { printf "%.1f", r * (1 + p / 100) }')
+        over=$(awk -v c="$cur" -v l="$limit" 'BEGIN { print (c > l) ? 1 : 0 }')
+        if [ "$over" = 1 ]; then
+            echo "benchgate: FAIL ServeUDP ${cur} ns/op > ${limit} ns/op (baseline ${ref} +${pct}%)" >&2
+            fail=1
+        else
+            echo "benchgate: ok ServeUDP ${cur} ns/op <= ${limit} ns/op (baseline ${ref} +${pct}%)"
+        fi
+    fi
+fi
+
+# Check 2: template hit path >= 2x faster than materialize, same run.
+t=$(current BenchmarkServeHitTemplate)
+m=$(current BenchmarkServeHitMaterialized)
+if [ -z "$t" ] || [ -z "$m" ]; then
+    echo "benchgate: FAIL ServeHit benchmarks missing from bench output" >&2
+    fail=1
+else
+    ok=$(awk -v t="$t" -v m="$m" 'BEGIN { print (m >= 2 * t) ? 1 : 0 }')
+    if [ "$ok" = 1 ]; then
+        echo "benchgate: ok template hit ${t} ns/op vs materialized ${m} ns/op ($(awk -v t="$t" -v m="$m" 'BEGIN { printf "%.1f", m / t }')x)"
+    else
+        echo "benchgate: FAIL template hit ${t} ns/op not 2x faster than materialized ${m} ns/op" >&2
+        fail=1
+    fi
+fi
+
+exit $fail

@@ -35,6 +35,17 @@
 #     dnsload -self do53 -self-udp-batch $b -capacity -json |
 #       scripts/benchjson.sh capacity "batch-$b"
 #   done | scripts/benchjson.sh merge > BENCH.json
+#
+# A fourth mode, `flat`, parses `go test -bench` output like the default
+# mode but emits one object per LINE (no array wrapper), so
+# microbenchmark rows can flow through `merge` next to capacity rows in
+# a single artifact:
+#
+#   { go test -bench ServeHit -benchmem ./internal/resolver |
+#       scripts/benchjson.sh flat
+#     dnsload -self recursive -capacity -json |
+#       scripts/benchjson.sh capacity recursive
+#   } | scripts/benchjson.sh merge > BENCH_pr10.json
 set -eu
 
 if [ "${1:-}" = "merge" ]; then
@@ -79,6 +90,28 @@ if [ "${1:-}" = "capacity" ]; then
             first = 0
         }
         printf "}\n"
+    }
+    '
+fi
+
+if [ "${1:-}" = "flat" ]; then
+    exec awk '
+    $1 ~ /^Benchmark/ && NF >= 3 {
+        name = $1
+        procs = 1
+        if (match(name, /-[0-9]+$/)) {
+            procs = substr(name, RSTART + 1, RLENGTH - 1) + 0
+            name = substr(name, 1, RSTART - 1)
+        }
+        ns = "null"; bytes = "null"; allocs = "null"
+        for (i = 2; i < NF; i++) {
+            if ($(i + 1) == "ns/op")     ns = $i
+            if ($(i + 1) == "B/op")      bytes = $i
+            if ($(i + 1) == "allocs/op") allocs = $i
+        }
+        if (ns == "null") next
+        printf "{\"name\": \"%s\", \"procs\": %d, \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}\n", \
+            name, procs, $2, ns, bytes, allocs
     }
     '
 fi
